@@ -1,0 +1,27 @@
+"""Ablation -- cache-aware scheduling vs FIFO (paper section 4.2).
+
+Cache-aware scheduling approximates shortest-job-first by serving
+cache-resident requests before disk-bound ones.  Asserts the paper's
+claims: mean client response time improves (strongly for the cached
+requests themselves) and server throughput does not regress.
+"""
+
+from repro.bench import ablations
+
+
+def test_ablation_cache_aware(once):
+    result = once(ablations.run_cache_aware)
+    print()
+    print(f"mean response   fifo={result.fifo_mean_response:.2f}s "
+          f"cache-aware={result.cache_aware_mean_response:.2f}s")
+    print(f"cached-only     fifo={result.fifo_cached_response:.2f}s "
+          f"cache-aware={result.cache_aware_cached_response:.2f}s")
+    print(f"throughput      fifo={result.fifo_throughput_mbps:.1f} "
+          f"cache-aware={result.cache_aware_throughput_mbps:.1f} MB/s")
+
+    assert (result.cache_aware_mean_response
+            < 0.7 * result.fifo_mean_response), "SJF-like response win"
+    assert (result.cache_aware_cached_response
+            < 0.4 * result.fifo_cached_response), "cached requests fly"
+    assert (result.cache_aware_throughput_mbps
+            > 0.9 * result.fifo_throughput_mbps), "no throughput regression"

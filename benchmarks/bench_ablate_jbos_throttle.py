@@ -1,0 +1,32 @@
+"""Ablation -- JBOS plus Apache-style per-server throttling.
+
+The paper (section 4.2) compares NeST's proportional-share scheduler to
+Apache's Bandwidth/Request Throttling module: throttling "only applies
+to the HTTP requests the Apache server processes, and thus cannot be
+applied to other traffic streams in a JBOS environment."
+
+Asserts that capping the HTTP server redistributes bandwidth to the
+other whole-file protocols by TCP's choice, not an administrator's: the
+latency-bound NFS server gains essentially nothing.
+"""
+
+from repro.bench import ablations
+
+
+def test_ablation_jbos_throttle(once):
+    result = once(ablations.run_throttle)
+    print()
+    print(f"unthrottled: { {k: round(v, 1) for k, v in result.unthrottled.items()} }")
+    print(f"throttled:   { {k: round(v, 1) for k, v in result.throttled.items()} }")
+
+    # The throttle does bind HTTP...
+    assert result.throttled["http"] < result.unthrottled["http"]
+    # ...the freed bandwidth flows to the other whole-file protocols...
+    gain_whole_file = (
+        (result.throttled["chirp"] - result.unthrottled["chirp"])
+        + (result.throttled["gridftp"] - result.unthrottled["gridftp"])
+    )
+    assert gain_whole_file > 0
+    # ...and NFS (which an admin might have wanted to boost) gets
+    # essentially none of it -- unlike NeST's cross-protocol stride.
+    assert result.nfs_gain_mbps < 0.3 * gain_whole_file

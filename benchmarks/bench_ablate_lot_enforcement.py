@@ -1,0 +1,27 @@
+"""Ablation -- quota-backed vs NeST-managed lot enforcement.
+
+The paper's section 7.4 question: is the additional complexity of
+NeST-managed enforcement "worth the performance improvement and the
+ability to distinguish lots correctly"?  Asserts both halves:
+
+* NeST-managed accounting avoids the kernel quota write penalty;
+* quota mode reproduces the overfill caveat ("a user may overfill a
+  single lot and then not be able to fill another lot to capacity"),
+  which NeST-managed mode fixes.
+"""
+
+from repro.bench import ablations
+
+
+def test_ablation_lot_enforcement(once):
+    result = once(ablations.run_enforcement)
+    print()
+    print(f"200MB write  quota={result.quota_write_mbps:.1f} "
+          f"nest-managed={result.nest_write_mbps:.1f} MB/s")
+    print(f"overfill allowed?  quota={result.quota_allows_overfill} "
+          f"nest={result.nest_allows_overfill}")
+
+    assert result.nest_write_mbps > 1.5 * result.quota_write_mbps, \
+        "NeST-managed enforcement skips the quota I/O penalty"
+    assert result.quota_allows_overfill, "quota mode cannot distinguish lots"
+    assert not result.nest_allows_overfill, "NeST-managed mode can"

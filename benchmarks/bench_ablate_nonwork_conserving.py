@@ -1,0 +1,28 @@
+"""Ablation -- non-work-conserving (anticipatory) stride scheduling.
+
+The paper's section 7.2 future work: "a non-work-conserving policy in
+which the idle server waits some period of time before scheduling a
+competitor; such a policy might pay a slight penalty in average
+response time for improved allocation control."
+
+Asserts exactly that trade: the NFS-heavy 1:1:1:4 allocation's fairness
+improves substantially while total bandwidth pays a penalty.
+"""
+
+from repro.bench import ablations
+
+
+def test_ablation_anticipatory_stride(once):
+    result = once(ablations.run_idleness)
+    print()
+    print(f"fairness  work-conserving={result.work_conserving_fairness:.3f} "
+          f"anticipatory={result.anticipatory_fairness:.3f}")
+    print(f"total     work-conserving={result.work_conserving_total_mbps:.1f} "
+          f"anticipatory={result.anticipatory_total_mbps:.1f} MB/s")
+
+    assert result.work_conserving_fairness < 0.97, \
+        "the paper's 1:1:1:4 shortfall must exist to be repaired"
+    assert (result.anticipatory_fairness
+            > result.work_conserving_fairness + 0.02), "idling improves control"
+    assert (result.anticipatory_total_mbps
+            <= result.work_conserving_total_mbps), "and it costs bandwidth"

@@ -1,0 +1,36 @@
+"""Ablation -- SEDA-style staged concurrency (paper §4.1 future work).
+
+"In the future we plan to investigate more advanced concurrency
+architectures (e.g., SEDA and Crovella's experimental server)."
+
+Under mixed overload (hundreds of small cached requests + a few
+disk-bound streams):
+
+* thread-per-request pays growing scheduling/memory costs with the
+  thread population;
+* the event loop's small-request latency is poisoned by disk reads
+  blocking the loop (and total bandwidth suffers);
+* the staged design routes cache hits down a fast path and admits
+  disk-bound work through a bounded stage -- best on both metrics.
+"""
+
+from repro.bench import ablations
+
+
+def test_ablation_seda_overload(once):
+    result = once(ablations.run_seda_overload)
+    print()
+    for model in ("threads", "events", "seda"):
+        print(f"  {model:<8} bw={result.bandwidth_mbps[model]:6.2f} MB/s  "
+              f"small-req={result.small_latency_ms[model]:7.2f} ms")
+
+    bw = result.bandwidth_mbps
+    lat = result.small_latency_ms
+    # Events lose bandwidth to loop serialization...
+    assert bw["events"] < 0.7 * bw["threads"]
+    # ...and poison small-request latency with blocking disk reads.
+    assert lat["events"] > 1.5 * lat["seda"]
+    # SEDA matches threads on bandwidth and beats them on latency
+    # (thread-per-request pays overload costs per small request).
+    assert bw["seda"] > 0.95 * bw["threads"]
+    assert lat["seda"] < lat["threads"]

@@ -1,0 +1,21 @@
+"""Ablation -- per-user proportional shares.
+
+The paper's §4.2 extension: "in the future, we plan to extend this to
+provide preferences on a per-user basis."  Two user populations hit the
+server over the *same* protocol, so per-protocol shares are blind; the
+user-keyed stride scheduler still delivers the requested 3:1 split.
+"""
+
+from repro.bench import ablations
+
+
+def test_ablation_user_shares(once):
+    result = once(ablations.run_user_shares)
+    print()
+    print(f"vip={result.vip_mbps:.1f} MB/s  guest={result.guest_mbps:.1f} MB/s"
+          f"  achieved={result.achieved_ratio:.2f} (requested "
+          f"{result.requested_ratio})")
+
+    assert result.vip_mbps > result.guest_mbps
+    assert 2.2 < result.achieved_ratio < 4.2, \
+        "the 3:1 user split should be roughly honoured"

@@ -1,0 +1,35 @@
+"""Figure 3 -- Multiple Protocols: NeST vs native servers.
+
+Regenerates every bar and asserts the paper's shape claims:
+
+* Chirp/HTTP/FTP deliver the network peak; GridFTP and NFS roughly half;
+* NeST tracks each native server closely (within 10 %);
+* mixed totals are similar for NeST and JBOS, but NFS is disfavoured
+  under NeST's FIFO transfer manager.
+"""
+
+from repro.bench import fig3
+
+
+def test_fig3_multiple_protocols(once):
+    result = once(fig3.run)
+    print()
+    print(fig3.report(result))
+
+    peak = result.single_nest["chirp"]
+    assert peak > 25.0, "Chirp should approach the delivered network peak"
+    for fast in ("chirp", "http", "ftp"):
+        assert result.single_nest[fast] > 0.85 * peak
+    # GridFTP and NFS at roughly half the peak.
+    assert 0.3 * peak < result.single_nest["gridftp"] < 0.65 * peak
+    assert 0.3 * peak < result.single_nest["nfs"] < 0.65 * peak
+    # NeST within 10% of each native server.
+    for proto in fig3.SINGLE_PROTOCOLS:
+        nest = result.single_nest[proto]
+        native = result.single_native[proto]
+        assert abs(nest - native) / native < 0.10, proto
+    # Mixed workload: similar totals...
+    assert abs(result.mixed_nest_total - result.mixed_jbos_total) < 0.15 * peak
+    assert result.mixed_nest_total > 0.8 * peak
+    # ...but NFS gets far less under NeST's FIFO than under JBOS.
+    assert result.mixed_nest["nfs"] < 0.5 * result.mixed_jbos["nfs"]

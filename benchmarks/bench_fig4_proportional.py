@@ -1,0 +1,33 @@
+"""Figure 4 -- Proportional Protocol Scheduling.
+
+Regenerates the stride-scheduler bars and asserts:
+
+* the proportional-share scheduler costs total bandwidth vs FIFO;
+* Jain's fairness > 0.98 for 1:1:1:1, 1:2:1:1, 3:1:2:1;
+* the NFS-heavy 1:1:1:4 ratio falls visibly short (paper: 0.87).
+"""
+
+from repro.bench import fig4
+
+
+def test_fig4_proportional_scheduling(once):
+    result = once(fig4.run)
+    print()
+    print(fig4.report(result))
+
+    fifo = result.row("FIFO")
+    assert fifo.total_mbps > 30.0
+
+    for label in ("1:1:1:1", "1:2:1:1", "3:1:2:1"):
+        row = result.row(label)
+        # Proportional sharing costs total bandwidth...
+        assert row.total_mbps < 0.95 * fifo.total_mbps, label
+        assert row.total_mbps > 0.6 * fifo.total_mbps, label
+        # ...but hits the requested ratios almost exactly.
+        assert row.fairness > 0.98, label
+
+    nfs_heavy = result.row("1:1:1:4")
+    assert nfs_heavy.fairness < 0.97, "NFS cannot fill a 4x allocation"
+    # The shortfall is NFS-specific: it delivers less than desired.
+    assert (nfs_heavy.per_protocol_mbps["nfs"]
+            < 0.85 * nfs_heavy.desired_mbps["nfs"])

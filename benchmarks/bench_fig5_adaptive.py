@@ -1,0 +1,36 @@
+"""Figure 5 -- Adaptive Concurrency.
+
+Regenerates both panels and asserts:
+
+* Solaris / 1 KB in-cache: events beat threads on latency; the adaptive
+  scheme lands between the two (the visible cost of adaptation);
+* Linux / 10 MB disk-bound: threads beat events on bandwidth; the
+  adaptive scheme comes close to the best model.
+"""
+
+from repro.bench import fig5
+
+
+def test_fig5_adaptive_concurrency(once):
+    result = once(fig5.run)
+    print()
+    print(fig5.report(result))
+
+    # Left panel: latency ordering events < adaptive < threads.
+    ev = result.solaris_1kb["events"].avg_latency_ms
+    th = result.solaris_1kb["threads"].avg_latency_ms
+    ad = result.solaris_1kb["adaptive"].avg_latency_ms
+    assert ev < th, "events must win on small cached requests"
+    assert th > 1.5 * ev, "the gap should be substantial"
+    assert ev < ad < th, "adaptive lands between the two"
+
+    # Right panel: bandwidth ordering events < adaptive <= threads.
+    ev_bw = result.linux_10mb["events"].bandwidth_mbps
+    th_bw = result.linux_10mb["threads"].bandwidth_mbps
+    ad_bw = result.linux_10mb["adaptive"].bandwidth_mbps
+    assert th_bw > 1.3 * ev_bw, "threads must win on disk-bound requests"
+    assert ad_bw > 0.6 * th_bw, "adaptive comes close to the best model"
+    assert ad_bw < th_bw, "but pays a visible adaptation cost"
+    # The adaptive scheme sampled both models (the cost's origin).
+    mix = result.linux_10mb["adaptive"].model_mix
+    assert mix.get("threads", 0) > 0 and mix.get("events", 0) > 0

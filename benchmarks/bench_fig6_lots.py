@@ -1,0 +1,61 @@
+"""Figure 6 -- Performance Overhead of Lots.
+
+Regenerates the quota-enabled/disabled write-bandwidth series and
+asserts:
+
+* the cost is negligible for small (20 MB) writes;
+* it grows quickly with write size;
+* the worst case approaches a 50 % bandwidth loss;
+* read performance is unaffected (the paper's aside).
+"""
+
+from repro.bench import fig6
+from repro.models.filesystem import FileSystemModel
+from repro.models.platform import LINUX
+from repro.sim.core import Environment
+
+
+def test_fig6_lot_overhead(once):
+    result = once(fig6.run)
+    print()
+    print(fig6.report(result))
+
+    smallest = min(result.sizes_mb)
+    ratio_small = result.enabled_mbps[smallest] / result.disabled_mbps[smallest]
+    assert ratio_small > 0.95, "small writes should see negligible cost"
+
+    ratios = [result.enabled_mbps[s] / result.disabled_mbps[s]
+              for s in result.sizes_mb]
+    # Monotone non-increasing cost curve (within numeric slack).
+    for earlier, later in zip(ratios, ratios[1:]):
+        assert later <= earlier + 0.02
+
+    assert 0.4 < result.worst_case_ratio() < 0.6, \
+        "worst case is roughly a 50% write penalty"
+
+
+def test_fig6_reads_unaffected(benchmark):
+    """'read performance is unaffected (not surprisingly)'."""
+
+    def read_bw(quotas: bool) -> float:
+        env = Environment()
+        fs = FileSystemModel(env, LINUX, quotas_enabled=quotas)
+        fs.create("/f", "u")
+        fs.files["/f"].size = 100 * 1_000_000
+
+        def reader():
+            offset = 0
+            while offset < fs.files["/f"].size:
+                yield from fs.read("/f", offset, 1 << 20)
+                offset += 1 << 20
+
+        proc = env.process(reader())
+        env.run(proc)
+        return fs.files["/f"].size / env.now
+
+    results = benchmark.pedantic(
+        lambda: (read_bw(False), read_bw(True)),
+        rounds=1, iterations=1,
+    )
+    disabled, enabled = results
+    assert abs(disabled - enabled) / disabled < 0.01

@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark harness.
+
+Each figure's workload is deterministic and takes seconds-to-minutes of
+wall clock, so every bench runs exactly once (``rounds=1``) -- the
+interesting output is the regenerated figure, not the harness's own
+timing jitter.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a figure generator exactly once under pytest-benchmark."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

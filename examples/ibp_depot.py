@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""NeST as an IBP depot: capability-named byte arrays over lots.
+
+The paper plans IBP support (§3) and compares the two storage models
+(§8): IBP allocates *byte arrays* named by unguessable capabilities;
+NeST guarantees space with *lots*.  This example runs the translation
+live: stable allocations ride ACTIVE lots (guaranteed), volatile ones
+ride reclaimable lots — kept only until someone else's guarantee needs
+the space, exactly the best-effort analogy the paper draws.
+
+Run:  python examples/ibp_depot.py
+"""
+
+from repro.client.ibp import IbpClient, IbpError
+from repro.nest.config import NestConfig
+from repro.nest.server import NestServer
+from repro.protocols.ibp import VOLATILE
+
+MB = 1_000_000
+
+
+def main() -> None:
+    config = NestConfig(
+        name="ibp-depot",
+        protocols=("chirp", "ibp"),
+        require_lots=True,
+        lot_enforcement="nest",
+        capacity_bytes=4 * MB,
+    )
+    with NestServer(config) as server:
+        depot = IbpClient(*server.endpoint("ibp"))
+        print(f"IBP depot up at {server.endpoint('ibp')}; "
+              f"capacity {config.capacity_bytes} bytes\n")
+
+        # --- a stable allocation: a real space guarantee ---------------
+        caps = depot.allocate(1 * MB, duration=3600)
+        print("stable allocation granted; capabilities:")
+        for kind, cap in caps.items():
+            print(f"  {kind:<7} {cap}")
+        depot.store(caps["write"], b"precious checkpoint data " * 1000)
+        info = depot.probe(caps["manage"])
+        print(f"stored {info['used']} of {info['size']} bytes "
+              f"(type={info['type']})\n")
+
+        # --- a volatile allocation: space on sufferance -----------------
+        vcaps = depot.allocate(2 * MB, duration=3600, atype=VOLATILE)
+        depot.store(vcaps["write"], b"scratch" * 100_000)
+        print(f"volatile allocation holds "
+              f"{depot.probe(vcaps['manage'])['used']} bytes of scratch")
+        print(f"depot status: {depot.status()}\n")
+
+        # --- pressure: a new guarantee reclaims volatile data ------------
+        big = depot.allocate(int(2.5 * MB), duration=3600)
+        print(f"new stable allocation of {int(2.5 * MB)} bytes granted")
+        try:
+            depot.load(vcaps["read"], nbytes=10)
+        except IbpError as exc:
+            print(f"volatile scratch is gone, as IBP permits: {exc}")
+        data = depot.load(caps["read"], nbytes=25)
+        print(f"stable data untouched: {data!r}")
+
+        # --- refcounted teardown ------------------------------------------
+        depot.decrement(caps["manage"])
+        depot.decrement(big["manage"])
+        print(f"\nafter teardown: {depot.status()}")
+        depot.close()
+
+
+if __name__ == "__main__":
+    main()

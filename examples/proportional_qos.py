@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Quality of service: proportional bandwidth shares across protocols.
+
+Reproduces the heart of the paper's Figure 4 on the simulated 2002
+testbed: four clients per protocol (Chirp, GridFTP, HTTP, NFS) hammer
+one NeST with 10 MB in-cache file requests while the administrator
+dials in different proportional shares via the byte-based stride
+scheduler -- something no bunch-of-servers deployment can express,
+because no single JBOS component sees more than one protocol.
+
+Run:  python examples/proportional_qos.py
+"""
+
+from repro.bench.fairness import jains_fairness, proportional_shares
+from repro.models.platform import LINUX
+from repro.nest.config import NestConfig
+from repro.simnest.workload import run_mixed_protocols
+
+PROTOCOLS = ("chirp", "gridftp", "http", "nfs")
+
+
+def run_policy(label: str, shares: dict[str, float] | None) -> None:
+    if shares is None:
+        config = NestConfig(scheduling="fcfs")
+    else:
+        config = NestConfig(scheduling="stride", shares=shares)
+    result = run_mixed_protocols(LINUX, "nest", config=config,
+                                 protocols=PROTOCOLS)
+    total = result.bandwidth_mbps()
+    per = [result.bandwidth_mbps(p) for p in PROTOCOLS]
+    line = "  ".join(f"{p}={bw:5.1f}" for p, bw in zip(PROTOCOLS, per))
+    if shares is None:
+        print(f"{label:<22} total={total:5.1f} MB/s  {line}")
+        return
+    desired = proportional_shares(total, [shares[p] for p in PROTOCOLS])
+    fairness = jains_fairness(per, desired)
+    print(f"{label:<22} total={total:5.1f} MB/s  {line}  Jain={fairness:.3f}")
+
+
+def main() -> None:
+    print("Four clients per protocol, 10 MB cached files, Linux/GigE model")
+    print("(shares are Chirp : GridFTP : HTTP : NFS)\n")
+    run_policy("FIFO (no QoS)", None)
+    run_policy("equal 1:1:1:1",
+               dict(zip(PROTOCOLS, (1.0, 1.0, 1.0, 1.0))))
+    run_policy("boost GridFTP 1:2:1:1",
+               dict(zip(PROTOCOLS, (1.0, 2.0, 1.0, 1.0))))
+    run_policy("tiered 3:1:2:1",
+               dict(zip(PROTOCOLS, (3.0, 1.0, 2.0, 1.0))))
+    run_policy("boost NFS 1:1:1:4",
+               dict(zip(PROTOCOLS, (1.0, 1.0, 1.0, 4.0))))
+    print(
+        "\nNote the last row: a work-conserving scheduler cannot give NFS\n"
+        "a 4x share it cannot use -- block-based NFS is latency-bound, so\n"
+        "its fairness index drops, exactly the paper's Fig. 4 observation."
+    )
+
+
+if __name__ == "__main__":
+    main()

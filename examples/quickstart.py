@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Quickstart: one NeST appliance, five protocols, one file.
+
+Starts a live NeST server on ephemeral localhost ports, stores a file
+over Chirp (the native protocol), and reads it back over HTTP, FTP,
+GridFTP, and NFS -- the virtual protocol layer in action: one server,
+one namespace, many dialects.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.client import (
+    ChirpClient,
+    FtpClient,
+    GridFtpClient,
+    HttpClient,
+    NfsClient,
+)
+from repro.nest.config import NestConfig
+from repro.nest.server import NestServer
+
+
+def main() -> None:
+    config = NestConfig(name="quickstart-nest")
+    with NestServer(config) as server:
+        print(f"NeST '{config.name}' is up; protocol ports: {server.ports}")
+
+        # --- store a file over Chirp, authenticated with toy GSI -----
+        credential = server.ca.issue("/O=Grid/CN=demo-user")
+        chirp = ChirpClient(*server.endpoint("chirp"))
+        user = chirp.authenticate(credential)
+        print(f"authenticated over Chirp as {user}")
+
+        chirp.mkdir("/demo")
+        chirp.acl_set("/demo", "*", "rl")  # world-readable
+        payload = b"The Grid needs storage appliances.\n" * 1000
+        chirp.put("/demo/manifesto.txt", payload)
+        print(f"stored {len(payload)} bytes at /demo/manifesto.txt via Chirp")
+
+        # --- read it back through every other protocol ----------------
+        http = HttpClient(*server.endpoint("http"))
+        assert http.get("/demo/manifesto.txt") == payload
+        print("read back over HTTP   ... ok")
+        http.close()
+
+        ftp = FtpClient(*server.endpoint("ftp"))
+        assert ftp.retr("/demo/manifesto.txt") == payload
+        print("read back over FTP    ... ok")
+        ftp.close()
+
+        gftp = GridFtpClient(*server.endpoint("gridftp"), credential=credential)
+        gftp.set_parallelism(4)
+        assert gftp.retr_parallel("/demo/manifesto.txt") == payload
+        print("read back over GridFTP... ok (4 parallel streams)")
+        gftp.close()
+
+        nfs = NfsClient(*server.endpoint("nfs"))
+        nfs.mount("/")
+        assert nfs.read_file("/demo/manifesto.txt") == payload
+        print("read back over NFS    ... ok (8 KB block RPCs)")
+        nfs.close()
+
+        # --- the appliance describes itself as a ClassAd ---------------
+        print("\nThe server's availability advertisement:")
+        print(chirp.query())
+        chirp.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""NeST: a flexible, manageable Grid storage appliance (reproduction).
+
+A from-scratch Python implementation of the system described in
+*Flexibility, Manageability, and Performance in a Grid Storage
+Appliance* (Bent et al., HPDC 2002), together with every substrate the
+paper depends on and a simulated 2002 testbed that regenerates its
+evaluation.  See README.md for a tour, DESIGN.md for the system
+inventory, and EXPERIMENTS.md for paper-vs-measured results.
+
+Package map:
+
+* :mod:`repro.classads` -- the ClassAd policy/matchmaking language
+* :mod:`repro.sim` -- deterministic discrete-event simulation kernel
+* :mod:`repro.models` -- hardware/OS models (link, disk, cache, quota)
+* :mod:`repro.protocols` -- wire formats + the common request interface
+* :mod:`repro.nest` -- the appliance itself (live server included)
+* :mod:`repro.client` -- protocol clients
+* :mod:`repro.jbos` -- the "bunch of servers" baseline
+* :mod:`repro.simnest` -- NeST/JBOS on the simulated testbed
+* :mod:`repro.grid` -- discovery, execution manager, DAGMan
+* :mod:`repro.bench` -- figure-by-figure experiment harness
+"""
+
+__version__ = "0.9.0"

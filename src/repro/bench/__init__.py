@@ -1,0 +1,20 @@
+"""Experiment harness: one module per figure of the paper's evaluation.
+
+Each module exposes a ``run()`` returning a structured result and a
+``report()`` that prints the same rows/series the paper's figure shows.
+The benchmarks under ``benchmarks/`` call these and assert the paper's
+*shape* claims (who wins, by what factor, where crossovers fall).
+
+========================  =====================================================
+:mod:`repro.bench.fig3`   Multiple Protocols: NeST vs native servers (JBOS)
+:mod:`repro.bench.fig4`   Proportional Protocol Scheduling (stride + Jain)
+:mod:`repro.bench.fig5`   Adaptive Concurrency (Solaris latency, Linux bw)
+:mod:`repro.bench.fig6`   Overhead of Lots (quota write penalty vs size)
+:mod:`repro.bench.ablations`  design-choice ablations from DESIGN.md
+========================  =====================================================
+"""
+
+from repro.bench.fairness import jains_fairness
+from repro.bench import fig3, fig4, fig5, fig6, ablations
+
+__all__ = ["jains_fairness", "fig3", "fig4", "fig5", "fig6", "ablations"]

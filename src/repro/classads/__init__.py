@@ -1,0 +1,65 @@
+"""ClassAd (classified advertisement) language.
+
+ClassAds are Condor's schema-free policy and matchmaking language
+[Raman 2000].  NeST uses them in two roles:
+
+* the access-control framework is "built on top of collections of
+  ClassAds" (paper, section 5), and
+* the dispatcher "periodically consolidates information about resource
+  and data availability ... and can publish this information as a
+  ClassAd into a global scheduling system" (paper, section 2.1).
+
+This package is a from-scratch implementation of the core language:
+
+* :mod:`repro.classads.ast` -- value model and expression nodes,
+* :mod:`repro.classads.lexer` / :mod:`repro.classads.parser` -- text
+  syntax (``[ attr = expr; ... ]``),
+* :mod:`repro.classads.evaluator` -- evaluation with the three-valued
+  UNDEFINED / ERROR semantics and the builtin function library,
+* :mod:`repro.classads.matchmaker` -- symmetric two-ad matchmaking via
+  ``Requirements`` / ``Rank`` and ``other.attr`` scoping,
+* :mod:`repro.classads.collections` -- queryable collections of ads.
+
+Example
+-------
+>>> from repro.classads import ClassAd, parse, symmetric_match
+>>> server = parse('[ Type = "Storage"; FreeSpace = 100; '
+...                'Requirements = other.RequestedSpace <= my.FreeSpace ]')
+>>> job = parse('[ Type = "Request"; RequestedSpace = 50; '
+...             'Requirements = other.Type == "Storage" ]')
+>>> symmetric_match(server, job)
+True
+"""
+
+from repro.classads.ast import (
+    ClassAd,
+    ExprList,
+    Undefined,
+    Error,
+    UNDEFINED,
+    ERROR,
+    Value,
+)
+from repro.classads.parser import parse, parse_expression, ParseError
+from repro.classads.evaluator import evaluate, EvalContext
+from repro.classads.matchmaker import symmetric_match, match_rank, MatchMaker
+from repro.classads.collections import ClassAdCollection
+
+__all__ = [
+    "ClassAd",
+    "ExprList",
+    "Undefined",
+    "Error",
+    "UNDEFINED",
+    "ERROR",
+    "Value",
+    "parse",
+    "parse_expression",
+    "ParseError",
+    "evaluate",
+    "EvalContext",
+    "symmetric_match",
+    "match_rank",
+    "MatchMaker",
+    "ClassAdCollection",
+]

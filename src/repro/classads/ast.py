@@ -1,0 +1,357 @@
+"""Value model and expression AST for the ClassAd language.
+
+A ClassAd value is one of:
+
+* ``int`` / ``float`` -- numbers,
+* ``str`` -- strings,
+* ``bool`` -- booleans,
+* :data:`UNDEFINED` -- the "attribute not present" value,
+* :data:`ERROR` -- the "evaluation failed" value,
+* :class:`ExprList` -- a list of values/expressions,
+* :class:`ClassAd` -- a nested record.
+
+Expressions are immutable trees of :class:`Expr` nodes; a
+:class:`ClassAd` maps case-insensitive attribute names to expressions.
+Evaluation lives in :mod:`repro.classads.evaluator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence, Union
+
+
+class Undefined:
+    """The ClassAd UNDEFINED value (singleton :data:`UNDEFINED`)."""
+
+    _instance = None
+
+    def __new__(cls) -> "Undefined":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "undefined"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+class Error:
+    """The ClassAd ERROR value (singleton :data:`ERROR`)."""
+
+    _instance = None
+
+    def __new__(cls) -> "Error":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "error"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+UNDEFINED = Undefined()
+ERROR = Error()
+
+#: A fully-evaluated ClassAd value.
+Value = Union[int, float, str, bool, Undefined, Error, "ExprList", "ClassAd"]
+
+
+# ---------------------------------------------------------------------------
+# Expression nodes
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for all expression nodes."""
+
+    __slots__ = ()
+
+    def external_repr(self) -> str:
+        """Render this expression in ClassAd text syntax."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.external_repr()}>"
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A literal constant (number, string, boolean, undefined, error)."""
+
+    value: Value
+
+    def external_repr(self) -> str:
+        v = self.value
+        if isinstance(v, bool):
+            return "true" if v else "false"
+        if isinstance(v, str):
+            escaped = v.replace("\\", "\\\\").replace('"', '\\"')
+            return f'"{escaped}"'
+        if isinstance(v, Undefined):
+            return "undefined"
+        if isinstance(v, Error):
+            return "error"
+        return repr(v)
+
+
+@dataclass(frozen=True)
+class AttrRef(Expr):
+    """Reference to an attribute, optionally scoped.
+
+    ``scope`` is ``None`` for a bare name, or one of ``"my"``,
+    ``"other"``, ``"target"``, ``"self"``, ``"parent"`` (case folded).
+    ``target`` is an alias for ``other``; ``self`` for ``my``.
+    """
+
+    name: str
+    scope: str | None = None
+
+    def external_repr(self) -> str:
+        if self.scope:
+            return f"{self.scope}.{self.name}"
+        return self.name
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    """Unary operator: ``-``, ``+``, ``!``, ``~``."""
+
+    op: str
+    operand: Expr
+
+    def external_repr(self) -> str:
+        return f"{self.op}({self.operand.external_repr()})"
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    """Binary operator node.
+
+    Supported operators: arithmetic ``+ - * / %``, comparison
+    ``< <= > >= == !=``, meta-comparison ``=?= =!=``, logical
+    ``&& ||``, bitwise ``& | ^ << >>``.
+    """
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def external_repr(self) -> str:
+        return f"({self.left.external_repr()} {self.op} {self.right.external_repr()})"
+
+
+@dataclass(frozen=True)
+class Ternary(Expr):
+    """Conditional expression ``cond ? then : else``."""
+
+    cond: Expr
+    then: Expr
+    otherwise: Expr
+
+    def external_repr(self) -> str:
+        return (
+            f"({self.cond.external_repr()} ? {self.then.external_repr()}"
+            f" : {self.otherwise.external_repr()})"
+        )
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    """Builtin function call, e.g. ``strcat("a", "b")``."""
+
+    name: str
+    args: tuple[Expr, ...]
+
+    def external_repr(self) -> str:
+        inner = ", ".join(a.external_repr() for a in self.args)
+        return f"{self.name}({inner})"
+
+
+@dataclass(frozen=True)
+class ListExpr(Expr):
+    """List-valued expression ``{ e1, e2, ... }``."""
+
+    items: tuple[Expr, ...]
+
+    def external_repr(self) -> str:
+        inner = ", ".join(i.external_repr() for i in self.items)
+        return "{" + inner + "}"
+
+
+@dataclass(frozen=True)
+class RecordExpr(Expr):
+    """Nested record expression ``[ a = 1; b = 2 ]`` used inside expressions."""
+
+    items: tuple[tuple[str, Expr], ...]
+
+    def external_repr(self) -> str:
+        inner = "; ".join(f"{k} = {v.external_repr()}" for k, v in self.items)
+        return "[ " + inner + " ]"
+
+
+@dataclass(frozen=True)
+class Subscript(Expr):
+    """List subscript ``expr[index]``."""
+
+    base: Expr
+    index: Expr
+
+    def external_repr(self) -> str:
+        return f"{self.base.external_repr()}[{self.index.external_repr()}]"
+
+
+@dataclass(frozen=True)
+class Select(Expr):
+    """Record attribute selection ``expr.attr`` on a non-scope base."""
+
+    base: Expr
+    attr: str
+
+    def external_repr(self) -> str:
+        return f"{self.base.external_repr()}.{self.attr}"
+
+
+# ---------------------------------------------------------------------------
+# Runtime containers
+# ---------------------------------------------------------------------------
+
+
+class ExprList(Sequence):
+    """An evaluated ClassAd list.
+
+    Items may be plain values or unevaluated :class:`Expr` nodes; the
+    evaluator resolves them lazily so that ``member()`` and subscripts
+    work either way.
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: Iterable = ()):  # noqa: D107
+        self._items = tuple(items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, i):
+        return self._items[i]
+
+    def __iter__(self) -> Iterator:
+        return iter(self._items)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ExprList):
+            return NotImplemented
+        return self._items == other._items
+
+    def __hash__(self) -> int:
+        return hash(self._items)
+
+    def __repr__(self) -> str:
+        return "ExprList(" + ", ".join(repr(i) for i in self._items) + ")"
+
+
+class ClassAd(Mapping):
+    """A ClassAd: an ordered, case-insensitive mapping of names to expressions.
+
+    Values assigned through :meth:`__setitem__` may be plain Python
+    values (automatically wrapped in :class:`Literal`) or :class:`Expr`
+    trees (stored as-is and evaluated on demand through
+    :func:`repro.classads.evaluator.evaluate`).
+    """
+
+    __slots__ = ("_attrs",)
+
+    def __init__(self, attrs: Mapping[str, object] | Iterable[tuple[str, object]] = ()):
+        self._attrs: dict[str, tuple[str, Expr]] = {}
+        items = attrs.items() if isinstance(attrs, Mapping) else attrs
+        for name, value in items:
+            self[name] = value
+
+    # -- mapping interface ------------------------------------------------
+    def __getitem__(self, name: str) -> Expr:
+        return self._attrs[name.lower()][1]
+
+    def __setitem__(self, name: str, value: object) -> None:
+        expr = value if isinstance(value, Expr) else _wrap_value(value)
+        self._attrs[name.lower()] = (name, expr)
+
+    def __delitem__(self, name: str) -> None:
+        del self._attrs[name.lower()]
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and name.lower() in self._attrs
+
+    def __len__(self) -> int:
+        return len(self._attrs)
+
+    def __iter__(self) -> Iterator[str]:
+        return (orig for orig, _ in self._attrs.values())
+
+    def get_expr(self, name: str) -> Expr | None:
+        """Return the expression bound to ``name``, or ``None``."""
+        entry = self._attrs.get(name.lower())
+        return entry[1] if entry else None
+
+    # -- evaluation helpers ------------------------------------------------
+    def eval(self, name: str, default: Value = UNDEFINED) -> Value:
+        """Evaluate attribute ``name`` in this ad's own scope."""
+        from repro.classads.evaluator import EvalContext, evaluate
+
+        expr = self.get_expr(name)
+        if expr is None:
+            return default
+        return evaluate(expr, EvalContext(my=self))
+
+    def copy(self) -> "ClassAd":
+        """Shallow copy preserving attribute order and original casing."""
+        out = ClassAd()
+        out._attrs = dict(self._attrs)
+        return out
+
+    def update(self, other: Mapping[str, object]) -> None:
+        """Merge ``other``'s attributes into this ad (case-insensitive)."""
+        for name in other:
+            value = other[name]
+            self[name] = value
+
+    # -- rendering ----------------------------------------------------------
+    def external_repr(self) -> str:
+        """Render in ClassAd text syntax (round-trips through the parser)."""
+        inner = "; ".join(
+            f"{orig} = {expr.external_repr()}" for orig, expr in self._attrs.values()
+        )
+        return "[ " + inner + " ]"
+
+    def __repr__(self) -> str:
+        return f"ClassAd({self.external_repr()})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ClassAd):
+            return NotImplemented
+        return self._attrs == other._attrs
+
+    def __hash__(self) -> int:
+        # ClassAds are technically mutable; hash by identity like most
+        # container types used as collection members.
+        return id(self)
+
+
+def _wrap_value(value: object) -> Expr:
+    """Wrap a plain Python value as an expression node."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, ClassAd):
+        return RecordExpr(tuple((k, value.get_expr(k)) for k in value))
+    if isinstance(value, ExprList):
+        return ListExpr(tuple(_wrap_value(i) for i in value))
+    if isinstance(value, (list, tuple)):
+        return ListExpr(tuple(_wrap_value(i) for i in value))
+    if isinstance(value, (bool, int, float, str, Undefined, Error)):
+        return Literal(value)
+    raise TypeError(f"cannot store {type(value).__name__} in a ClassAd")

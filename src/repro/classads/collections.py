@@ -1,0 +1,66 @@
+"""Queryable collections of ClassAds.
+
+NeST's access-control framework is "built on top of collections of
+ClassAds" (paper, section 5): each ACL entry is an ad, and permission
+checks are queries over the collection.  The collection supports
+constraint queries (an expression evaluated with each member bound as
+``my``) and simple views.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from repro.classads.ast import ClassAd, Expr
+from repro.classads.evaluator import EvalContext, evaluate
+from repro.classads.parser import parse_expression
+
+
+class ClassAdCollection:
+    """An ordered collection of ClassAds with constraint queries."""
+
+    def __init__(self, ads: Iterable[ClassAd] = ()):
+        self._ads: list[ClassAd] = list(ads)
+
+    def __len__(self) -> int:
+        return len(self._ads)
+
+    def __iter__(self) -> Iterator[ClassAd]:
+        return iter(self._ads)
+
+    def add(self, ad: ClassAd) -> None:
+        """Append an ad to the collection."""
+        self._ads.append(ad)
+
+    def remove(self, ad: ClassAd) -> bool:
+        """Remove ``ad`` by identity; returns True if it was present."""
+        for i, member in enumerate(self._ads):
+            if member is ad:
+                del self._ads[i]
+                return True
+        return False
+
+    def remove_if(self, predicate: Callable[[ClassAd], bool]) -> int:
+        """Remove every ad satisfying ``predicate``; returns count removed."""
+        before = len(self._ads)
+        self._ads = [a for a in self._ads if not predicate(a)]
+        return before - len(self._ads)
+
+    def query(self, constraint: str | Expr, other: ClassAd | None = None) -> list[ClassAd]:
+        """All ads for which ``constraint`` evaluates to ``true``.
+
+        The constraint is evaluated with the member ad as ``my`` and an
+        optional ``other`` ad bound to the ``other`` scope (so ACL
+        queries can reference the requesting client's ad).
+        """
+        expr = parse_expression(constraint) if isinstance(constraint, str) else constraint
+        return [
+            ad
+            for ad in self._ads
+            if evaluate(expr, EvalContext(my=ad, other=other)) is True
+        ]
+
+    def first(self, constraint: str | Expr, other: ClassAd | None = None) -> ClassAd | None:
+        """First ad matching ``constraint`` or ``None``."""
+        matches = self.query(constraint, other=other)
+        return matches[0] if matches else None

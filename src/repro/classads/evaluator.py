@@ -1,0 +1,477 @@
+"""Evaluation of ClassAd expressions.
+
+The evaluator implements the ClassAd three-valued semantics:
+
+* referencing a missing attribute yields :data:`UNDEFINED`;
+* type-mismatched operations yield :data:`ERROR`;
+* ``&&`` and ``||`` are lazy and absorb UNDEFINED where the other
+  operand decides the result (``false && undefined == false``);
+* the meta-comparison operators ``=?=`` ("is identical to") and
+  ``=!=`` never yield UNDEFINED/ERROR.
+
+Circular attribute references evaluate to ERROR rather than recursing
+forever, matching the Condor implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.classads.ast import (
+    ERROR,
+    UNDEFINED,
+    AttrRef,
+    BinaryOp,
+    ClassAd,
+    Error,
+    Expr,
+    ExprList,
+    FuncCall,
+    ListExpr,
+    Literal,
+    RecordExpr,
+    Select,
+    Subscript,
+    Ternary,
+    UnaryOp,
+    Undefined,
+    Value,
+)
+
+
+@dataclass
+class EvalContext:
+    """Evaluation scopes for one expression evaluation.
+
+    ``my`` is the ad the expression came from; ``other`` the candidate
+    ad during matchmaking.  ``_active`` tracks in-flight attribute
+    lookups for cycle detection.
+    """
+
+    my: ClassAd | None = None
+    other: ClassAd | None = None
+    _active: set[tuple[int, str]] = field(default_factory=set)
+
+    def flipped(self) -> "EvalContext":
+        """Context with ``my`` and ``other`` exchanged (for ``other.x``)."""
+        return EvalContext(my=self.other, other=self.my, _active=self._active)
+
+
+def evaluate(expr: Expr, ctx: EvalContext | None = None) -> Value:
+    """Evaluate ``expr`` to a ClassAd value under ``ctx``."""
+    ctx = ctx or EvalContext()
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, AttrRef):
+        return _eval_attr(expr, ctx)
+    if isinstance(expr, UnaryOp):
+        return _eval_unary(expr.op, evaluate(expr.operand, ctx))
+    if isinstance(expr, BinaryOp):
+        return _eval_binary(expr, ctx)
+    if isinstance(expr, Ternary):
+        cond = evaluate(expr.cond, ctx)
+        if isinstance(cond, (Undefined, Error)):
+            return cond if isinstance(cond, Error) else UNDEFINED
+        if not isinstance(cond, bool):
+            return ERROR
+        return evaluate(expr.then if cond else expr.otherwise, ctx)
+    if isinstance(expr, FuncCall):
+        return _eval_func(expr, ctx)
+    if isinstance(expr, ListExpr):
+        return ExprList(evaluate(item, ctx) for item in expr.items)
+    if isinstance(expr, RecordExpr):
+        ad = ClassAd()
+        for name, sub in expr.items:
+            ad[name] = sub
+        return ad
+    if isinstance(expr, Subscript):
+        return _eval_subscript(expr, ctx)
+    if isinstance(expr, Select):
+        base = evaluate(expr.base, ctx)
+        if isinstance(base, ClassAd):
+            sub = base.get_expr(expr.attr)
+            if sub is None:
+                return UNDEFINED
+            return evaluate(sub, EvalContext(my=base, other=ctx.other, _active=ctx._active))
+        if isinstance(base, Undefined):
+            return UNDEFINED
+        return ERROR
+    raise TypeError(f"cannot evaluate {type(expr).__name__}")
+
+
+def _eval_subscript(expr: Subscript, ctx: EvalContext) -> Value:
+    base = evaluate(expr.base, ctx)
+    index = evaluate(expr.index, ctx)
+    if isinstance(base, Error) or isinstance(index, Error):
+        return ERROR
+    if isinstance(base, Undefined) or isinstance(index, Undefined):
+        return UNDEFINED
+    if not isinstance(base, ExprList) or not _is_int(index):
+        return ERROR
+    if not (0 <= index < len(base)):
+        return ERROR
+    item = base[index]
+    return evaluate(item, ctx) if isinstance(item, Expr) else item
+
+
+# ---------------------------------------------------------------------------
+# attribute resolution
+# ---------------------------------------------------------------------------
+
+
+def _eval_attr(ref: AttrRef, ctx: EvalContext) -> Value:
+    if ref.scope == "other":
+        if ctx.other is None:
+            return UNDEFINED
+        sub = ctx.other.get_expr(ref.name)
+        if sub is None:
+            return UNDEFINED
+        return _eval_in_ad(sub, ctx.other, ref.name, ctx.flipped())
+    # "my" scope or bare name: look in my, then (bare names only) in other.
+    if ctx.my is not None:
+        sub = ctx.my.get_expr(ref.name)
+        if sub is not None:
+            return _eval_in_ad(sub, ctx.my, ref.name, ctx)
+    if ref.scope is None and ctx.other is not None:
+        sub = ctx.other.get_expr(ref.name)
+        if sub is not None:
+            return _eval_in_ad(sub, ctx.other, ref.name, ctx.flipped())
+    return UNDEFINED
+
+
+def _eval_in_ad(expr: Expr, ad: ClassAd, name: str, ctx: EvalContext) -> Value:
+    key = (id(ad), name.lower())
+    if key in ctx._active:
+        return ERROR  # circular reference
+    ctx._active.add(key)
+    try:
+        return evaluate(expr, ctx)
+    finally:
+        ctx._active.discard(key)
+
+
+# ---------------------------------------------------------------------------
+# operators
+# ---------------------------------------------------------------------------
+
+_NUMERIC = (int, float)
+
+
+def _eval_unary(op: str, v: Value) -> Value:
+    if isinstance(v, Error):
+        return ERROR
+    if isinstance(v, Undefined):
+        return UNDEFINED
+    if op == "-":
+        return -v if isinstance(v, _NUMERIC) and not isinstance(v, bool) else ERROR
+    if op == "+":
+        return v if isinstance(v, _NUMERIC) and not isinstance(v, bool) else ERROR
+    if op == "!":
+        return (not v) if isinstance(v, bool) else ERROR
+    if op == "~":
+        return ~v if isinstance(v, int) and not isinstance(v, bool) else ERROR
+    raise ValueError(f"unknown unary operator {op!r}")
+
+
+def _eval_binary(expr: BinaryOp, ctx: EvalContext) -> Value:
+    op = expr.op
+    if op in ("&&", "||"):
+        return _eval_logical(op, expr, ctx)
+    left = evaluate(expr.left, ctx)
+    right = evaluate(expr.right, ctx)
+    if op == "=?=":
+        return _is_identical(left, right)
+    if op == "=!=":
+        return not _is_identical(left, right)
+    if isinstance(left, Error) or isinstance(right, Error):
+        return ERROR
+    if isinstance(left, Undefined) or isinstance(right, Undefined):
+        return UNDEFINED
+    if op in ("==", "!=", "<", "<=", ">", ">="):
+        return _eval_comparison(op, left, right)
+    if op in ("+", "-", "*", "/", "%"):
+        return _eval_arith(op, left, right)
+    if op in ("&", "|", "^", "<<", ">>"):
+        if _is_int(left) and _is_int(right):
+            return {
+                "&": left & right,
+                "|": left | right,
+                "^": left ^ right,
+                "<<": left << right,
+                ">>": left >> right,
+            }[op]
+        return ERROR
+    raise ValueError(f"unknown binary operator {op!r}")
+
+
+def _eval_logical(op: str, expr: BinaryOp, ctx: EvalContext) -> Value:
+    left = evaluate(expr.left, ctx)
+    left_b = _as_logic(left)
+    if op == "&&":
+        if left_b is False:
+            return False
+        right_b = _as_logic(evaluate(expr.right, ctx))
+        if right_b is False:
+            return False
+        if left_b is ERROR or right_b is ERROR:
+            return ERROR
+        if left_b is UNDEFINED or right_b is UNDEFINED:
+            return UNDEFINED
+        return True
+    # "||"
+    if left_b is True:
+        return True
+    right_b = _as_logic(evaluate(expr.right, ctx))
+    if right_b is True:
+        return True
+    if left_b is ERROR or right_b is ERROR:
+        return ERROR
+    if left_b is UNDEFINED or right_b is UNDEFINED:
+        return UNDEFINED
+    return False
+
+
+def _as_logic(v: Value):
+    """Coerce a value for logical operators: bool, UNDEFINED, or ERROR."""
+    if isinstance(v, bool):
+        return v
+    if isinstance(v, Undefined):
+        return UNDEFINED
+    return ERROR
+
+
+def _is_int(v: Value) -> bool:
+    return isinstance(v, int) and not isinstance(v, bool)
+
+
+def _is_num(v: Value) -> bool:
+    return isinstance(v, _NUMERIC) and not isinstance(v, bool)
+
+
+def _eval_comparison(op: str, left: Value, right: Value) -> Value:
+    if _is_num(left) and _is_num(right):
+        pass  # numeric comparison
+    elif isinstance(left, str) and isinstance(right, str):
+        # ClassAd string comparison is case-insensitive.
+        left, right = left.lower(), right.lower()
+    elif isinstance(left, bool) and isinstance(right, bool):
+        if op not in ("==", "!="):
+            return ERROR
+    else:
+        return ERROR
+    return {
+        "==": left == right,
+        "!=": left != right,
+        "<": left < right,
+        "<=": left <= right,
+        ">": left > right,
+        ">=": left >= right,
+    }[op]
+
+
+def _eval_arith(op: str, left: Value, right: Value) -> Value:
+    if op == "+" and isinstance(left, str) and isinstance(right, str):
+        return left + right
+    if not (_is_num(left) and _is_num(right)):
+        return ERROR
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            return ERROR
+        if isinstance(left, int) and isinstance(right, int):
+            q = abs(left) // abs(right)
+            return q if (left >= 0) == (right >= 0) else -q
+        return left / right
+    if op == "%":
+        if right == 0 or not (_is_int(left) and _is_int(right)):
+            return ERROR
+        r = abs(left) % abs(right)
+        return r if left >= 0 else -r
+    raise ValueError(op)
+
+
+def _is_identical(left: Value, right: Value) -> bool:
+    """The ``=?=`` meta-equality: same type and same value, never UNDEFINED."""
+    if isinstance(left, Undefined) or isinstance(right, Undefined):
+        return isinstance(left, Undefined) and isinstance(right, Undefined)
+    if isinstance(left, Error) or isinstance(right, Error):
+        return isinstance(left, Error) and isinstance(right, Error)
+    if isinstance(left, bool) != isinstance(right, bool):
+        return False
+    if isinstance(left, str) and isinstance(right, str):
+        return left.lower() == right.lower()
+    if type(left) is not type(right) and not (_is_num(left) and _is_num(right)):
+        return False
+    return left == right
+
+
+# ---------------------------------------------------------------------------
+# builtin functions
+# ---------------------------------------------------------------------------
+
+
+def _eval_func(expr: FuncCall, ctx: EvalContext) -> Value:
+    fn = _BUILTINS.get(expr.name)
+    if fn is None:
+        return ERROR
+    return fn(expr, ctx)
+
+
+def _strict(fn: Callable[..., Value]) -> Callable[[FuncCall, EvalContext], Value]:
+    """Wrap a function of evaluated args with UNDEFINED/ERROR propagation."""
+
+    def wrapper(call: FuncCall, ctx: EvalContext) -> Value:
+        args = [evaluate(a, ctx) for a in call.args]
+        for a in args:
+            if isinstance(a, Error):
+                return ERROR
+            if isinstance(a, Undefined):
+                return UNDEFINED
+        try:
+            return fn(*args)
+        except (TypeError, ValueError, IndexError, ZeroDivisionError):
+            return ERROR
+
+    return wrapper
+
+
+def _fn_strcat(*args: Value) -> Value:
+    out = []
+    for a in args:
+        if isinstance(a, str):
+            out.append(a)
+        elif isinstance(a, bool):
+            out.append("true" if a else "false")
+        elif isinstance(a, _NUMERIC):
+            out.append(str(a))
+        else:
+            raise TypeError
+    return "".join(out)
+
+
+def _fn_size(v: Value) -> Value:
+    if isinstance(v, str) or isinstance(v, ExprList) or isinstance(v, ClassAd):
+        return len(v)
+    raise TypeError
+
+
+def _fn_int(v: Value) -> Value:
+    if isinstance(v, bool):
+        return int(v)
+    if isinstance(v, _NUMERIC):
+        return int(v)
+    if isinstance(v, str):
+        return int(float(v))
+    raise TypeError
+
+
+def _fn_real(v: Value) -> Value:
+    if isinstance(v, bool):
+        return float(v)
+    if isinstance(v, _NUMERIC):
+        return float(v)
+    if isinstance(v, str):
+        return float(v)
+    raise TypeError
+
+
+def _fn_floor(v: Value) -> Value:
+    import math
+
+    if _is_num(v):
+        return int(math.floor(v))
+    raise TypeError
+
+
+def _fn_ceiling(v: Value) -> Value:
+    import math
+
+    if _is_num(v):
+        return int(math.ceil(v))
+    raise TypeError
+
+
+def _fn_round(v: Value) -> Value:
+    import math
+
+    if _is_num(v):
+        return int(math.floor(v + 0.5))
+    raise TypeError
+
+
+def _member(call: FuncCall, ctx: EvalContext) -> Value:
+    if len(call.args) != 2:
+        return ERROR
+    needle = evaluate(call.args[0], ctx)
+    haystack = evaluate(call.args[1], ctx)
+    if isinstance(needle, Error) or isinstance(haystack, Error):
+        return ERROR
+    if isinstance(needle, Undefined) or isinstance(haystack, Undefined):
+        return UNDEFINED
+    if not isinstance(haystack, ExprList):
+        return ERROR
+    for item in haystack:
+        value = evaluate(item, ctx) if isinstance(item, Expr) else item
+        if _is_identical(value, needle):
+            return True
+    return False
+
+
+def _ifthenelse(call: FuncCall, ctx: EvalContext) -> Value:
+    if len(call.args) != 3:
+        return ERROR
+    cond = evaluate(call.args[0], ctx)
+    logic = _as_logic(cond)
+    if logic is ERROR:
+        return ERROR
+    if logic is UNDEFINED:
+        return UNDEFINED
+    return evaluate(call.args[1] if logic else call.args[2], ctx)
+
+
+def _is_undefined(call: FuncCall, ctx: EvalContext) -> Value:
+    if len(call.args) != 1:
+        return ERROR
+    return isinstance(evaluate(call.args[0], ctx), Undefined)
+
+
+def _is_error(call: FuncCall, ctx: EvalContext) -> Value:
+    if len(call.args) != 1:
+        return ERROR
+    return isinstance(evaluate(call.args[0], ctx), Error)
+
+
+def _fn_regexp(pattern: Value, target: Value) -> Value:
+    import re
+
+    if not (isinstance(pattern, str) and isinstance(target, str)):
+        raise TypeError
+    try:
+        return re.search(pattern, target) is not None
+    except re.error:
+        raise ValueError from None
+
+
+_BUILTINS: dict[str, Callable[[FuncCall, EvalContext], Value]] = {
+    "strcat": _strict(_fn_strcat),
+    "tolower": _strict(lambda s: s.lower() if isinstance(s, str) else ERROR),
+    "toupper": _strict(lambda s: s.upper() if isinstance(s, str) else ERROR),
+    "size": _strict(_fn_size),
+    "int": _strict(_fn_int),
+    "real": _strict(_fn_real),
+    "string": _strict(_fn_strcat),
+    "floor": _strict(_fn_floor),
+    "ceiling": _strict(_fn_ceiling),
+    "round": _strict(_fn_round),
+    "member": _member,
+    "ifthenelse": _ifthenelse,
+    "isundefined": _is_undefined,
+    "iserror": _is_error,
+    "regexp": _strict(_fn_regexp),
+}

@@ -1,0 +1,131 @@
+"""Tokenizer for the ClassAd text syntax."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class LexError(ValueError):
+    """Raised on malformed ClassAd input."""
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    ``kind`` is one of ``INT``, ``REAL``, ``STRING``, ``IDENT``, ``OP``,
+    or ``EOF``; ``value`` carries the decoded payload and ``pos`` the
+    character offset for error messages.
+    """
+
+    kind: str
+    value: object
+    pos: int
+
+
+# Multi-character operators, longest first so the scanner is greedy.
+_OPERATORS = [
+    "=?=", "=!=",
+    "&&", "||", "==", "!=", "<=", ">=", "<<", ">>",
+    "=", "<", ">", "+", "-", "*", "/", "%", "!", "~",
+    "(", ")", "[", "]", "{", "}", ",", ";", "?", ":", ".", "&", "|", "^",
+]
+
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | set("0123456789")
+_DIGITS = set("0123456789")
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text`` into a list of tokens ending with an EOF token."""
+    tokens: list[Token] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch in " \t\r\n":
+            i += 1
+            continue
+        if text.startswith("//", i):
+            nl = text.find("\n", i)
+            i = n if nl < 0 else nl + 1
+            continue
+        if text.startswith("/*", i):
+            end = text.find("*/", i + 2)
+            if end < 0:
+                raise LexError(f"unterminated comment at {i}")
+            i = end + 2
+            continue
+        if ch == '"':
+            value, i = _scan_string(text, i)
+            tokens.append(Token("STRING", value, i))
+            continue
+        if ch in _DIGITS or (ch == "." and i + 1 < n and text[i + 1] in _DIGITS):
+            tok, i = _scan_number(text, i)
+            tokens.append(tok)
+            continue
+        if ch in _IDENT_START:
+            start = i
+            while i < n and text[i] in _IDENT_CONT:
+                i += 1
+            tokens.append(Token("IDENT", text[start:i], start))
+            continue
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(Token("OP", op, i))
+                i += len(op)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r} at {i}")
+    tokens.append(Token("EOF", None, n))
+    return tokens
+
+
+def _scan_string(text: str, i: int) -> tuple[str, int]:
+    """Scan a double-quoted string starting at ``i``; returns (value, next)."""
+    out: list[str] = []
+    j = i + 1
+    n = len(text)
+    while j < n:
+        ch = text[j]
+        if ch == '"':
+            return "".join(out), j + 1
+        if ch == "\\":
+            if j + 1 >= n:
+                break
+            esc = text[j + 1]
+            mapped = {"n": "\n", "t": "\t", "r": "\r", '"': '"', "\\": "\\"}.get(esc)
+            if mapped is None:
+                raise LexError(f"bad escape \\{esc} at {j}")
+            out.append(mapped)
+            j += 2
+            continue
+        out.append(ch)
+        j += 1
+    raise LexError(f"unterminated string at {i}")
+
+
+def _scan_number(text: str, i: int) -> tuple[Token, int]:
+    """Scan an integer or real literal starting at ``i``."""
+    start = i
+    n = len(text)
+    while i < n and text[i] in _DIGITS:
+        i += 1
+    is_real = False
+    if i < n and text[i] == "." and i + 1 < n and text[i + 1] in _DIGITS:
+        is_real = True
+        i += 1
+        while i < n and text[i] in _DIGITS:
+            i += 1
+    if i < n and text[i] in "eE":
+        j = i + 1
+        if j < n and text[j] in "+-":
+            j += 1
+        if j < n and text[j] in _DIGITS:
+            is_real = True
+            i = j
+            while i < n and text[i] in _DIGITS:
+                i += 1
+    lexeme = text[start:i]
+    if is_real:
+        return Token("REAL", float(lexeme), start), i
+    return Token("INT", int(lexeme), start), i

@@ -1,0 +1,104 @@
+"""ClassAd matchmaking: symmetric Requirements/Rank evaluation.
+
+Matchmaking follows the Condor model [Raman, Livny, Solomon HPDC'98]:
+two ads *match* when each ad's ``Requirements`` expression evaluates to
+``true`` with the other ad bound to the ``other``/``TARGET`` scope.
+Among matching candidates, ``Rank`` orders preference (higher is
+better; UNDEFINED/ERROR rank counts as 0.0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.classads.ast import ClassAd, Error, Undefined, Value
+from repro.classads.evaluator import EvalContext, evaluate
+
+
+def _eval_with_other(ad: ClassAd, name: str, other: ClassAd) -> Value:
+    expr = ad.get_expr(name)
+    if expr is None:
+        from repro.classads.ast import UNDEFINED
+
+        return UNDEFINED
+    return evaluate(expr, EvalContext(my=ad, other=other))
+
+
+def requirements_met(ad: ClassAd, other: ClassAd) -> bool:
+    """True iff ``ad.Requirements`` evaluates to ``true`` against ``other``.
+
+    A missing ``Requirements`` attribute counts as ``true`` (an ad with
+    no constraints accepts anything); UNDEFINED or ERROR count as no
+    match.
+    """
+    if "requirements" not in ad:
+        return True
+    value = _eval_with_other(ad, "Requirements", other)
+    return value is True
+
+
+def symmetric_match(left: ClassAd, right: ClassAd) -> bool:
+    """True iff both ads' Requirements accept each other."""
+    return requirements_met(left, right) and requirements_met(right, left)
+
+
+def match_rank(ad: ClassAd, other: ClassAd) -> float:
+    """Evaluate ``ad.Rank`` against ``other`` as a float (default 0.0)."""
+    value = _eval_with_other(ad, "Rank", other)
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, (Undefined, Error)):
+        return 0.0
+    return 0.0
+
+
+@dataclass
+class MatchResult:
+    """One candidate that matched, with the requester's rank for it."""
+
+    ad: ClassAd
+    rank: float
+
+
+class MatchMaker:
+    """Matches a request ad against a pool of candidate ads.
+
+    This is the piece a global scheduling system runs: NeST servers
+    publish availability ads (:mod:`repro.nest.advertise`) and a
+    request ad from an execution manager is matched against them.
+    """
+
+    def __init__(self, candidates: list[ClassAd] | None = None):
+        self._candidates: list[ClassAd] = list(candidates or [])
+
+    def add(self, ad: ClassAd) -> None:
+        """Add a candidate ad to the pool."""
+        self._candidates.append(ad)
+
+    def remove(self, ad: ClassAd) -> None:
+        """Remove a candidate ad from the pool (identity-based)."""
+        self._candidates = [c for c in self._candidates if c is not ad]
+
+    def __len__(self) -> int:
+        return len(self._candidates)
+
+    def matches(self, request: ClassAd) -> list[MatchResult]:
+        """All candidates that symmetrically match ``request``.
+
+        Results are sorted by the *request's* rank of the candidate,
+        descending, with pool insertion order as the tiebreak.
+        """
+        out = [
+            MatchResult(ad=c, rank=match_rank(request, c))
+            for c in self._candidates
+            if symmetric_match(request, c)
+        ]
+        out.sort(key=lambda m: -m.rank)
+        return out
+
+    def best_match(self, request: ClassAd) -> ClassAd | None:
+        """The highest-ranked matching candidate, or ``None``."""
+        results = self.matches(request)
+        return results[0].ad if results else None

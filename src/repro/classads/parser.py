@@ -1,0 +1,227 @@
+"""Recursive-descent parser for the ClassAd text syntax.
+
+Grammar (precedence low to high)::
+
+    classad     := '[' [ assignment (';' assignment)* [';'] ] ']'
+    assignment  := IDENT '=' expr
+    expr        := ternary
+    ternary     := or_expr [ '?' expr ':' expr ]
+    or_expr     := and_expr ( '||' and_expr )*
+    and_expr    := bitor ( '&&' bitor )*
+    bitor       := bitxor ( '|' bitxor )*
+    bitxor      := bitand ( '^' bitand )*
+    bitand      := equality ( '&' equality )*
+    equality    := relational ( ('==' | '!=' | '=?=' | '=!=') relational )*
+    relational  := shift ( ('<' | '<=' | '>' | '>=') shift )*
+    shift       := additive ( ('<<' | '>>') additive )*
+    additive    := multiplicative ( ('+' | '-') multiplicative )*
+    multiplicative := unary ( ('*' | '/' | '%') unary )*
+    unary       := ('-' | '+' | '!' | '~') unary | postfix
+    postfix     := primary ( '[' expr ']' | '.' IDENT )*
+    primary     := literal | list | classad | '(' expr ')'
+                 | IDENT '(' args ')' | scoped-or-bare attr ref
+"""
+
+from __future__ import annotations
+
+from repro.classads.ast import (
+    ERROR,
+    UNDEFINED,
+    AttrRef,
+    BinaryOp,
+    ClassAd,
+    Expr,
+    FuncCall,
+    ListExpr,
+    Literal,
+    RecordExpr,
+    Select,
+    Subscript,
+    Ternary,
+    UnaryOp,
+)
+from repro.classads.lexer import LexError, Token, tokenize
+
+
+class ParseError(ValueError):
+    """Raised on syntactically invalid ClassAd text."""
+
+
+_SCOPES = {"my": "my", "self": "my", "other": "other", "target": "other", "parent": "parent"}
+_KEYWORD_LITERALS = {
+    "true": True,
+    "false": False,
+    "undefined": UNDEFINED,
+    "error": ERROR,
+}
+
+
+def parse(text: str) -> ClassAd:
+    """Parse a full ClassAd (``[ name = expr; ... ]``) from ``text``."""
+    parser = _Parser(text)
+    ad = parser.parse_classad()
+    parser.expect_eof()
+    return ad
+
+
+def parse_expression(text: str) -> Expr:
+    """Parse a single ClassAd expression from ``text``."""
+    parser = _Parser(text)
+    expr = parser.parse_expr()
+    parser.expect_eof()
+    return expr
+
+
+class _Parser:
+    def __init__(self, text: str):
+        try:
+            self._tokens = tokenize(text)
+        except LexError as exc:
+            raise ParseError(str(exc)) from exc
+        self._pos = 0
+
+    # -- token plumbing ----------------------------------------------------
+    @property
+    def _cur(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        tok = self._cur
+        self._pos += 1
+        return tok
+
+    def _accept_op(self, *ops: str) -> str | None:
+        if self._cur.kind == "OP" and self._cur.value in ops:
+            return self._advance().value  # type: ignore[return-value]
+        return None
+
+    def _expect_op(self, op: str) -> None:
+        if not self._accept_op(op):
+            raise ParseError(f"expected {op!r} at {self._cur.pos}, got {self._cur.value!r}")
+
+    def expect_eof(self) -> None:
+        if self._cur.kind != "EOF":
+            raise ParseError(f"trailing input at {self._cur.pos}: {self._cur.value!r}")
+
+    # -- grammar -------------------------------------------------------------
+    def parse_classad(self) -> ClassAd:
+        self._expect_op("[")
+        ad = ClassAd()
+        while not self._accept_op("]"):
+            if self._cur.kind != "IDENT":
+                raise ParseError(f"expected attribute name at {self._cur.pos}")
+            name = self._advance().value
+            self._expect_op("=")
+            ad[name] = self.parse_expr()
+            if not self._accept_op(";"):
+                self._expect_op("]")
+                break
+        return ad
+
+    def parse_expr(self) -> Expr:
+        return self._ternary()
+
+    def _ternary(self) -> Expr:
+        cond = self._binary(0)
+        if self._accept_op("?"):
+            then = self.parse_expr()
+            self._expect_op(":")
+            otherwise = self.parse_expr()
+            return Ternary(cond, then, otherwise)
+        return cond
+
+    _LEVELS: list[tuple[str, ...]] = [
+        ("||",),
+        ("&&",),
+        ("|",),
+        ("^",),
+        ("&",),
+        ("==", "!=", "=?=", "=!="),
+        ("<", "<=", ">", ">="),
+        ("<<", ">>"),
+        ("+", "-"),
+        ("*", "/", "%"),
+    ]
+
+    def _binary(self, level: int) -> Expr:
+        if level >= len(self._LEVELS):
+            return self._unary()
+        ops = self._LEVELS[level]
+        left = self._binary(level + 1)
+        while True:
+            op = self._accept_op(*ops)
+            if op is None:
+                return left
+            right = self._binary(level + 1)
+            left = BinaryOp(op, left, right)
+
+    def _unary(self) -> Expr:
+        op = self._accept_op("-", "+", "!", "~")
+        if op is not None:
+            return UnaryOp(op, self._unary())
+        return self._postfix()
+
+    def _postfix(self) -> Expr:
+        expr = self._primary()
+        while True:
+            if self._accept_op("["):
+                index = self.parse_expr()
+                self._expect_op("]")
+                expr = Subscript(expr, index)
+            elif (
+                self._cur.kind == "OP"
+                and self._cur.value == "."
+                and self._tokens[self._pos + 1].kind == "IDENT"
+            ):
+                self._advance()
+                attr = self._advance().value
+                expr = Select(expr, attr)
+            else:
+                return expr
+
+    def _primary(self) -> Expr:
+        tok = self._cur
+        if tok.kind in ("INT", "REAL", "STRING"):
+            self._advance()
+            return Literal(tok.value)
+        if tok.kind == "IDENT":
+            lowered = tok.value.lower()
+            if lowered in _KEYWORD_LITERALS:
+                self._advance()
+                return Literal(_KEYWORD_LITERALS[lowered])
+            self._advance()
+            # function call?
+            if self._cur.kind == "OP" and self._cur.value == "(":
+                self._advance()
+                args: list[Expr] = []
+                if not self._accept_op(")"):
+                    args.append(self.parse_expr())
+                    while self._accept_op(","):
+                        args.append(self.parse_expr())
+                    self._expect_op(")")
+                return FuncCall(lowered, tuple(args))
+            # scoped attribute reference?
+            if lowered in _SCOPES and self._cur.kind == "OP" and self._cur.value == ".":
+                if self._tokens[self._pos + 1].kind == "IDENT":
+                    self._advance()  # '.'
+                    name = self._advance().value
+                    return AttrRef(name, scope=_SCOPES[lowered])
+            return AttrRef(tok.value)
+        if tok.kind == "OP" and tok.value == "(":
+            self._advance()
+            inner = self.parse_expr()
+            self._expect_op(")")
+            return inner
+        if tok.kind == "OP" and tok.value == "{":
+            self._advance()
+            items: list[Expr] = []
+            if not self._accept_op("}"):
+                items.append(self.parse_expr())
+                while self._accept_op(","):
+                    items.append(self.parse_expr())
+                self._expect_op("}")
+            return ListExpr(tuple(items))
+        if tok.kind == "OP" and tok.value == "[":
+            ad = self.parse_classad()
+            return RecordExpr(tuple((name, ad.get_expr(name)) for name in ad))
+        raise ParseError(f"unexpected token {tok.value!r} at {tok.pos}")

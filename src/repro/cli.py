@@ -1,0 +1,132 @@
+"""Command-line interface: run appliances and regenerate figures.
+
+::
+
+    python -m repro serve [--name N] [--port-base P] [--protocols ...]
+    python -m repro jbos  [--port-base P]
+    python -m repro bench [fig3|fig4|fig5|fig6|ablations|all]
+
+``serve`` starts a live NeST on consecutive ports (Chirp at the base)
+and prints its availability ClassAd; ``jbos`` starts the native bunch;
+``bench`` regenerates the paper's figures on the simulated testbed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.nest.config import NestConfig
+    from repro.nest.server import NestServer
+
+    protocols = tuple(args.protocols.split(","))
+    ports = None
+    if args.port_base:
+        ports = {proto: args.port_base + i
+                 for i, proto in enumerate(protocols)}
+    config = NestConfig(
+        name=args.name,
+        protocols=protocols,
+        scheduling=args.scheduling,
+        concurrency=args.concurrency,
+        require_lots=args.require_lots,
+    )
+    server = NestServer(config, ports=ports)
+    server.start()
+    print(f"NeST {args.name!r} serving:")
+    for proto, port in sorted(server.ports.items()):
+        print(f"  {proto:<8} {server.host}:{port}")
+    print("\nAvailability ClassAd:")
+    print(server.advertisement().external_repr())
+    print("\nCtrl-C to stop.")
+    try:
+        while True:
+            time.sleep(1)
+    except KeyboardInterrupt:
+        print("stopping")
+        server.stop()
+    return 0
+
+
+def _cmd_jbos(args: argparse.Namespace) -> int:
+    from repro.jbos import JbosManager
+
+    manager = JbosManager()
+    if args.port_base:
+        for i, (proto, srv) in enumerate(sorted(manager.servers.items())):
+            srv._requested_port = args.port_base + i
+    manager.start()
+    manager.store.mkdir("/pub")
+    print("JBOS bunch serving (shared /pub):")
+    for proto, port in sorted(manager.ports.items()):
+        print(f"  {proto:<8} {manager.host}:{port}")
+    print("\nCtrl-C to stop.")
+    try:
+        while True:
+            time.sleep(1)
+    except KeyboardInterrupt:
+        print("stopping")
+        manager.stop()
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import ablations, fig3, fig4, fig5, fig6
+
+    figures = {
+        "fig3": lambda: print(fig3.report(fig3.run())),
+        "fig4": lambda: print(fig4.report(fig4.run())),
+        "fig5": lambda: print(fig5.report(fig5.run())),
+        "fig6": lambda: print(fig6.report(fig6.run())),
+        "ablations": lambda: print(ablations.report_all()),
+    }
+    targets = list(figures) if args.figure == "all" else [args.figure]
+    for target in targets:
+        figures[target]()
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro command-line parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="NeST Grid storage appliance (HPDC 2002)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run a live NeST appliance")
+    serve.add_argument("--name", default="nest")
+    serve.add_argument("--port-base", type=int, default=0,
+                       help="first port (0 = ephemeral)")
+    serve.add_argument("--protocols",
+                       default="chirp,ftp,gridftp,http,nfs,ibp")
+    serve.add_argument("--scheduling", default="fcfs",
+                       choices=["fcfs", "stride", "cache-aware"])
+    serve.add_argument("--concurrency", default="adaptive",
+                       choices=["adaptive", "threads", "events"])
+    serve.add_argument("--require-lots", action="store_true")
+    serve.set_defaults(func=_cmd_serve)
+
+    jbos = sub.add_parser("jbos", help="run the native-server baseline")
+    jbos.add_argument("--port-base", type=int, default=0)
+    jbos.set_defaults(func=_cmd_jbos)
+
+    bench = sub.add_parser("bench", help="regenerate the paper's figures")
+    bench.add_argument("figure", nargs="?", default="all",
+                       choices=["fig3", "fig4", "fig5", "fig6",
+                                "ablations", "all"])
+    bench.set_defaults(func=_cmd_bench)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

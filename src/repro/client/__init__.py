@@ -1,0 +1,28 @@
+"""Client library for NeST's protocols.
+
+One client class per wire protocol, plus the :class:`NestClient`
+facade, which picks a protocol per operation the way PFS/SRB middleware
+would (the paper's section 8 calls the client-side and server-side
+approaches complementary).
+
+All clients speak to any compliant server -- the live
+:class:`repro.nest.server.NestServer`, or the native JBOS servers in
+:mod:`repro.jbos`.
+"""
+
+from repro.client.chirp import ChirpClient
+from repro.client.http import HttpClient
+from repro.client.ftp import FtpClient
+from repro.client.gridftp import GridFtpClient, third_party_transfer
+from repro.client.nfs import NfsClient
+from repro.client.highlevel import NestClient
+
+__all__ = [
+    "ChirpClient",
+    "HttpClient",
+    "FtpClient",
+    "GridFtpClient",
+    "third_party_transfer",
+    "NfsClient",
+    "NestClient",
+]

@@ -1,0 +1,225 @@
+"""Chirp client: NeST's native protocol, the full feature set."""
+
+from __future__ import annotations
+
+import base64
+import json
+import socket
+from typing import Any
+
+from repro.nest.auth import Credential, GSIContext
+from repro.protocols import chirp
+from repro.protocols.common import (
+    ProtocolError,
+    Request,
+    RequestType,
+    Status,
+    read_exact,
+    read_line,
+    write_line,
+)
+
+
+class ChirpError(Exception):
+    """A Chirp request failed; carries the server's status."""
+
+    def __init__(self, status: Status, message: str = ""):
+        super().__init__(f"{status.value}: {message}" if message else status.value)
+        self.status = status
+
+
+class ChirpClient:
+    """A connected Chirp session."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self.rfile = self.sock.makefile("rb")
+        self.wfile = self.sock.makefile("wb")
+        self.subject: str | None = None
+
+    def close(self) -> None:
+        """Send quit and tear the connection down."""
+        try:
+            write_line(self.wfile, "quit")
+            read_line(self.rfile)
+        except (ProtocolError, OSError):
+            pass
+        for stream in (self.wfile, self.rfile):
+            try:
+                stream.close()
+            except OSError:
+                pass
+        self.sock.close()
+
+    def __enter__(self) -> "ChirpClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- plumbing ----------------------------------------------------------
+    def _round_trip(self, request: Request) -> list[str]:
+        write_line(self.wfile, chirp.encode_request(request))
+        response, args = chirp.decode_response(read_line(self.rfile))
+        if not response.ok:
+            raise ChirpError(response.status, response.message)
+        return args
+
+    def _read_payload(self, args: list[str]) -> bytes:
+        nbytes = int(args[0]) if args else 0
+        return read_exact(self.rfile, nbytes)
+
+    # -- authentication ---------------------------------------------------
+    def authenticate(self, credential: Credential) -> str:
+        """GSI handshake; returns the server-assigned user name."""
+        write_line(self.wfile, chirp.encode_request(
+            Request(rtype=RequestType.AUTH, params={"mechanism": "gsi"})))
+        response, _ = chirp.decode_response(read_line(self.rfile))
+        if not response.ok:
+            raise ChirpError(response.status, response.message)
+        write_line(self.wfile,
+                   base64.b64encode(GSIContext.initiate(credential)).decode())
+        challenge = base64.b64decode(read_line(self.rfile))
+        write_line(self.wfile,
+                   base64.b64encode(
+                       GSIContext.respond(credential, challenge)).decode())
+        response, args = chirp.decode_response(read_line(self.rfile))
+        if not response.ok:
+            raise ChirpError(response.status, response.message)
+        self.subject = args[0] if args else credential.subject
+        return self.subject
+
+    # -- file operations ----------------------------------------------------
+    def get(self, path: str) -> bytes:
+        """Retrieve a whole file."""
+        args = self._round_trip(Request(rtype=RequestType.GET, path=path))
+        size = int(args[0])
+        return read_exact(self.rfile, size)
+
+    def put(self, path: str, data: bytes) -> None:
+        """Store a whole file."""
+        self._round_trip(Request(rtype=RequestType.PUT, path=path,
+                                 length=len(data)))
+        self.wfile.write(data)
+        self.wfile.flush()
+        response, _ = chirp.decode_response(read_line(self.rfile))
+        if not response.ok:
+            raise ChirpError(response.status, response.message)
+
+    def stat(self, path: str) -> dict[str, Any]:
+        """File/directory metadata."""
+        args = self._round_trip(Request(rtype=RequestType.STAT, path=path))
+        return chirp.decode_stat(args)
+
+    def unlink(self, path: str) -> None:
+        """Delete a file."""
+        self._round_trip(Request(rtype=RequestType.DELETE, path=path))
+
+    def mkdir(self, path: str) -> None:
+        """Create a directory."""
+        self._round_trip(Request(rtype=RequestType.MKDIR, path=path))
+
+    def rmdir(self, path: str) -> None:
+        """Remove an empty directory."""
+        self._round_trip(Request(rtype=RequestType.RMDIR, path=path))
+
+    def listdir(self, path: str) -> list[dict[str, Any]]:
+        """Directory entries."""
+        args = self._round_trip(Request(rtype=RequestType.LIST, path=path))
+        return json.loads(self._read_payload(args))
+
+    def rename(self, path: str, new_path: str) -> None:
+        """Rename/move within the server."""
+        self._round_trip(Request(rtype=RequestType.RENAME, path=path,
+                                 params={"new_path": new_path}))
+
+    def pread(self, path: str, offset: int, length: int) -> bytes:
+        """Block read at an offset (Chirp's ``read`` verb)."""
+        args = self._round_trip(Request(rtype=RequestType.READ, path=path,
+                                        offset=offset, length=length))
+        return read_exact(self.rfile, int(args[0]))
+
+    def pwrite(self, path: str, offset: int, data: bytes) -> None:
+        """Block write at an offset (Chirp's ``write`` verb)."""
+        self._round_trip(Request(rtype=RequestType.WRITE, path=path,
+                                 offset=offset, length=len(data)))
+        self.wfile.write(data)
+        self.wfile.flush()
+        response, _ = chirp.decode_response(read_line(self.rfile))
+        if not response.ok:
+            raise ChirpError(response.status, response.message)
+
+    # -- lots (Chirp is the only protocol with lot management) -------------
+    def lot_create(self, capacity: int, duration: float,
+                   owner: str | None = None) -> dict[str, Any]:
+        """Reserve storage space; returns the lot description.
+
+        ``owner`` creates a default lot for another user (including
+        ``"anonymous"``) -- an administrator operation.
+        """
+        params: dict[str, Any] = {"capacity": capacity, "duration": duration}
+        if owner:
+            params["owner"] = owner
+        args = self._round_trip(Request(
+            rtype=RequestType.LOT_CREATE, params=params))
+        return {"lot_id": args[0], "capacity": int(args[1]),
+                "expires_at": float(args[2])}
+
+    def lot_renew(self, lot_id: str, duration: float) -> dict[str, Any]:
+        """Extend a lot's duration."""
+        args = self._round_trip(Request(
+            rtype=RequestType.LOT_RENEW,
+            params={"lot_id": lot_id, "duration": duration}))
+        return {"lot_id": args[0], "capacity": int(args[1]),
+                "expires_at": float(args[2])}
+
+    def lot_delete(self, lot_id: str) -> dict[str, Any]:
+        """Terminate a lot; returns orphaned paths."""
+        args = self._round_trip(Request(rtype=RequestType.LOT_DELETE,
+                                        params={"lot_id": lot_id}))
+        return json.loads(self._read_payload(args))
+
+    def lot_attach(self, lot_id: str, prefix: str) -> None:
+        """Bind a path prefix to a lot: writes under it charge there."""
+        self._round_trip(Request(rtype=RequestType.LOT_ATTACH, path=prefix,
+                                 params={"lot_id": lot_id}))
+
+    def lot_stat(self, lot_id: str) -> dict[str, Any]:
+        """Describe one lot."""
+        args = self._round_trip(Request(rtype=RequestType.LOT_STAT,
+                                        params={"lot_id": lot_id}))
+        return json.loads(self._read_payload(args))
+
+    def lot_list(self) -> list[dict[str, Any]]:
+        """All of this user's lots."""
+        args = self._round_trip(Request(rtype=RequestType.LOT_LIST))
+        return json.loads(self._read_payload(args))
+
+    # -- ACLs ----------------------------------------------------------------
+    def acl_set(self, path: str, subject: str, rights: str) -> None:
+        """Grant/replace rights on a directory."""
+        self._round_trip(Request(rtype=RequestType.ACL_SET, path=path,
+                                 params={"subject": subject, "rights": rights}))
+
+    def acl_get(self, path: str) -> list[list[str]]:
+        """Read a directory's ACL entries."""
+        args = self._round_trip(Request(rtype=RequestType.ACL_GET, path=path))
+        return json.loads(self._read_payload(args))
+
+    # -- third-party movement ---------------------------------------------
+    def thirdput(self, path: str, host: str, port: int,
+                 remote_path: str) -> int:
+        """Ask the server to push ``path`` to another Chirp server.
+
+        Data flows server-to-server; returns bytes moved.
+        """
+        args = self._round_trip(Request(
+            rtype=RequestType.THIRDPUT, path=path,
+            params={"host": host, "port": port, "remote_path": remote_path}))
+        return int(args[0])
+
+    # -- discovery ------------------------------------------------------------
+    def query(self) -> str:
+        """The server's availability ClassAd (text form)."""
+        args = self._round_trip(Request(rtype=RequestType.QUERY))
+        return self._read_payload(args).decode()

@@ -1,0 +1,148 @@
+"""FTP client: anonymous login, passive-mode transfers."""
+
+from __future__ import annotations
+
+import socket
+
+from repro.protocols import ftp
+from repro.protocols.common import ProtocolError, read_line, write_line
+
+
+class FtpError(Exception):
+    """An FTP command drew a failure reply."""
+
+    def __init__(self, code: int, text: str):
+        super().__init__(f"{code} {text}")
+        self.code = code
+        self.text = text
+
+
+class FtpClient:
+    """A logged-in anonymous FTP session."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0,
+                 login: bool = True):
+        self.host = host
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self.rfile = self.sock.makefile("rb")
+        self.wfile = self.sock.makefile("wb")
+        self._expect(ftp.READY)
+        if login:
+            self.login()
+
+    def close(self) -> None:
+        try:
+            self.command("QUIT", expect=ftp.GOODBYE)
+        except (FtpError, ProtocolError, OSError):
+            pass
+        for stream in (self.wfile, self.rfile):
+            try:
+                stream.close()
+            except OSError:
+                pass
+        self.sock.close()
+
+    def __enter__(self) -> "FtpClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- control channel ----------------------------------------------------
+    def _read_reply(self) -> tuple[int, str]:
+        line = read_line(self.rfile)
+        # Multi-line replies (e.g. SPAS): "NNN-" opens, "NNN " closes.
+        if len(line) > 3 and line[3] == "-":
+            code = int(line[:3])
+            body = [line[4:]]
+            while True:
+                line = read_line(self.rfile)
+                if line.startswith(f"{code} "):
+                    body.append(line[4:])
+                    return code, "\n".join(body)
+                body.append(line)
+        return ftp.parse_reply(line)
+
+    def _expect(self, *codes: int) -> tuple[int, str]:
+        code, text = self._read_reply()
+        if code not in codes:
+            raise FtpError(code, text)
+        return code, text
+
+    def command(self, line: str, expect: int | tuple[int, ...] | None = None
+                ) -> tuple[int, str]:
+        """Send one command; optionally assert the reply code."""
+        write_line(self.wfile, line)
+        if expect is None:
+            return self._read_reply()
+        codes = (expect,) if isinstance(expect, int) else tuple(expect)
+        return self._expect(*codes)
+
+    def login(self) -> None:
+        """Anonymous login (the only kind FTP supports on NeST)."""
+        self.command("USER anonymous", expect=ftp.NEED_PASSWORD)
+        self.command("PASS user@example.org", expect=ftp.LOGGED_IN)
+        self.command("TYPE I", expect=200)
+
+    # -- data channel ----------------------------------------------------------
+    def _open_passive(self) -> socket.socket:
+        _, text = self.command("PASV", expect=ftp.PASSIVE)
+        host, port = ftp.parse_pasv_reply(text)
+        return socket.create_connection((host, port), timeout=30)
+
+    def retr(self, path: str) -> bytes:
+        """Download a file (passive, stream mode)."""
+        data_sock = self._open_passive()
+        self.command(f"RETR {path}", expect=ftp.OPENING_DATA)
+        chunks = []
+        with data_sock:
+            while True:
+                chunk = data_sock.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        self._expect(ftp.TRANSFER_OK)
+        return b"".join(chunks)
+
+    def stor(self, path: str, data: bytes) -> None:
+        """Upload a file (passive, stream mode)."""
+        data_sock = self._open_passive()
+        self.command(f"STOR {path}", expect=ftp.OPENING_DATA)
+        with data_sock:
+            data_sock.sendall(data)
+        self._expect(ftp.TRANSFER_OK)
+
+    def list(self, path: str = "") -> str:
+        """Directory listing text."""
+        data_sock = self._open_passive()
+        self.command(f"LIST {path}".strip(), expect=ftp.OPENING_DATA)
+        chunks = []
+        with data_sock:
+            while True:
+                chunk = data_sock.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        self._expect(ftp.TRANSFER_OK)
+        return b"".join(chunks).decode()
+
+    # -- metadata -----------------------------------------------------------
+    def mkd(self, path: str) -> None:
+        self.command(f"MKD {path}", expect=ftp.PATH_CREATED)
+
+    def rmd(self, path: str) -> None:
+        self.command(f"RMD {path}", expect=ftp.ACTION_OK)
+
+    def dele(self, path: str) -> None:
+        self.command(f"DELE {path}", expect=ftp.ACTION_OK)
+
+    def size(self, path: str) -> int:
+        _, text = self.command(f"SIZE {path}", expect=213)
+        return int(text)
+
+    def cwd(self, path: str) -> None:
+        self.command(f"CWD {path}", expect=ftp.ACTION_OK)
+
+    def pwd(self) -> str:
+        _, text = self.command("PWD", expect=ftp.PATH_CREATED)
+        return text.strip().strip('"')

@@ -1,0 +1,156 @@
+"""GridFTP client: GSI auth, parallel extended-block transfers, and
+third-party transfers between two servers (paper, section 6 step 3)."""
+
+from __future__ import annotations
+
+import base64
+import socket
+import threading
+
+from repro.client.ftp import FtpClient, FtpError
+from repro.nest.auth import Credential, GSIContext
+from repro.protocols import ftp, gridftp
+
+
+class GridFtpClient(FtpClient):
+    """An FTP session with the GridFTP extensions."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0,
+                 credential: Credential | None = None):
+        super().__init__(host, port, timeout=timeout, login=False)
+        if credential is not None:
+            self.authenticate(credential)
+        self.login()
+        self.parallelism = 1
+
+    # -- GSI ------------------------------------------------------------------
+    def authenticate(self, credential: Credential) -> None:
+        """AUTH GSSAPI + two ADAT exchanges (toy-GSI handshake)."""
+        self.command("AUTH GSSAPI", expect=334)
+        cert = base64.b64encode(GSIContext.initiate(credential)).decode()
+        code, text = self.command(f"ADAT {cert}", expect=ftp.AUTH_CONTINUE)
+        token = text.split("ADAT=", 1)[1]
+        challenge = base64.b64decode(token)
+        response = base64.b64encode(
+            GSIContext.respond(credential, challenge)).decode()
+        self.command(f"ADAT {response}", expect=ftp.AUTH_OK)
+
+    # -- parallel extended-block transfers ------------------------------------
+    def set_parallelism(self, streams: int) -> None:
+        """Negotiate MODE E with N parallel data streams."""
+        self.command("MODE E", expect=200)
+        self.command(f"OPTS {gridftp.format_opts_retr(streams)}", expect=200)
+        self.parallelism = streams
+
+    def _spas_endpoints(self) -> list[tuple[str, int]]:
+        _, text = self.command("SPAS", expect=229)
+        endpoints = []
+        for line in text.splitlines():
+            line = line.strip()
+            if line.count(",") == 5:
+                nums = [int(x) for x in line.split(",")]
+                endpoints.append((".".join(map(str, nums[:4])),
+                                  nums[4] * 256 + nums[5]))
+        return endpoints
+
+    def retr_parallel(self, path: str) -> bytes:
+        """Download over ``parallelism`` striped streams."""
+        endpoints = self._spas_endpoints()
+        self.command(f"RETR {path}", expect=ftp.OPENING_DATA)
+        blocks: dict[int, bytes] = {}
+        lock = threading.Lock()
+        errors: list[BaseException] = []
+
+        def lane(endpoint: tuple[str, int]) -> None:
+            try:
+                conn = socket.create_connection(endpoint, timeout=30)
+                stream = conn.makefile("rb")
+                try:
+                    for offset, payload in gridftp.iter_blocks(stream):
+                        with lock:
+                            blocks[offset] = payload
+                finally:
+                    stream.close()
+                    conn.close()
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=lane, args=(ep,), daemon=True)
+                   for ep in endpoints]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        self._expect(ftp.TRANSFER_OK)
+        if errors:
+            raise FtpError(ftp.ACTION_FAILED, str(errors[0]))
+        out = bytearray()
+        for offset in sorted(blocks):
+            payload = blocks[offset]
+            if offset + len(payload) > len(out):
+                out.extend(b"\x00" * (offset + len(payload) - len(out)))
+            out[offset:offset + len(payload)] = payload
+        return bytes(out)
+
+    def stor_parallel(self, path: str, data: bytes) -> None:
+        """Upload over ``parallelism`` striped streams."""
+        endpoints = self._spas_endpoints()
+        self.command(f"STOR {path}", expect=ftp.OPENING_DATA)
+        lanes = gridftp.stripe_ranges(len(data), len(endpoints), 256 * 1024)
+        errors: list[BaseException] = []
+
+        def lane(endpoint: tuple[str, int], extents, last: bool) -> None:
+            try:
+                conn = socket.create_connection(endpoint, timeout=30)
+                out = conn.makefile("wb")
+                try:
+                    for offset, length in extents:
+                        gridftp.write_block(out, offset,
+                                            data[offset:offset + length])
+                    gridftp.write_eod(out, eof=last)
+                    out.flush()
+                finally:
+                    out.close()
+                    conn.close()
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=lane, args=(ep, lanes[i], i == 0),
+                             daemon=True)
+            for i, ep in enumerate(endpoints)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        self._expect(ftp.TRANSFER_OK)
+        if errors:
+            raise FtpError(ftp.ACTION_FAILED, str(errors[0]))
+
+
+def third_party_transfer(
+    source: GridFtpClient,
+    source_path: str,
+    destination: GridFtpClient,
+    destination_path: str,
+) -> None:
+    """Server-to-server transfer orchestrated by a third party.
+
+    The client pairs the destination's passive endpoint with a PORT
+    command on the source, then issues STOR/RETR; the data flows
+    directly between the two servers (stream mode), never through the
+    orchestrator -- the paper's section 6 step 3.
+    """
+    _, text = destination.command("PASV", expect=ftp.PASSIVE)
+    host, port = ftp.parse_pasv_reply(text)
+    h = host.split(".")
+    source.command(
+        f"PORT {h[0]},{h[1]},{h[2]},{h[3]},{port // 256},{port % 256}",
+        expect=200,
+    )
+    # Destination starts listening for the incoming store first.
+    destination.command(f"STOR {destination_path}", expect=ftp.OPENING_DATA)
+    source.command(f"RETR {source_path}", expect=ftp.OPENING_DATA)
+    source._expect(ftp.TRANSFER_OK)
+    destination._expect(ftp.TRANSFER_OK)

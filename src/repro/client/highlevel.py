@@ -1,0 +1,114 @@
+"""High-level facade: pick the right protocol per operation.
+
+The paper's section 8 frames client-side protocol selection (PFS, SRB)
+as complementary to NeST's server-side flexibility: "they enable the
+middleware and the server to negotiate and choose the most appropriate
+protocol for any particular transfer (e.g., NFS locally and GridFTP
+remotely)".  :class:`NestClient` implements that negotiation against a
+server's advertised ports: Chirp for management (the only protocol with
+lots and ACLs), a configurable protocol for data.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.client.chirp import ChirpClient
+from repro.client.ftp import FtpClient
+from repro.client.gridftp import GridFtpClient
+from repro.client.http import HttpClient
+from repro.client.nfs import NfsClient
+from repro.nest.auth import Credential
+
+
+class NestClient:
+    """Management via Chirp + data via a chosen transfer protocol."""
+
+    def __init__(
+        self,
+        host: str,
+        ports: dict[str, int],
+        data_protocol: str = "chirp",
+        credential: Credential | None = None,
+    ):
+        if data_protocol not in ("chirp", "http", "ftp", "gridftp", "nfs"):
+            raise ValueError(f"unknown data protocol {data_protocol!r}")
+        self.host = host
+        self.ports = dict(ports)
+        self.data_protocol = data_protocol
+        self.credential = credential
+        self.chirp = ChirpClient(host, self.ports["chirp"])
+        if credential is not None:
+            self.chirp.authenticate(credential)
+        self._data = self._open_data_client()
+
+    def _open_data_client(self):
+        proto = self.data_protocol
+        port = self.ports[proto]
+        if proto == "chirp":
+            return self.chirp
+        if proto == "http":
+            return HttpClient(self.host, port)
+        if proto == "ftp":
+            return FtpClient(self.host, port)
+        if proto == "gridftp":
+            return GridFtpClient(self.host, port, credential=self.credential)
+        return NfsClient(self.host, port)
+
+    def close(self) -> None:
+        if self._data is not self.chirp:
+            self._data.close()
+        self.chirp.close()
+
+    def __enter__(self) -> "NestClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- data path (protocol-selected) ---------------------------------------
+    def read(self, path: str) -> bytes:
+        """Fetch a whole file via the data protocol."""
+        if self.data_protocol in ("chirp", "http"):
+            return self._data.get(path)
+        if self.data_protocol in ("ftp", "gridftp"):
+            return self._data.retr(path)
+        return self._data.read_file(path)
+
+    def write(self, path: str, data: bytes) -> None:
+        """Store a whole file via the data protocol."""
+        if self.data_protocol in ("chirp", "http"):
+            self._data.put(path, data)
+        elif self.data_protocol in ("ftp", "gridftp"):
+            self._data.stor(path, data)
+        else:
+            self._data.write_file(path, data)
+
+    # -- management path (always Chirp) ----------------------------------------
+    def mkdir(self, path: str) -> None:
+        self.chirp.mkdir(path)
+
+    def listdir(self, path: str) -> list[dict[str, Any]]:
+        return self.chirp.listdir(path)
+
+    def stat(self, path: str) -> dict[str, Any]:
+        return self.chirp.stat(path)
+
+    def unlink(self, path: str) -> None:
+        self.chirp.unlink(path)
+
+    def reserve_space(self, capacity: int, duration: float) -> dict[str, Any]:
+        """Create a lot (requires an authenticated Chirp session)."""
+        return self.chirp.lot_create(capacity, duration)
+
+    def release_space(self, lot_id: str) -> dict[str, Any]:
+        """Terminate a lot."""
+        return self.chirp.lot_delete(lot_id)
+
+    def grant(self, path: str, subject: str, rights: str) -> None:
+        """Set an ACL entry."""
+        self.chirp.acl_set(path, subject, rights)
+
+    def server_ad(self) -> str:
+        """The server's availability ClassAd."""
+        return self.chirp.query()

@@ -1,0 +1,81 @@
+"""HTTP client (GET/PUT/HEAD/DELETE with keep-alive)."""
+
+from __future__ import annotations
+
+import socket
+from typing import Any
+
+from repro.protocols import http
+from repro.protocols.common import (
+    Request,
+    RequestType,
+    Status,
+    read_exact,
+)
+
+
+class HttpError(Exception):
+    """Non-2xx response."""
+
+    def __init__(self, status: Status, message: str = ""):
+        super().__init__(f"{status.value}: {message}" if message else status.value)
+        self.status = status
+
+
+class HttpClient:
+    """A keep-alive HTTP session against one server."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self.rfile = self.sock.makefile("rb")
+        self.wfile = self.sock.makefile("wb")
+
+    def close(self) -> None:
+        for stream in (self.wfile, self.rfile):
+            try:
+                stream.close()
+            except OSError:
+                pass
+        self.sock.close()
+
+    def __enter__(self) -> "HttpClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _check(self, resp) -> None:
+        if not resp.ok:
+            raise HttpError(resp.status, resp.message)
+
+    def get(self, path: str) -> bytes:
+        """GET a whole file."""
+        http.write_request(self.wfile, Request(rtype=RequestType.GET, path=path))
+        resp, headers = http.read_response_head(self.rfile)
+        self._check(resp)
+        return read_exact(self.rfile, int(headers.get("content-length", "0")))
+
+    def put(self, path: str, data: bytes) -> None:
+        """PUT a whole file."""
+        http.write_request(self.wfile, Request(rtype=RequestType.PUT, path=path,
+                                               length=len(data)))
+        self.wfile.write(data)
+        self.wfile.flush()
+        resp, headers = http.read_response_head(self.rfile)
+        self._check(resp)
+        read_exact(self.rfile, int(headers.get("content-length", "0")))
+
+    def head(self, path: str) -> dict[str, Any]:
+        """HEAD: size without the body."""
+        http.write_request(self.wfile, Request(rtype=RequestType.STAT, path=path))
+        resp, headers = http.read_response_head(self.rfile)
+        self._check(resp)
+        return {"size": int(headers.get("content-length", "0"))}
+
+    def delete(self, path: str) -> None:
+        """DELETE a file."""
+        http.write_request(self.wfile, Request(rtype=RequestType.DELETE,
+                                               path=path))
+        resp, headers = http.read_response_head(self.rfile)
+        self._check(resp)
+        read_exact(self.rfile, int(headers.get("content-length", "0")))

@@ -1,0 +1,92 @@
+"""IBP client: allocate, store, load, manage via capabilities."""
+
+from __future__ import annotations
+
+import socket
+from typing import Any
+
+from repro.protocols import ibp
+from repro.protocols.common import ProtocolError, read_exact, read_line, write_line
+from repro.protocols.ibp import IbpError  # re-exported for callers
+
+
+class IbpClient:
+    """A connection to an IBP depot (a NeST serving the IBP dialect)."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self.rfile = self.sock.makefile("rb")
+        self.wfile = self.sock.makefile("wb")
+
+    def close(self) -> None:
+        try:
+            write_line(self.wfile, "quit")
+            read_line(self.rfile)
+        except (ProtocolError, OSError):
+            pass
+        for stream in (self.wfile, self.rfile):
+            try:
+                stream.close()
+            except OSError:
+                pass
+        self.sock.close()
+
+    def __enter__(self) -> "IbpClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _round_trip(self, line: str) -> list[str]:
+        write_line(self.wfile, line)
+        return ibp.parse_reply(read_line(self.rfile))
+
+    # -- operations ----------------------------------------------------------
+    def allocate(self, size: int, duration: float,
+                 atype: str = ibp.STABLE) -> dict[str, str]:
+        """Allocate a byte array; returns the three capabilities."""
+        args = self._round_trip(f"allocate {size} {duration} {atype}")
+        return {"read": args[0], "write": args[1], "manage": args[2]}
+
+    def store(self, write_cap: str, data: bytes) -> int:
+        """Append ``data``; returns the allocation's new used count."""
+        write_line(self.wfile, f"store {write_cap} {len(data)}")
+        self.wfile.write(data)
+        self.wfile.flush()
+        args = ibp.parse_reply(read_line(self.rfile))
+        return int(args[0])
+
+    def load(self, read_cap: str, offset: int = 0, nbytes: int = 1 << 30) -> bytes:
+        """Read a range of the allocation."""
+        args = self._round_trip(f"load {read_cap} {offset} {nbytes}")
+        return read_exact(self.rfile, int(args[0]))
+
+    def probe(self, manage_cap: str) -> dict[str, Any]:
+        """Allocation status."""
+        args = self._round_trip(f"probe {manage_cap}")
+        return {
+            "size": int(args[0]),
+            "used": int(args[1]),
+            "expires_at": float(args[2]),
+            "type": args[3],
+            "refcount": int(args[4]),
+        }
+
+    def extend(self, manage_cap: str, duration: float) -> float:
+        """Extend a stable allocation; returns the new expiry."""
+        args = self._round_trip(f"extend {manage_cap} {duration}")
+        return float(args[0])
+
+    def increment(self, manage_cap: str) -> int:
+        """Add a reference; returns the refcount."""
+        return int(self._round_trip(f"increment {manage_cap}")[0])
+
+    def decrement(self, manage_cap: str) -> int:
+        """Drop a reference; at zero the allocation is freed."""
+        return int(self._round_trip(f"decrement {manage_cap}")[0])
+
+    def status(self) -> dict[str, int]:
+        """Depot-wide capacity numbers."""
+        args = self._round_trip("status")
+        return {"total": int(args[0]), "used": int(args[1]),
+                "volatile": int(args[2])}

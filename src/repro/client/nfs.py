@@ -1,0 +1,184 @@
+"""NFS client: mount, lookup, and block-granular file access.
+
+This plays the role of the kernel NFS client in the paper's
+experiments: whole-file reads become streams of BLOCK_SIZE READ rpcs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+from typing import Any
+
+from repro.protocols import nfs
+from repro.protocols.common import ProtocolError
+from repro.protocols.xdr import Packer, Unpacker
+
+
+class NfsError(Exception):
+    """An RPC returned a non-OK nfsstat."""
+
+    def __init__(self, status: int):
+        super().__init__(f"nfsstat {status}")
+        self.status = status
+
+
+class NfsClient:
+    """A mounted NFS session."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self.rfile = self.sock.makefile("rb")
+        self.wfile = self.sock.makefile("wb")
+        self._xids = itertools.count(1)
+        self.root: bytes | None = None
+
+    def close(self) -> None:
+        for stream in (self.wfile, self.rfile):
+            try:
+                stream.close()
+            except OSError:
+                pass
+        self.sock.close()
+
+    def __enter__(self) -> "NfsClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- rpc plumbing -------------------------------------------------------
+    def _call(self, prog: int, proc: int, args: bytes) -> Unpacker:
+        xid = next(self._xids)
+        nfs.write_record(self.wfile, nfs.pack_call(xid, prog, proc, args))
+        reply_xid, results = nfs.unpack_reply(nfs.read_record(self.rfile))
+        if reply_xid != xid:
+            raise ProtocolError(f"xid mismatch {reply_xid} != {xid}")
+        return results
+
+    def _checked(self, prog: int, proc: int, args: bytes) -> Unpacker:
+        u = self._call(prog, proc, args)
+        status = u.unpack_uint()
+        if status != nfs.NFS_OK:
+            raise NfsError(status)
+        return u
+
+    # -- mount / lookup ----------------------------------------------------
+    def mount(self, dirpath: str = "/") -> bytes:
+        """MNT: obtain the root file handle."""
+        p = Packer()
+        p.pack_string(dirpath)
+        u = self._checked(nfs.PROG_MOUNT, nfs.MOUNTPROC_MNT, p.get_buffer())
+        self.root = u.unpack_fixed(nfs.FHSIZE)
+        return self.root
+
+    def lookup(self, dirfh: bytes, name: str) -> tuple[bytes, dict[str, Any]]:
+        """LOOKUP one component; returns (fhandle, attributes)."""
+        p = Packer()
+        p.pack_fixed(dirfh)
+        p.pack_string(name)
+        u = self._checked(nfs.PROG_NFS, nfs.PROC_LOOKUP, p.get_buffer())
+        handle = u.unpack_fixed(nfs.FHSIZE)
+        return handle, nfs.unpack_fattr(u)
+
+    def lookup_path(self, path: str) -> tuple[bytes, dict[str, Any]]:
+        """Resolve an absolute path component by component."""
+        if self.root is None:
+            self.mount()
+        handle = self.root
+        attrs: dict[str, Any] = {"type": nfs.NFDIR, "size": 0}
+        for part in [p for p in path.split("/") if p]:
+            handle, attrs = self.lookup(handle, part)
+        return handle, attrs
+
+    def getattr(self, fh: bytes) -> dict[str, Any]:
+        """GETATTR."""
+        p = Packer()
+        p.pack_fixed(fh)
+        u = self._checked(nfs.PROG_NFS, nfs.PROC_GETATTR, p.get_buffer())
+        return nfs.unpack_fattr(u)
+
+    # -- data ------------------------------------------------------------------
+    def read_block(self, fh: bytes, offset: int,
+                   count: int = nfs.BLOCK_SIZE) -> bytes:
+        """One READ rpc."""
+        p = Packer()
+        p.pack_fixed(fh)
+        p.pack_hyper(offset)
+        p.pack_uint(count)
+        u = self._checked(nfs.PROG_NFS, nfs.PROC_READ, p.get_buffer())
+        nfs.unpack_fattr(u)
+        return u.unpack_opaque()
+
+    def write_block(self, fh: bytes, offset: int, data: bytes) -> dict[str, Any]:
+        """One WRITE rpc."""
+        p = Packer()
+        p.pack_fixed(fh)
+        p.pack_hyper(offset)
+        p.pack_opaque(data)
+        u = self._checked(nfs.PROG_NFS, nfs.PROC_WRITE, p.get_buffer())
+        return nfs.unpack_fattr(u)
+
+    def read_file(self, path: str) -> bytes:
+        """Whole-file read as a stream of block rpcs (the kernel-client
+        behaviour that makes NFS latency-bound in Figs. 3/4)."""
+        fh, attrs = self.lookup_path(path)
+        out = bytearray()
+        offset = 0
+        while offset < attrs["size"]:
+            block = self.read_block(fh, offset)
+            if not block:
+                break
+            out.extend(block)
+            offset += len(block)
+        return bytes(out)
+
+    def write_file(self, path: str, data: bytes) -> None:
+        """Whole-file write as sequential block rpcs (creates first)."""
+        directory, _, name = path.rpartition("/")
+        dirfh, _ = self.lookup_path(directory or "/")
+        fh = self.create(dirfh, name)
+        offset = 0
+        while offset < len(data):
+            chunk = data[offset:offset + nfs.BLOCK_SIZE]
+            self.write_block(fh, offset, chunk)
+            offset += len(chunk)
+
+    # -- namespace ------------------------------------------------------------
+    def create(self, dirfh: bytes, name: str) -> bytes:
+        """CREATE an empty file; returns its handle."""
+        p = Packer()
+        p.pack_fixed(dirfh)
+        p.pack_string(name)
+        u = self._checked(nfs.PROG_NFS, nfs.PROC_CREATE, p.get_buffer())
+        return u.unpack_fixed(nfs.FHSIZE)
+
+    def mkdir(self, dirfh: bytes, name: str) -> bytes:
+        """MKDIR; returns the new directory's handle."""
+        p = Packer()
+        p.pack_fixed(dirfh)
+        p.pack_string(name)
+        u = self._checked(nfs.PROG_NFS, nfs.PROC_MKDIR, p.get_buffer())
+        return u.unpack_fixed(nfs.FHSIZE)
+
+    def remove(self, dirfh: bytes, name: str) -> None:
+        """REMOVE a file."""
+        p = Packer()
+        p.pack_fixed(dirfh)
+        p.pack_string(name)
+        self._checked(nfs.PROG_NFS, nfs.PROC_REMOVE, p.get_buffer())
+
+    def rmdir(self, dirfh: bytes, name: str) -> None:
+        """RMDIR."""
+        p = Packer()
+        p.pack_fixed(dirfh)
+        p.pack_string(name)
+        self._checked(nfs.PROG_NFS, nfs.PROC_RMDIR, p.get_buffer())
+
+    def readdir(self, dirfh: bytes) -> list[tuple[str, int]]:
+        """READDIR: (name, ftype) entries."""
+        p = Packer()
+        p.pack_fixed(dirfh)
+        u = self._checked(nfs.PROG_NFS, nfs.PROC_READDIR, p.get_buffer())
+        count = u.unpack_uint()
+        return [(u.unpack_string(), u.unpack_uint()) for _ in range(count)]

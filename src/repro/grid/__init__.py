@@ -1,0 +1,33 @@
+"""Grid middleware: the systems around NeST in Figure 2.
+
+The paper's section 6 walks a user's jobs through a global Grid: a
+**discovery system** holds NeST availability ads; a **global execution
+manager** matches a request against them, creates a lot at the chosen
+site, stages input data with third-party GridFTP, runs jobs that do
+their I/O over NFS, ships outputs home, and finally terminates the
+reservation; and a **DAG manager** (Condor DAGMan) sequences such steps
+with dependencies.
+
+This package implements all three against the live servers:
+
+* :mod:`repro.grid.discovery` -- the collector + matchmaking queries;
+* :mod:`repro.grid.dagman` -- a DAGMan-style dependency executor;
+* :mod:`repro.grid.manager` -- the global execution manager running the
+  full six-step scenario of Figure 2.
+"""
+
+from repro.grid.discovery import Collector
+from repro.grid.dagman import DagMan, DagNode, DagError
+from repro.grid.kangaroo import KangarooMover
+from repro.grid.manager import ExecutionManager, GridJob, ScenarioReport
+
+__all__ = [
+    "Collector",
+    "DagMan",
+    "DagNode",
+    "DagError",
+    "KangarooMover",
+    "ExecutionManager",
+    "GridJob",
+    "ScenarioReport",
+]

@@ -1,0 +1,148 @@
+"""A DAGMan-style request execution manager.
+
+"Note that many of the steps of guaranteeing space, moving input data,
+executing jobs, moving output data, and terminating reservations, can
+be encapsulated within a request execution manager such as the Condor
+Directed-Acyclic-Graph Manager (DAGMan)." (paper, §6)
+
+Nodes are callables with parent dependencies; the manager runs every
+node whose parents succeeded, with bounded concurrency and per-node
+retries, and reports per-node outcomes.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+class DagError(Exception):
+    """Structural problems: cycles, unknown parents, duplicate names."""
+
+
+@dataclass
+class DagNode:
+    """One unit of work in the DAG."""
+
+    name: str
+    command: Callable[[], Any]
+    parents: tuple[str, ...] = ()
+    retries: int = 0
+
+    # run-state, owned by the manager:
+    status: str = "pending"  #: pending | running | done | failed | skipped
+    result: Any = None
+    error: BaseException | None = None
+    attempts: int = 0
+
+
+class DagMan:
+    """Build and execute a DAG of named nodes."""
+
+    def __init__(self) -> None:
+        self._nodes: dict[str, DagNode] = {}
+
+    # -- construction ---------------------------------------------------------
+    def add(self, name: str, command: Callable[[], Any],
+            parents: tuple[str, ...] | list[str] = (), retries: int = 0
+            ) -> DagNode:
+        """Add a node; parents must already exist or be added later."""
+        if name in self._nodes:
+            raise DagError(f"duplicate node {name!r}")
+        node = DagNode(name=name, command=command, parents=tuple(parents),
+                       retries=retries)
+        self._nodes[name] = node
+        return node
+
+    def node(self, name: str) -> DagNode:
+        return self._nodes[name]
+
+    def _validate(self) -> list[str]:
+        """Check parents exist + no cycles; returns a topological order."""
+        for node in self._nodes.values():
+            for parent in node.parents:
+                if parent not in self._nodes:
+                    raise DagError(f"{node.name!r} depends on unknown {parent!r}")
+        order: list[str] = []
+        state: dict[str, int] = {}  # 0 unseen, 1 in-progress, 2 done
+
+        def visit(name: str) -> None:
+            if state.get(name) == 2:
+                return
+            if state.get(name) == 1:
+                raise DagError(f"cycle involving {name!r}")
+            state[name] = 1
+            for parent in self._nodes[name].parents:
+                visit(parent)
+            state[name] = 2
+            order.append(name)
+
+        for name in self._nodes:
+            visit(name)
+        return order
+
+    # -- execution ----------------------------------------------------------
+    def run(self, max_concurrent: int = 4) -> bool:
+        """Execute the DAG; returns True iff every node succeeded.
+
+        Nodes whose parents failed are marked ``skipped``.  A failing
+        node is retried up to its ``retries`` count before counting as
+        failed.
+        """
+        self._validate()
+        lock = threading.Lock()
+        done_event = threading.Condition(lock)
+        running = 0
+
+        def runnable_locked() -> list[DagNode]:
+            out = []
+            for node in self._nodes.values():
+                if node.status != "pending":
+                    continue
+                parent_status = [self._nodes[p].status for p in node.parents]
+                if any(s in ("failed", "skipped") for s in parent_status):
+                    node.status = "skipped"
+                    continue
+                if all(s == "done" for s in parent_status):
+                    out.append(node)
+            return out
+
+        def execute(node: DagNode) -> None:
+            nonlocal running
+            while True:
+                node.attempts += 1
+                try:
+                    node.result = node.command()
+                    error = None
+                except BaseException as exc:  # noqa: BLE001 - reported
+                    error = exc
+                if error is None:
+                    break
+                if node.attempts > node.retries:
+                    node.error = error
+                    break
+            with done_event:
+                node.status = "failed" if node.error else "done"
+                running -= 1
+                done_event.notify_all()
+
+        with done_event:
+            while True:
+                for node in runnable_locked():
+                    if running >= max_concurrent:
+                        break
+                    node.status = "running"
+                    running += 1
+                    threading.Thread(target=execute, args=(node,),
+                                     daemon=True).start()
+                unfinished = [n for n in self._nodes.values()
+                              if n.status in ("pending", "running")]
+                if not unfinished:
+                    break
+                done_event.wait(timeout=30)
+        return all(n.status == "done" for n in self._nodes.values())
+
+    def report(self) -> dict[str, str]:
+        """Node name -> final status."""
+        return {name: node.status for name, node in self._nodes.items()}

@@ -1,0 +1,71 @@
+"""The global discovery system: a ClassAd collector with matchmaking.
+
+NeST servers periodically publish availability ads ("the NeST 'gateway'
+appliance in Argonne has previously published both its resource and
+data availability into a global Grid discovery system", §6); execution
+managers query the collector with request ads and receive the
+best-ranked matches.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.classads import ClassAd, match_rank, symmetric_match
+
+
+@dataclass
+class _Entry:
+    ad: ClassAd
+    expires_at: float
+
+
+class Collector:
+    """A registry of advertisements with TTL expiry and matchmaking."""
+
+    def __init__(self, clock: Callable[[], float] = time.time,
+                 default_ttl: float = 120.0):
+        self.clock = clock
+        self.default_ttl = default_ttl
+        self._entries: dict[str, _Entry] = {}
+        self._lock = threading.Lock()
+
+    def advertise(self, ad: ClassAd, ttl: float | None = None) -> None:
+        """Publish (or refresh) an ad, keyed by its Name attribute."""
+        name = ad.eval("Name")
+        if not isinstance(name, str) or not name:
+            raise ValueError("advertisement needs a string Name attribute")
+        with self._lock:
+            self._entries[name] = _Entry(
+                ad=ad, expires_at=self.clock() + (ttl or self.default_ttl)
+            )
+
+    def withdraw(self, name: str) -> None:
+        """Remove an ad explicitly."""
+        with self._lock:
+            self._entries.pop(name, None)
+
+    def _alive(self) -> list[ClassAd]:
+        now = self.clock()
+        with self._lock:
+            dead = [n for n, e in self._entries.items() if e.expires_at <= now]
+            for name in dead:
+                del self._entries[name]
+            return [e.ad for e in self._entries.values()]
+
+    def __len__(self) -> int:
+        return len(self._alive())
+
+    def query(self, request: ClassAd) -> list[ClassAd]:
+        """Matching ads, best-ranked (by the request's Rank) first."""
+        matches = [ad for ad in self._alive() if symmetric_match(request, ad)]
+        matches.sort(key=lambda ad: -match_rank(request, ad))
+        return matches
+
+    def locate(self, request: ClassAd) -> ClassAd | None:
+        """The single best match, or None."""
+        matches = self.query(request)
+        return matches[0] if matches else None

@@ -1,0 +1,130 @@
+"""Kangaroo-style store-and-forward data movement.
+
+"Other data movement protocols such as Kangaroo could also be utilized
+to move data from site to site" (paper, §6, citing Thain et al.'s *The
+Kangaroo Approach to Data Movement on the Grid*).  Kangaroo's idea:
+applications *hand off* output to a local spool and keep computing; a
+background mover pushes the data toward its destination, absorbing
+failures with retries.  Writes become reliable and asynchronous --
+"hop by hop" instead of end to end.
+
+:class:`KangarooMover` implements the one-hop version against NeST:
+``put()`` spools locally and returns immediately; a mover thread
+drains the spool to the destination server over Chirp, retrying with
+backoff until the destination accepts.  ``flush()`` is the barrier
+(Kangaroo's ``kangaroo_sync``).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.client.chirp import ChirpClient, ChirpError
+from repro.nest.auth import Credential
+
+
+@dataclass
+class SpoolEntry:
+    """One pending write in the spool."""
+
+    path: str
+    data: bytes
+    attempts: int = 0
+
+
+@dataclass
+class MoverStats:
+    """Observability for tests and operators."""
+
+    delivered: int = 0
+    retries: int = 0
+    failed: list[str] = field(default_factory=list)
+
+
+class KangarooMover:
+    """Asynchronous, retrying delivery of files to a NeST server."""
+
+    def __init__(
+        self,
+        host: str,
+        chirp_port: int,
+        credential: Credential | None = None,
+        max_attempts: int = 10,
+        retry_delay: float = 0.2,
+    ):
+        self.host = host
+        self.chirp_port = chirp_port
+        self.credential = credential
+        self.max_attempts = max_attempts
+        self.retry_delay = retry_delay
+        self.stats = MoverStats()
+        self._spool: "queue.Queue[SpoolEntry | None]" = queue.Queue()
+        self._idle = threading.Event()
+        self._idle.set()
+        self._running = True
+        self._thread = threading.Thread(target=self._mover_loop,
+                                        name="kangaroo-mover", daemon=True)
+        self._thread.start()
+
+    # -- application side -----------------------------------------------------
+    def put(self, path: str, data: bytes) -> None:
+        """Spool a write and return immediately (the Kangaroo hand-off)."""
+        if not self._running:
+            raise RuntimeError("mover is stopped")
+        self._idle.clear()
+        self._spool.put(SpoolEntry(path=path, data=bytes(data)))
+
+    def flush(self, timeout: float = 30.0) -> bool:
+        """Block until the spool is fully delivered (kangaroo_sync)."""
+        return self._idle.wait(timeout)
+
+    def stop(self) -> None:
+        """Drain and stop the mover."""
+        self.flush()
+        self._running = False
+        self._spool.put(None)
+        self._thread.join(timeout=5)
+
+    def __enter__(self) -> "KangarooMover":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    @property
+    def pending(self) -> int:
+        """Writes spooled but not yet delivered."""
+        return self._spool.qsize()
+
+    # -- mover side ----------------------------------------------------------
+    def _mover_loop(self) -> None:
+        while True:
+            entry = self._spool.get()
+            if entry is None:
+                return
+            self._deliver(entry)
+            if self._spool.empty():
+                self._idle.set()
+
+    def _deliver(self, entry: SpoolEntry) -> None:
+        while entry.attempts < self.max_attempts:
+            entry.attempts += 1
+            try:
+                client = ChirpClient(self.host, self.chirp_port, timeout=5.0)
+                try:
+                    if self.credential is not None:
+                        client.authenticate(self.credential)
+                    client.put(entry.path, entry.data)
+                    self.stats.delivered += 1
+                    return
+                finally:
+                    client.close()
+            except (ChirpError, OSError):
+                # The destination is down or refused: back off and
+                # retry -- the whole point of spooling.
+                self.stats.retries += 1
+                time.sleep(self.retry_delay * entry.attempts)
+        self.stats.failed.append(entry.path)

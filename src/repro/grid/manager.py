@@ -1,0 +1,210 @@
+"""The global execution manager: Figure 2's six-step scenario.
+
+A user's input data lives on their home NeST; the manager
+
+1. receives the job submission,
+2. discovers a remote NeST with enough space (collector matchmaking)
+   and creates a **lot** there over Chirp,
+3. stages the input data with **third-party GridFTP** transfers,
+4. runs the jobs at the remote site, where they access their files over
+   **NFS** (the local-area protocol, as unmodified applications would),
+5. moves the output data home, again over GridFTP,
+6. terminates the lot and reports completion.
+
+All the steps are encapsulated as a DAG, exactly the DAGMan usage the
+paper sketches; :meth:`ExecutionManager.run_scenario` returns a
+:class:`ScenarioReport` recording each step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.client.chirp import ChirpClient
+from repro.client.gridftp import GridFtpClient, third_party_transfer
+from repro.client.nfs import NfsClient
+from repro.grid.dagman import DagMan
+from repro.grid.discovery import Collector
+from repro.nest.advertise import storage_request_ad
+from repro.nest.auth import Credential
+from repro.nest.server import NestServer
+
+
+@dataclass
+class GridJob:
+    """One remote job: reads input files, computes, writes outputs.
+
+    ``compute`` maps {input path: bytes} to {output path: bytes}; the
+    paths are remote-NeST paths relative to the staged working
+    directory.
+    """
+
+    name: str
+    inputs: tuple[str, ...]
+    outputs: tuple[str, ...]
+    compute: Callable[[dict[str, bytes]], dict[str, bytes]]
+
+
+@dataclass
+class ScenarioReport:
+    """What happened, step by step (for assertions and the example)."""
+
+    site: str = ""
+    lot_id: str = ""
+    staged_in: list[str] = field(default_factory=list)
+    jobs_run: list[str] = field(default_factory=list)
+    staged_out: list[str] = field(default_factory=list)
+    lot_terminated: bool = False
+    dag_status: dict[str, str] = field(default_factory=dict)
+
+
+class ExecutionManager:
+    """Coordinates jobs, storage reservations, and data movement."""
+
+    def __init__(self, collector: Collector, credential: Credential):
+        self.collector = collector
+        self.credential = credential
+
+    # -- step 2a: discovery ------------------------------------------------
+    def find_site(self, needed_bytes: int,
+                  exclude: str | None = None) -> tuple[str, dict[str, int], str]:
+        """Matchmake a storage request; returns (host, ports, name).
+
+        ``exclude`` skips a site by name (typically the home site --
+        staging data to where it already lives achieves nothing).
+        """
+        request = storage_request_ad(needed_bytes, protocol="gridftp")
+        ad = None
+        for candidate in self.collector.query(request):
+            if exclude is None or str(candidate.eval("Name")) != exclude:
+                ad = candidate
+                break
+        if ad is None:
+            raise RuntimeError(f"no site offers {needed_bytes} bytes")
+        host = str(ad.eval("Host"))
+        name = str(ad.eval("Name"))
+        ports = {}
+        for proto in ("chirp", "gridftp", "nfs", "http", "ftp"):
+            value = ad.eval(f"{proto.capitalize()}Port")
+            if isinstance(value, int):
+                ports[proto] = value
+        return host, ports, name
+
+    # -- the full scenario ---------------------------------------------------
+    def run_scenario(
+        self,
+        home: NestServer,
+        jobs: list[GridJob],
+        home_dir: str = "/home",
+        remote_dir: str = "/scratch",
+        space_factor: float = 2.0,
+        lot_duration: float = 3600.0,
+    ) -> ScenarioReport:
+        """Execute Figure 2's steps 1-6 for ``jobs``.
+
+        Input files must already exist under ``home_dir`` on ``home``;
+        outputs appear there when the scenario completes.
+        """
+        report = ScenarioReport()
+        input_paths = sorted({p for job in jobs for p in job.inputs})
+        output_paths = sorted({p for job in jobs for p in job.outputs})
+
+        # Step 1 happened: the user submitted `jobs` to us.
+        home_chirp = ChirpClient(*home.endpoint("chirp"))
+        home_chirp.authenticate(self.credential)
+        try:
+            input_bytes = sum(
+                home_chirp.stat(f"{home_dir}/{p}")["size"] for p in input_paths
+            )
+            needed = int(space_factor * max(input_bytes, 1))
+
+            # Step 2: find a site and guarantee space there with a lot.
+            host, ports, site = self.find_site(needed,
+                                               exclude=home.config.name)
+            report.site = site
+            remote_chirp = ChirpClient(host, ports["chirp"])
+            remote_chirp.authenticate(self.credential)
+            try:
+                lot = remote_chirp.lot_create(needed, lot_duration)
+                report.lot_id = lot["lot_id"]
+                if not any(e["name"] == remote_dir.strip("/")
+                           for e in remote_chirp.listdir("/")):
+                    remote_chirp.mkdir(remote_dir)
+                # Jobs run anonymously over NFS: open the directory up.
+                remote_chirp.acl_set(remote_dir, "*", "rliwd")
+
+                # Steps 3-6 as a DAG (the DAGMan encapsulation of §6).
+                dag = DagMan()
+                home_gftp = GridFtpClient(*home.endpoint("gridftp"),
+                                          credential=self.credential)
+                remote_gftp = GridFtpClient(host, ports["gridftp"],
+                                            credential=self.credential)
+
+                def stage_in(path: str) -> Callable[[], None]:
+                    def step() -> None:
+                        third_party_transfer(
+                            home_gftp, f"{home_dir}/{path}",
+                            remote_gftp, f"{remote_dir}/{path}",
+                        )
+                        report.staged_in.append(path)
+                    return step
+
+                def run_job(job: GridJob) -> Callable[[], None]:
+                    def step() -> None:
+                        nfs_client = NfsClient(host, ports["nfs"])
+                        try:
+                            nfs_client.mount("/")
+                            inputs = {
+                                p: nfs_client.read_file(f"{remote_dir}/{p}")
+                                for p in job.inputs
+                            }
+                            outputs = job.compute(inputs)
+                            for p, data in outputs.items():
+                                nfs_client.write_file(f"{remote_dir}/{p}", data)
+                        finally:
+                            nfs_client.close()
+                        report.jobs_run.append(job.name)
+                    return step
+
+                def stage_out(path: str) -> Callable[[], None]:
+                    def step() -> None:
+                        third_party_transfer(
+                            remote_gftp, f"{remote_dir}/{path}",
+                            home_gftp, f"{home_dir}/{path}",
+                        )
+                        report.staged_out.append(path)
+                    return step
+
+                for path in input_paths:
+                    dag.add(f"stage-in:{path}", stage_in(path))
+                for job in jobs:
+                    dag.add(
+                        f"job:{job.name}", run_job(job),
+                        parents=[f"stage-in:{p}" for p in job.inputs],
+                    )
+                for path in output_paths:
+                    producers = [f"job:{j.name}" for j in jobs
+                                 if path in j.outputs]
+                    dag.add(f"stage-out:{path}", stage_out(path),
+                            parents=producers)
+
+                try:
+                    # Third-party control channels are serial: one data
+                    # connection pairing at a time.
+                    ok = dag.run(max_concurrent=1)
+                finally:
+                    home_gftp.close()
+                    remote_gftp.close()
+                report.dag_status = dag.report()
+                if not ok:
+                    raise RuntimeError(f"scenario DAG failed: {dag.report()}")
+
+                # Step 6: terminate the reservation.
+                remote_chirp.lot_delete(lot["lot_id"])
+                report.lot_terminated = True
+            finally:
+                remote_chirp.close()
+        finally:
+            home_chirp.close()
+        return report

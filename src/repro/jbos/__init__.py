@@ -1,0 +1,40 @@
+"""JBOS: "Just a Bunch Of Servers" -- the paper's baseline (§3).
+
+The alternative to NeST's single multi-protocol server is to run one
+*native* server per protocol side by side: wu-ftpd, Apache, the kernel
+nfsd, and the Globus GridFTP server.  This package provides live
+stand-ins for those: small, independent, single-protocol servers that
+share only a data directory.  Deliberately absent, because the point of
+the comparison is their absence:
+
+* no common request interface -- each server parses and serves its own
+  wire format directly;
+* no shared transfer manager -- each connection pumps its own bytes, so
+  nothing can schedule *across* protocols;
+* no lots, no ClassAd ACLs, no advertisement.
+
+The one cross-cutting control a JBOS admin does have is Apache-style
+per-server bandwidth throttling (:mod:`repro.jbos.throttle`), which the
+paper contrasts with NeST's proportional-share scheduling: it "only
+applies to the HTTP requests the Apache server processes".
+"""
+
+from repro.jbos.store import SimpleStore
+from repro.jbos.throttle import Throttle
+from repro.jbos.httpd import NativeHttpd
+from repro.jbos.ftpd import NativeFtpd
+from repro.jbos.gridftpd import NativeGridFtpd
+from repro.jbos.nfsd import NativeNfsd
+from repro.jbos.chirpd import NativeChirpd
+from repro.jbos.manager import JbosManager
+
+__all__ = [
+    "SimpleStore",
+    "Throttle",
+    "NativeHttpd",
+    "NativeFtpd",
+    "NativeGridFtpd",
+    "NativeNfsd",
+    "NativeChirpd",
+    "JbosManager",
+]

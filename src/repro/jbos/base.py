@@ -1,0 +1,103 @@
+"""Common plumbing for the native single-protocol servers.
+
+Each native server owns a listener and spawns a thread per connection,
+pumping bytes *directly* -- no transfer manager, no scheduler, exactly
+one protocol.  This base class is intentionally thin: the servers are
+meant to be independent daemons, not a framework.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from repro.jbos.store import SimpleStore
+from repro.jbos.throttle import Throttle, Unthrottled
+
+
+class NativeServer:
+    """Base: listener + thread-per-connection accept loop."""
+
+    protocol = "base"
+
+    def __init__(
+        self,
+        store: SimpleStore | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        throttle: Throttle | None = None,
+    ):
+        self.store = store if store is not None else SimpleStore()
+        self.host = host
+        self._requested_port = port
+        self.port: int | None = None
+        self.throttle = throttle if throttle is not None else Unthrottled()
+        self._listener: socket.socket | None = None
+        self._thread: threading.Thread | None = None
+        self._running = False
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> "NativeServer":
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self._requested_port))
+        listener.listen(32)
+        listener.settimeout(0.2)
+        self._listener = listener
+        self.port = listener.getsockname()[1]
+        self._running = True
+        self._thread = threading.Thread(
+            target=self._accept_loop, name=f"jbos-{self.protocol}", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+        if self._listener is not None:
+            self._listener.close()
+        if self._thread is not None:
+            self._thread.join(timeout=2)
+
+    def __enter__(self) -> "NativeServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- accept loop ----------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                conn, addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            threading.Thread(
+                target=self._safe_handle, args=(conn, addr),
+                name=f"jbos-{self.protocol}-conn", daemon=True,
+            ).start()
+
+    def _safe_handle(self, conn: socket.socket, addr) -> None:
+        try:
+            self.handle(conn, addr)
+        except (OSError, ValueError):
+            pass
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def handle(self, conn: socket.socket, addr) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    # -- data pumping (direct, throttled) ---------------------------------------
+    def send_all(self, wfile, data: bytes, chunk: int = 65536) -> None:
+        """Send with the per-server throttle applied."""
+        for i in range(0, len(data), chunk):
+            piece = data[i:i + chunk]
+            self.throttle.consume(len(piece))
+            wfile.write(piece)
+        wfile.flush()

@@ -1,0 +1,123 @@
+"""The native GridFTP daemon (the Globus wuftpd derivative of 2001)."""
+
+from __future__ import annotations
+
+import base64
+import socket
+
+from repro.jbos.ftpd import NativeFtpd, _FtpSession
+from repro.jbos.store import SimpleStore, SimpleStoreError
+from repro.jbos.throttle import Throttle
+from repro.nest.auth import AuthError, CertificateAuthority, GSIContext
+from repro.protocols import ftp, gridftp
+from repro.protocols.common import ProtocolError
+
+
+class NativeGridFtpd(NativeFtpd):
+    """FTP daemon plus GSI authentication and extended-block mode."""
+
+    protocol = "gridftp"
+    greeting = "globus-gridftp (repro) ready"
+
+    def __init__(self, store: SimpleStore | None = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 throttle: Throttle | None = None,
+                 ca: CertificateAuthority | None = None):
+        super().__init__(store=store, host=host, port=port, throttle=throttle)
+        self.gsi = GSIContext(ca or CertificateAuthority())
+
+    def handle(self, conn: socket.socket, addr) -> None:
+        session = _GridFtpSession(self, conn)
+        session.run()
+
+
+class _GridFtpSession(_FtpSession):
+    def __init__(self, server: NativeGridFtpd, conn: socket.socket):
+        super().__init__(server, conn)
+        self.mode = "S"
+        self._challenge: bytes | None = None
+        self._cert: bytes | None = None
+
+    def dispatch(self, verb: str, arg: str) -> bool:
+        if verb == "AUTH":
+            self.reply(334, "ADAT must follow")
+            return True
+        if verb == "ADAT":
+            self._adat(arg)
+            return True
+        if verb == "MODE":
+            self.mode = arg.upper() or "S"
+            self.reply(200, f"mode {self.mode}")
+            return True
+        if verb == "OPTS":
+            try:
+                gridftp.parse_opts_retr(arg)
+                self.reply(200, "ok")
+            except ProtocolError as exc:
+                self.reply(ftp.SYNTAX_ERROR, str(exc))
+            return True
+        if verb == "RETR" and self.mode == "E":
+            self._retr_eblock(self.resolve(arg))
+            return True
+        if verb == "STOR" and self.mode == "E":
+            self._stor_eblock(self.resolve(arg))
+            return True
+        return super().dispatch(verb, arg)
+
+    def _adat(self, arg: str) -> None:
+        try:
+            payload = base64.b64decode(arg)
+        except ValueError:
+            self.reply(ftp.SYNTAX_ERROR, "bad base64")
+            return
+        if self._challenge is None:
+            self._cert = payload
+            self._challenge = self.server.gsi.challenge()
+            self.reply(ftp.AUTH_CONTINUE,
+                       f"ADAT={base64.b64encode(self._challenge).decode()}")
+            return
+        try:
+            subject = self.server.gsi.accept(self._cert, self._challenge,
+                                             payload)
+            self.reply(ftp.AUTH_OK, f"authenticated {subject}")
+        except AuthError as exc:
+            self.reply(ftp.NOT_LOGGED_IN, str(exc))
+        finally:
+            self._challenge = None
+
+    def _retr_eblock(self, path: str) -> None:
+        data = self.server.store.read(path)
+        self.reply(ftp.OPENING_DATA, "sending eblock")
+        conn = self._data_conn()
+        out = conn.makefile("wb")
+        try:
+            block = 256 * 1024
+            for offset in range(0, len(data), block):
+                payload = data[offset:offset + block]
+                self.server.throttle.consume(len(payload))
+                gridftp.write_block(out, offset, payload)
+            gridftp.write_eod(out, eof=True)
+            out.flush()
+        finally:
+            out.close()
+            conn.close()
+        self.reply(ftp.TRANSFER_OK, "done")
+
+    def _stor_eblock(self, path: str) -> None:
+        self.reply(ftp.OPENING_DATA, "receiving eblock")
+        conn = self._data_conn()
+        stream = conn.makefile("rb")
+        buffer = bytearray()
+        try:
+            for offset, payload in gridftp.iter_blocks(stream):
+                if offset + len(payload) > len(buffer):
+                    buffer.extend(b"\x00" * (offset + len(payload) - len(buffer)))
+                buffer[offset:offset + len(payload)] = payload
+        except ProtocolError:
+            self.reply(ftp.ACTION_FAILED, "bad eblock stream")
+            return
+        finally:
+            stream.close()
+            conn.close()
+        self.server.store.write(path, bytes(buffer))
+        self.reply(ftp.TRANSFER_OK, "stored")

@@ -1,0 +1,71 @@
+"""Run the bunch: one native server per protocol over one shared store."""
+
+from __future__ import annotations
+
+from repro.jbos.chirpd import NativeChirpd
+from repro.jbos.ftpd import NativeFtpd
+from repro.jbos.gridftpd import NativeGridFtpd
+from repro.jbos.httpd import NativeHttpd
+from repro.jbos.nfsd import NativeNfsd
+from repro.jbos.store import SimpleStore
+from repro.jbos.throttle import Throttle
+from repro.nest.auth import CertificateAuthority
+
+_SERVER_CLASSES = {
+    "chirp": NativeChirpd,
+    "http": NativeHttpd,
+    "ftp": NativeFtpd,
+    "gridftp": NativeGridFtpd,
+    "nfs": NativeNfsd,
+}
+
+
+class JbosManager:
+    """Start/stop a bunch of native servers sharing one store.
+
+    The manager exists purely for operator convenience -- it is *not* a
+    coordination layer.  The servers stay fully independent, which is
+    exactly the property the paper's JBOS comparison isolates.
+    """
+
+    def __init__(
+        self,
+        protocols: tuple[str, ...] = ("chirp", "http", "ftp", "gridftp", "nfs"),
+        store: SimpleStore | None = None,
+        host: str = "127.0.0.1",
+        throttles: dict[str, Throttle] | None = None,
+        ca: CertificateAuthority | None = None,
+    ):
+        self.store = store if store is not None else SimpleStore()
+        self.host = host
+        self.servers: dict[str, object] = {}
+        throttles = throttles or {}
+        for proto in protocols:
+            cls = _SERVER_CLASSES.get(proto)
+            if cls is None:
+                raise ValueError(f"no native server for {proto!r}")
+            kwargs = dict(store=self.store, host=host,
+                          throttle=throttles.get(proto))
+            if proto == "gridftp":
+                kwargs["ca"] = ca
+            self.servers[proto] = cls(**kwargs)
+
+    @property
+    def ports(self) -> dict[str, int]:
+        """Bound port per protocol (after start)."""
+        return {proto: srv.port for proto, srv in self.servers.items()}
+
+    def start(self) -> "JbosManager":
+        for server in self.servers.values():
+            server.start()
+        return self
+
+    def stop(self) -> None:
+        for server in self.servers.values():
+            server.stop()
+
+    def __enter__(self) -> "JbosManager":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

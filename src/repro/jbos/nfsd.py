@@ -1,0 +1,157 @@
+"""The native NFS daemon ("Linux nfsd" in Fig. 3's JBOS bars)."""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+
+from repro.jbos.base import NativeServer
+from repro.jbos.store import SimpleStoreError
+from repro.protocols import nfs
+from repro.protocols.common import ProtocolError
+from repro.protocols.xdr import Packer, Unpacker
+
+
+class NativeNfsd(NativeServer):
+    """Single-protocol NFS server over a :class:`SimpleStore`."""
+
+    protocol = "nfs"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._tokens: dict[int, str] = {1: "/"}
+        self._paths: dict[str, int] = {"/": 1}
+        self._next_token = itertools.count(2)
+        self._fh_lock = threading.Lock()
+
+    def _fh(self, path: str) -> bytes:
+        with self._fh_lock:
+            token = self._paths.get(path)
+            if token is None:
+                token = next(self._next_token)
+                self._paths[path] = token
+                self._tokens[token] = path
+            return nfs.make_fhandle(token)
+
+    def _path(self, handle: bytes) -> str:
+        with self._fh_lock:
+            path = self._tokens.get(nfs.fhandle_token(handle))
+        if path is None:
+            raise SimpleStoreError("stale handle")
+        return path
+
+    def handle(self, conn: socket.socket, addr) -> None:
+        rfile = conn.makefile("rb")
+        wfile = conn.makefile("wb")
+        try:
+            while True:
+                try:
+                    record = nfs.read_record(rfile)
+                    xid, prog, proc, args = nfs.unpack_call(record)
+                except ProtocolError:
+                    return
+                try:
+                    results = self._dispatch(prog, proc, args)
+                except (SimpleStoreError, ProtocolError):
+                    p = Packer()
+                    p.pack_uint(nfs.NFSERR_NOENT)
+                    results = p.get_buffer()
+                nfs.write_record(wfile, nfs.pack_reply(xid, results))
+        finally:
+            wfile.close()
+            rfile.close()
+
+    def _dispatch(self, prog: int, proc: int, args: Unpacker) -> bytes:
+        store = self.store
+        p = Packer()
+        if prog == nfs.PROG_MOUNT and proc == nfs.MOUNTPROC_MNT:
+            dirpath = args.unpack_string() or "/"
+            if not store.is_dir(dirpath):
+                p.pack_uint(nfs.NFSERR_NOENT)
+                return p.get_buffer()
+            p.pack_uint(nfs.NFS_OK)
+            p.pack_fixed(self._fh(dirpath))
+            return p.get_buffer()
+        if proc == nfs.PROC_NULL:
+            return b""
+        if proc == nfs.PROC_GETATTR:
+            path = self._path(args.unpack_fixed(nfs.FHSIZE))
+            p.pack_uint(nfs.NFS_OK)
+            if store.is_dir(path):
+                nfs.pack_fattr(p, nfs.NFDIR, 0)
+            else:
+                nfs.pack_fattr(p, nfs.NFREG, store.size(path))
+            return p.get_buffer()
+        if proc == nfs.PROC_LOOKUP:
+            dirpath = self._path(args.unpack_fixed(nfs.FHSIZE))
+            name = args.unpack_string()
+            path = dirpath.rstrip("/") + "/" + name
+            if not store.exists(path):
+                p.pack_uint(nfs.NFSERR_NOENT)
+                return p.get_buffer()
+            p.pack_uint(nfs.NFS_OK)
+            p.pack_fixed(self._fh(path))
+            if store.is_dir(path):
+                nfs.pack_fattr(p, nfs.NFDIR, 0)
+            else:
+                nfs.pack_fattr(p, nfs.NFREG, store.size(path))
+            return p.get_buffer()
+        if proc == nfs.PROC_READ:
+            path = self._path(args.unpack_fixed(nfs.FHSIZE))
+            offset = args.unpack_hyper()
+            count = args.unpack_uint()
+            data = store.read(path)
+            self.throttle.consume(min(count, nfs.BLOCK_SIZE))
+            piece = data[offset:offset + min(count, nfs.BLOCK_SIZE)]
+            p.pack_uint(nfs.NFS_OK)
+            nfs.pack_fattr(p, nfs.NFREG, len(data))
+            p.pack_opaque(piece)
+            return p.get_buffer()
+        if proc == nfs.PROC_WRITE:
+            path = self._path(args.unpack_fixed(nfs.FHSIZE))
+            offset = args.unpack_hyper()
+            data = args.unpack_opaque()
+            size = store.write_at(path, offset, data)
+            p.pack_uint(nfs.NFS_OK)
+            nfs.pack_fattr(p, nfs.NFREG, size)
+            return p.get_buffer()
+        if proc == nfs.PROC_CREATE:
+            dirpath = self._path(args.unpack_fixed(nfs.FHSIZE))
+            name = args.unpack_string()
+            path = dirpath.rstrip("/") + "/" + name
+            store.write(path, b"")
+            p.pack_uint(nfs.NFS_OK)
+            p.pack_fixed(self._fh(path))
+            nfs.pack_fattr(p, nfs.NFREG, 0)
+            return p.get_buffer()
+        if proc == nfs.PROC_REMOVE:
+            dirpath = self._path(args.unpack_fixed(nfs.FHSIZE))
+            store.delete(dirpath.rstrip("/") + "/" + args.unpack_string())
+            p.pack_uint(nfs.NFS_OK)
+            return p.get_buffer()
+        if proc == nfs.PROC_MKDIR:
+            dirpath = self._path(args.unpack_fixed(nfs.FHSIZE))
+            name = args.unpack_string()
+            path = dirpath.rstrip("/") + "/" + name
+            store.mkdir(path)
+            p.pack_uint(nfs.NFS_OK)
+            p.pack_fixed(self._fh(path))
+            nfs.pack_fattr(p, nfs.NFDIR, 0)
+            return p.get_buffer()
+        if proc == nfs.PROC_RMDIR:
+            dirpath = self._path(args.unpack_fixed(nfs.FHSIZE))
+            store.rmdir(dirpath.rstrip("/") + "/" + args.unpack_string())
+            p.pack_uint(nfs.NFS_OK)
+            return p.get_buffer()
+        if proc == nfs.PROC_READDIR:
+            dirpath = self._path(args.unpack_fixed(nfs.FHSIZE))
+            entries = store.listdir(dirpath)
+            p.pack_uint(nfs.NFS_OK)
+            p.pack_uint(len(entries))
+            for name, etype, _size in entries:
+                p.pack_string(name)
+                p.pack_uint(nfs.NFDIR if etype == "dir" else nfs.NFREG)
+            return p.get_buffer()
+        p.pack_uint(nfs.NFSERR_IO)
+        return p.get_buffer()

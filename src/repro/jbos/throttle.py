@@ -1,0 +1,51 @@
+"""Apache mod_throttle-style per-server bandwidth limiting.
+
+A token bucket shared by all of one server's connections: each send of
+N bytes consumes N tokens, blocking until the bucket refills.  The
+paper's point (§4.2): this shapes only the traffic of the one server
+that runs it, so a JBOS deployment cannot trade bandwidth *between*
+protocols.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class Throttle:
+    """Token-bucket rate limiter (bytes/second)."""
+
+    def __init__(self, rate_bytes_per_sec: float, burst: float | None = None):
+        if rate_bytes_per_sec <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = float(rate_bytes_per_sec)
+        self.burst = float(burst) if burst is not None else self.rate / 4
+        self._tokens = self.burst
+        self._updated = time.monotonic()
+        self._lock = threading.Lock()
+
+    def consume(self, nbytes: int) -> None:
+        """Block until ``nbytes`` of budget is available, then spend it."""
+        remaining = float(nbytes)
+        while remaining > 0:
+            with self._lock:
+                now = time.monotonic()
+                self._tokens = min(
+                    self.burst, self._tokens + (now - self._updated) * self.rate
+                )
+                self._updated = now
+                take = min(self._tokens, remaining)
+                self._tokens -= take
+                remaining -= take
+                if remaining <= 0:
+                    return
+                wait = remaining / self.rate
+            time.sleep(min(wait, 0.05))
+
+
+class Unthrottled:
+    """No-op stand-in so servers need no branching."""
+
+    def consume(self, nbytes: int) -> None:
+        """Free of charge."""

@@ -1,0 +1,134 @@
+"""LRU kernel buffer cache model (block bookkeeping).
+
+The cache tracks which ``(file_id, block)`` pairs are resident and
+whether they are dirty.  It is pure bookkeeping -- it spends no
+simulated time itself; the filesystem model charges memory-copy time
+for hits and disk time for misses and write-back.
+
+NeST's *gray-box* cache estimate (:mod:`repro.nest.graybox`) is a
+second, independent instance of the same structure fed only with the
+accesses NeST itself performed -- exactly the technique of
+Arpaci-Dusseau's gray-box work the paper cites for cache-aware
+scheduling.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Iterable
+
+
+class BufferCache:
+    """An LRU cache of fixed-size blocks with a byte capacity."""
+
+    def __init__(self, capacity_bytes: int, block_size: int = 8192):
+        if capacity_bytes < 0 or block_size <= 0:
+            raise ValueError("invalid cache geometry")
+        self.capacity_bytes = int(capacity_bytes)
+        self.block_size = int(block_size)
+        self.capacity_blocks = self.capacity_bytes // self.block_size
+        # key -> dirty flag; OrderedDict keeps LRU order (MRU at end).
+        self._blocks: "OrderedDict[tuple[Hashable, int], bool]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # -- geometry -----------------------------------------------------------
+    def blocks_of(self, offset: int, nbytes: int) -> range:
+        """Block numbers covering ``[offset, offset + nbytes)``."""
+        if nbytes <= 0:
+            return range(0)
+        first = offset // self.block_size
+        last = (offset + nbytes - 1) // self.block_size
+        return range(first, last + 1)
+
+    # -- state queries --------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes currently cached."""
+        return len(self._blocks) * self.block_size
+
+    @property
+    def dirty_bytes(self) -> int:
+        """Bytes cached and not yet written back."""
+        return sum(1 for d in self._blocks.values() if d) * self.block_size
+
+    def contains(self, file_id: Hashable, block: int) -> bool:
+        """True if the block is resident (does not touch LRU order)."""
+        return (file_id, block) in self._blocks
+
+    def resident_fraction(self, file_id: Hashable, size_bytes: int) -> float:
+        """Fraction of a file's blocks currently resident."""
+        blocks = self.blocks_of(0, size_bytes)
+        if len(blocks) == 0:
+            return 1.0
+        hits = sum(1 for b in blocks if (file_id, b) in self._blocks)
+        return hits / len(blocks)
+
+    # -- access ----------------------------------------------------------------
+    def access_read(
+        self, file_id: Hashable, offset: int, nbytes: int
+    ) -> tuple[int, int, list[tuple[Hashable, int]]]:
+        """Record a read; returns (hit_bytes, miss_bytes, evicted_dirty).
+
+        Missing blocks are inserted (the read populates the cache);
+        ``evicted_dirty`` lists dirty blocks pushed out by the insertions,
+        which the caller must write back.
+        """
+        hit_blocks = 0
+        miss_blocks = 0
+        evicted: list[tuple[Hashable, int]] = []
+        for b in self.blocks_of(offset, nbytes):
+            key = (file_id, b)
+            if key in self._blocks:
+                hit_blocks += 1
+                self._blocks.move_to_end(key)
+            else:
+                miss_blocks += 1
+                evicted.extend(self._insert(key, dirty=False))
+        self.hits += hit_blocks
+        self.misses += miss_blocks
+        return hit_blocks * self.block_size, miss_blocks * self.block_size, evicted
+
+    def access_write(
+        self, file_id: Hashable, offset: int, nbytes: int
+    ) -> list[tuple[Hashable, int]]:
+        """Record a write (blocks become dirty); returns evicted dirty blocks."""
+        evicted: list[tuple[Hashable, int]] = []
+        for b in self.blocks_of(offset, nbytes):
+            key = (file_id, b)
+            if key in self._blocks:
+                self._blocks[key] = True
+                self._blocks.move_to_end(key)
+            else:
+                evicted.extend(self._insert(key, dirty=True))
+        return evicted
+
+    def clean(self, keys: Iterable[tuple[Hashable, int]]) -> None:
+        """Mark blocks as written back (no longer dirty)."""
+        for key in keys:
+            if key in self._blocks:
+                self._blocks[key] = False
+
+    def dirty_blocks_of(self, file_id: Hashable) -> list[tuple[Hashable, int]]:
+        """All dirty blocks belonging to ``file_id``."""
+        return [k for k, d in self._blocks.items() if d and k[0] == file_id]
+
+    def invalidate_file(self, file_id: Hashable) -> None:
+        """Drop every block of ``file_id`` (e.g. on delete)."""
+        for key in [k for k in self._blocks if k[0] == file_id]:
+            del self._blocks[key]
+
+    def _insert(self, key: tuple[Hashable, int], dirty: bool) -> list[tuple[Hashable, int]]:
+        evicted: list[tuple[Hashable, int]] = []
+        if self.capacity_blocks == 0:
+            # Degenerate cache: writes are immediately "evicted".
+            return [key] if dirty else []
+        while len(self._blocks) >= self.capacity_blocks:
+            victim, was_dirty = self._blocks.popitem(last=False)
+            if was_dirty:
+                evicted.append(victim)
+        self._blocks[key] = dirty
+        return evicted

@@ -1,0 +1,157 @@
+"""Max-min fair-share network link model.
+
+Concurrent TCP flows through one switch port share its capacity
+approximately max-min fairly; each flow may additionally be capped by
+the remote NIC (e.g. the 100 Mbit Netra clients).  The model is fluid:
+every active flow progresses at its current allocation, and the
+allocation is recomputed whenever the set of active flows changes.
+
+This is the behaviour Figs. 3 and 4 of the paper depend on: total
+delivered bandwidth saturates at the link capacity, and the per-flow
+split is decided by who is actively sending -- which is exactly the
+knob NeST's transfer-manager scheduling turns.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.core import Environment, Event, SimulationError
+
+
+class _Flow:
+    __slots__ = ("remaining", "cap", "rate", "event", "group")
+
+    def __init__(self, remaining: float, cap: float, event: Event,
+                 group: str | None = None):
+        self.remaining = remaining
+        self.cap = cap
+        self.rate = 0.0
+        self.event = event
+        self.group = group
+
+
+_EPSILON_BYTES = 1e-6
+_EPSILON_TIME = 1e-12
+
+
+class FairShareLink:
+    """A shared link of ``capacity`` bytes/second with max-min fair flows."""
+
+    def __init__(self, env: Environment, capacity: float, name: str = "link"):
+        if capacity <= 0:
+            raise SimulationError("link capacity must be positive")
+        self.env = env
+        self.capacity = float(capacity)
+        self.name = name
+        self._flows: list[_Flow] = []
+        self._last_update = env.now
+        self._generation = 0
+        #: Optional aggregate caps per flow group (e.g. one protocol's
+        #: flows collectively limited by its implementation).
+        self.group_caps: dict[str, float] = {}
+        #: Total bytes ever delivered (for utilization accounting).
+        self.bytes_delivered = 0.0
+
+    # -- public API ---------------------------------------------------------
+    def set_group_cap(self, group: str, cap: float) -> None:
+        """Limit the aggregate rate of all flows tagged ``group``."""
+        self.group_caps[group] = float(cap)
+
+    def transfer(self, nbytes: float, cap: float | None = None,
+                 group: str | None = None) -> Event:
+        """Send ``nbytes`` through the link; the event fires on completion.
+
+        ``cap`` limits this flow's rate (bytes/s), modelling the slower
+        endpoint of the path; ``group`` tags the flow for an aggregate
+        group cap set via :meth:`set_group_cap`.
+        """
+        if nbytes < 0:
+            raise SimulationError("negative transfer size")
+        ev = Event(self.env)
+        if nbytes == 0:
+            ev.succeed(0.0)
+            return ev
+        self._settle()
+        flow = _Flow(float(nbytes), float(cap) if cap else float("inf"), ev,
+                     group=group)
+        self._flows.append(flow)
+        self._reallocate()
+        return ev
+
+    @property
+    def active_flows(self) -> int:
+        """Number of flows currently in progress."""
+        return len(self._flows)
+
+    def current_rate(self) -> float:
+        """Aggregate bytes/second currently being delivered."""
+        return sum(f.rate for f in self._flows)
+
+    # -- internals ----------------------------------------------------------
+    def _settle(self) -> None:
+        """Advance all flows to the current time at their assigned rates."""
+        elapsed = self.env.now - self._last_update
+        if elapsed > 0:
+            for flow in self._flows:
+                moved = flow.rate * elapsed
+                flow.remaining -= moved
+                self.bytes_delivered += moved
+        self._last_update = self.env.now
+        finished = [f for f in self._flows if f.remaining <= _EPSILON_BYTES]
+        if finished:
+            self._flows = [f for f in self._flows if f.remaining > _EPSILON_BYTES]
+            for flow in finished:
+                flow.event.succeed(self.env.now)
+
+    def _reallocate(self) -> None:
+        """Recompute max-min fair rates and schedule the next completion."""
+        self._generation += 1
+        if not self._flows:
+            return
+        # Group caps become tighter per-flow caps for symmetric members:
+        # each of a group's n active flows may use at most cap/n, which
+        # is exact max-min for symmetric flows (our workloads) and a
+        # close bound otherwise.
+        counts: dict[str, int] = {}
+        for f in self._flows:
+            if f.group is not None and f.group in self.group_caps:
+                counts[f.group] = counts.get(f.group, 0) + 1
+        effective: dict[int, float] = {}
+        for f in self._flows:
+            cap = f.cap
+            if f.group is not None and f.group in self.group_caps:
+                cap = min(cap, self.group_caps[f.group] / counts[f.group])
+            effective[id(f)] = cap
+        # Water-filling with per-flow caps.
+        pending = list(self._flows)
+        budget = self.capacity
+        while pending:
+            fair = budget / len(pending)
+            capped = [f for f in pending if effective[id(f)] <= fair]
+            if not capped:
+                for f in pending:
+                    f.rate = fair
+                break
+            for f in capped:
+                f.rate = effective[id(f)]
+                budget -= f.rate
+            pending = [f for f in pending if effective[id(f)] > fair]
+            if budget <= 0:
+                for f in pending:
+                    f.rate = 0.0
+                break
+        # Next flow to finish decides when we wake up next.
+        horizon = min(
+            (f.remaining / f.rate) for f in self._flows if f.rate > 0
+        )
+        horizon = max(horizon, _EPSILON_TIME)
+        generation = self._generation
+        wake = self.env.timeout(horizon)
+        wake.callbacks.append(lambda _ev: self._on_wake(generation))
+
+    def _on_wake(self, generation: int) -> None:
+        if generation != self._generation:
+            return  # superseded by a newer allocation
+        self._settle()
+        self._reallocate()

@@ -1,0 +1,131 @@
+"""Per-platform cost profiles for the simulated substrate.
+
+The paper runs its experiments on two clusters:
+
+* "linux": Pentium machines, Linux 2.2.19, IBM 9LZX disks, Gigabit
+  Ethernet (delivered single-protocol peak about 35 MB/s in Fig. 3);
+* "solaris": Netra T1 machines, Solaris 8, 100 Mbit/s Ethernet.
+
+A :class:`PlatformProfile` gathers every hardware/OS constant the
+models need.  The *relative* costs are what the experiments depend on
+(e.g. Solaris' expensive thread operations versus cheap event
+dispatch drive Fig. 5's left panel), so the absolute values are
+calibrated to the paper's measured envelopes rather than to any modern
+machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+MB = 1_000_000
+KB = 1_000
+MiB = 1 << 20
+KiB = 1 << 10
+
+
+@dataclass(frozen=True)
+class PlatformProfile:
+    """Hardware and OS constants for one simulated platform."""
+
+    name: str
+
+    # Network path.
+    link_bw: float  #: server port capacity, bytes/s (delivered)
+    client_nic_bw: float  #: per-client cap, bytes/s
+    net_latency: float  #: one-way message latency, seconds
+
+    # Disk.
+    disk_read_bw: float  #: bytes/s
+    disk_write_bw: float  #: bytes/s
+    disk_seek: float  #: seconds per non-sequential access
+
+    # Memory and buffer cache.
+    mem_copy_bw: float  #: bytes/s for cache hits / copies
+    cache_bytes: int  #: kernel buffer cache size
+    block_size: int  #: filesystem block size
+    dirty_headroom: int  #: write-behind absorbed before writers block
+
+    # Per-request CPU costs.
+    request_parse_cost: float  #: parse + dispatch one client request
+    syscall_cost: float  #: one kernel crossing (send/recv/read/write)
+
+    # Concurrency-model costs (the heart of Fig. 5).
+    event_dispatch_cost: float  #: event-loop wakeup + handler dispatch
+    thread_create_cost: float  #: spawn a service thread
+    thread_switch_cost: float  #: context switch between threads
+    process_create_cost: float  #: fork a service process
+    process_switch_cost: float  #: context switch between processes
+
+    # Effective I/O granularity per concurrency model: an event loop
+    # works in small non-blocking units; a blocking thread reads big
+    # readahead-sized runs.
+    event_chunk: int
+    thread_chunk: int
+
+    def scaled(self, **overrides) -> "PlatformProfile":
+        """A copy with selected constants replaced (for ablations)."""
+        return replace(self, **overrides)
+
+
+#: Linux 2.2.19 / Pentium / IBM 9LZX / Gigabit Ethernet cluster.
+LINUX = PlatformProfile(
+    name="linux",
+    link_bw=35.0 * MB,
+    client_nic_bw=35.0 * MB,
+    net_latency=150e-6,
+    disk_read_bw=22.0 * MB,
+    disk_write_bw=22.0 * MB,
+    disk_seek=8e-3,
+    mem_copy_bw=400.0 * MB,
+    cache_bytes=256 * MiB,
+    block_size=8 * KiB,
+    dirty_headroom=24 * MiB,
+    request_parse_cost=120e-6,
+    syscall_cost=15e-6,
+    event_dispatch_cost=40e-6,
+    thread_create_cost=250e-6,
+    thread_switch_cost=25e-6,
+    process_create_cost=1.2e-3,
+    process_switch_cost=60e-6,
+    event_chunk=64 * KiB,
+    thread_chunk=256 * KiB,
+)
+
+#: Solaris 8 / Netra T1 / 100 Mbit Ethernet cluster.  Thread operations
+#: on the 500 MHz UltraSPARC IIi are markedly more expensive relative to
+#: event dispatch, which is what Fig. 5 (left) measures.
+SOLARIS = PlatformProfile(
+    name="solaris",
+    link_bw=11.5 * MB,
+    client_nic_bw=11.5 * MB,
+    net_latency=300e-6,
+    disk_read_bw=15.0 * MB,
+    disk_write_bw=15.0 * MB,
+    disk_seek=10e-3,
+    mem_copy_bw=150.0 * MB,
+    cache_bytes=128 * MiB,
+    block_size=8 * KiB,
+    dirty_headroom=16 * MiB,
+    request_parse_cost=400e-6,
+    syscall_cost=60e-6,
+    event_dispatch_cost=120e-6,
+    thread_create_cost=1.4e-3,
+    thread_switch_cost=120e-6,
+    process_create_cost=5.0e-3,
+    process_switch_cost=250e-6,
+    event_chunk=32 * KiB,
+    thread_chunk=128 * KiB,
+)
+
+_PLATFORMS = {"linux": LINUX, "solaris": SOLARIS}
+
+
+def get_platform(name: str) -> PlatformProfile:
+    """Look up a platform profile by name ("linux" or "solaris")."""
+    try:
+        return _PLATFORMS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown platform {name!r}; expected one of {sorted(_PLATFORMS)}"
+        ) from None

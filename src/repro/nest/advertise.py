@@ -1,0 +1,90 @@
+"""ClassAd advertisement of resource and data availability.
+
+"The dispatcher also periodically consolidates information about
+resource and data availability in the NeST and can publish this
+information as a ClassAd into a global scheduling system" (paper,
+section 2.1).  A global execution manager then discovers NeSTs by
+matchmaking request ads against these advertisements
+(:mod:`repro.grid.discovery`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.classads import ClassAd
+from repro.classads.parser import parse_expression
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.nest.storage import StorageManager
+
+
+def build_advertisement(
+    name: str,
+    storage: "StorageManager",
+    protocols: list[str] | tuple[str, ...],
+    host: str = "localhost",
+    ports: dict[str, int] | None = None,
+) -> ClassAd:
+    """Consolidate one NeST's state into its availability ClassAd.
+
+    The ad carries the attributes a global scheduler needs: total and
+    free space, space grantable as a new lot (free + reclaimable
+    best-effort), the protocol list, and a standard Requirements
+    expression accepting storage requests that fit.
+    """
+    lots = storage.lots
+    free_for_lot = lots.available_for_new_lot() + lots.reclaimable_bytes()
+    ad = ClassAd(
+        {
+            "Type": "Storage",
+            "Name": name,
+            "Host": host,
+            "Protocols": list(protocols),
+            "TotalSpace": storage.capacity_bytes,
+            "UsedSpace": storage.used_bytes,
+            "FreeSpace": storage.capacity_bytes - storage.used_bytes,
+            "GrantableSpace": free_for_lot,
+            "ActiveLots": sum(
+                1 for l in lots.lots.values() if l.state.value == "active"
+            ),
+            "FilesStored": _count_files(storage),
+        }
+    )
+    if ports:
+        for proto, port in ports.items():
+            ad[f"{proto.capitalize()}Port"] = port
+    ad["Requirements"] = parse_expression(
+        "other.Type == \"Request\" && other.RequestedSpace <= my.GrantableSpace"
+    )
+    return ad
+
+
+def storage_request_ad(
+    requested_space: int,
+    protocol: str | None = None,
+    rank: str = "other.GrantableSpace",
+) -> ClassAd:
+    """Build the request ad an execution manager submits for matching."""
+    requirements = 'other.Type == "Storage"'
+    if protocol:
+        requirements += f' && member("{protocol}", other.Protocols)'
+    ad = ClassAd({"Type": "Request", "RequestedSpace": int(requested_space)})
+    ad["Requirements"] = parse_expression(requirements)
+    ad["Rank"] = parse_expression(rank)
+    return ad
+
+
+def _count_files(storage: "StorageManager") -> int:
+    from repro.nest.storage import DirNode
+
+    count = 0
+    stack = [storage.root]
+    while stack:
+        node = stack.pop()
+        for child in node.children.values():
+            if isinstance(child, DirNode):
+                stack.append(child)
+            else:
+                count += 1
+    return count

@@ -1,0 +1,162 @@
+"""GSI-style authentication (toy PKI substitution).
+
+The paper allows "only Grid Security Infrastructure (GSI)
+authentication, which is used by Chirp and GridFTP; connections through
+the other protocols are allowed only anonymous access" (section 3).
+Real GSI rides on X.509 proxy certificates; building an X.509 stack is
+out of scope and adds nothing to the behaviours the paper evaluates, so
+we substitute a structurally equivalent toy PKI (see DESIGN.md):
+
+* a :class:`CertificateAuthority` holds a secret and issues
+  :class:`Credential` objects: a subject name plus an HMAC "signature"
+  over it;
+* a challenge-response handshake (:class:`GSIContext`) proves the
+  client holds the credential's key without revealing it, and the
+  server verifies the certificate chain (one HMAC) and the response;
+* the authenticated *subject* maps to a NeST user for ACL and lot
+  decisions, exactly the role GSI plays in NeST.
+
+Each protocol handler performs its own authentication -- the paper
+notes the trust consequence: a devious handler could falsify the
+authenticated identity.  We preserve that structure: handlers call
+:func:`GSIContext.accept` themselves and stamp ``request.user``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+import os
+from dataclasses import dataclass
+
+
+class AuthError(Exception):
+    """Authentication failed (bad signature, wrong response, replay)."""
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """The public part of a credential: subject + CA signature."""
+
+    subject: str
+    issuer: str
+    signature: bytes
+
+    def to_bytes(self) -> bytes:
+        """Serialize for the wire."""
+        return json.dumps(
+            {
+                "subject": self.subject,
+                "issuer": self.issuer,
+                "signature": self.signature.hex(),
+            },
+            sort_keys=True,
+        ).encode()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Certificate":
+        """Parse a wire certificate."""
+        try:
+            obj = json.loads(data)
+            return cls(
+                subject=obj["subject"],
+                issuer=obj["issuer"],
+                signature=bytes.fromhex(obj["signature"]),
+            )
+        except (ValueError, KeyError, TypeError) as exc:
+            raise AuthError(f"malformed certificate: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class Credential:
+    """A certificate plus its private key (held by the client)."""
+
+    certificate: Certificate
+    key: bytes
+
+    @property
+    def subject(self) -> str:
+        return self.certificate.subject
+
+
+class CertificateAuthority:
+    """Issues credentials and verifies certificates.
+
+    The CA secret doubles as the trust anchor: a certificate is valid
+    iff its signature is the CA's HMAC over (subject, derived key).
+    The per-subject key is derived from the CA secret so verification
+    needs no state.
+    """
+
+    def __init__(self, name: str = "NeST CA", secret: bytes | None = None):
+        self.name = name
+        self._secret = secret if secret is not None else os.urandom(32)
+
+    def _derive_key(self, subject: str) -> bytes:
+        return hmac.new(self._secret, b"key:" + subject.encode(), hashlib.sha256).digest()
+
+    def _sign(self, subject: str, key: bytes) -> bytes:
+        body = subject.encode() + b"\x00" + key
+        return hmac.new(self._secret, b"cert:" + body, hashlib.sha256).digest()
+
+    def issue(self, subject: str) -> Credential:
+        """Issue a credential for ``subject``."""
+        key = self._derive_key(subject)
+        cert = Certificate(
+            subject=subject, issuer=self.name, signature=self._sign(subject, key)
+        )
+        return Credential(certificate=cert, key=key)
+
+    def verify_certificate(self, cert: Certificate) -> bool:
+        """Check the certificate was issued by this CA."""
+        expected = self._sign(cert.subject, self._derive_key(cert.subject))
+        return hmac.compare_digest(expected, cert.signature)
+
+
+class GSIContext:
+    """The challenge-response handshake, usable from either side.
+
+    Protocol (each message is bytes; transports frame them):
+
+    1. client -> server: certificate
+    2. server -> client: 16-byte random challenge
+    3. client -> server: HMAC(key, challenge)
+    4. server: verify certificate + response; authenticated subject
+       becomes the NeST user.
+    """
+
+    CHALLENGE_SIZE = 16
+
+    def __init__(self, ca: CertificateAuthority):
+        self.ca = ca
+
+    # -- client side --------------------------------------------------------
+    @staticmethod
+    def initiate(credential: Credential) -> bytes:
+        """Message 1: the client's certificate."""
+        return credential.certificate.to_bytes()
+
+    @staticmethod
+    def respond(credential: Credential, challenge: bytes) -> bytes:
+        """Message 3: prove possession of the private key."""
+        return hmac.new(credential.key, challenge, hashlib.sha256).digest()
+
+    # -- server side --------------------------------------------------------
+    def challenge(self) -> bytes:
+        """Message 2: a fresh random challenge."""
+        return os.urandom(self.CHALLENGE_SIZE)
+
+    def accept(self, cert_bytes: bytes, challenge: bytes, response: bytes) -> str:
+        """Verify the exchange; returns the authenticated subject.
+
+        Raises :exc:`AuthError` on any failure.
+        """
+        cert = Certificate.from_bytes(cert_bytes)
+        if not self.ca.verify_certificate(cert):
+            raise AuthError(f"certificate for {cert.subject!r} not issued by {self.ca.name}")
+        key = self.ca._derive_key(cert.subject)
+        expected = hmac.new(key, challenge, hashlib.sha256).digest()
+        if not hmac.compare_digest(expected, response):
+            raise AuthError(f"challenge response for {cert.subject!r} invalid")
+        return cert.subject

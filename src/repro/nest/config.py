@@ -1,0 +1,100 @@
+"""NeST server configuration.
+
+One dataclass gathers every administrator-visible knob so the live
+server, the simulated server, and the benches construct servers the
+same way.  Defaults mirror the paper's release 0.9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass
+class NestConfig:
+    """Administrator-facing configuration for one NeST instance."""
+
+    #: Server name (used in advertisements).
+    name: str = "nest"
+
+    #: Protocols to serve.  All five by default, as in the paper.
+    protocols: Sequence[str] = ("chirp", "ftp", "gridftp", "http", "nfs")
+
+    #: Scheduling policy: "fcfs" (default), "stride", or "cache-aware".
+    scheduling: str = "fcfs"
+
+    #: Proportional shares per protocol class (stride scheduling only),
+    #: e.g. {"chirp": 1, "gridftp": 2, "http": 1, "nfs": 1}.
+    shares: dict[str, float] = field(default_factory=dict)
+
+    #: Work-conserving stride (the paper's implementation) or the
+    #: anticipatory non-work-conserving variant (its future work).
+    work_conserving: bool = True
+
+    #: Stride shares keyed by "protocol" (the paper's implementation)
+    #: or "user" (its stated per-user extension).
+    share_by: str = "protocol"
+
+    #: Concurrency: "adaptive" (default) or a fixed model
+    #: ("threads", "processes", "events").
+    concurrency: str = "adaptive"
+
+    #: Concurrency models available to the adaptive selector.
+    concurrency_models: Sequence[str] = ("threads", "events")
+
+    #: Worker slots for transfer pumping (threads in a pool / event
+    #: loop fan-out).
+    transfer_workers: int = 8
+
+    #: Bytes moved per proportional-share scheduling quantum.  Small
+    #: quanta give fine-grained control; each one costs an arbitration
+    #: pass (the Fig. 4 overhead).
+    quantum_bytes: int = 16 * 1024
+
+    #: Total storage capacity managed by this NeST.
+    capacity_bytes: int = 10 * (1 << 30)
+
+    #: Require an active lot for writes (the paper's Grid deployment).
+    require_lots: bool = False
+
+    #: Lot enforcement: "quota" (paper's implementation) or "nest"
+    #: (NeST-managed; the paper's future work).
+    lot_enforcement: str = "quota"
+
+    #: Best-effort reclamation policy: "expired-first", "largest-first",
+    #: or "lru".
+    reclaim_policy: str = "expired-first"
+
+    #: Rights granted to anonymous users on fresh directories.
+    anonymous_rights: str = "rl"
+
+    #: If non-zero, the administrator pre-creates a default lot of this
+    #: many bytes for "anonymous", so local-protocol clients (NFS,
+    #: HTTP, FTP -- which the paper restricts to anonymous access) can
+    #: write under ``require_lots`` (paper, §5: admins "can
+    #: simultaneously make a set of default lots for users").
+    default_anonymous_lot_bytes: int = 0
+
+    #: Assumed kernel buffer-cache size for the gray-box model.
+    graybox_cache_bytes: int = 256 * (1 << 20)
+
+    #: Seconds between ClassAd advertisements to the collector.
+    advertise_interval: float = 30.0
+
+    def validate(self) -> None:
+        """Raise ValueError on inconsistent settings."""
+        if self.scheduling not in ("fcfs", "stride", "cache-aware"):
+            raise ValueError(f"unknown scheduling policy {self.scheduling!r}")
+        if self.share_by not in ("protocol", "user"):
+            raise ValueError(f"unknown share key {self.share_by!r}")
+        if self.lot_enforcement not in ("quota", "nest"):
+            raise ValueError(f"unknown lot enforcement {self.lot_enforcement!r}")
+        known = {"chirp", "ftp", "gridftp", "http", "nfs", "ibp"}
+        unknown = set(self.protocols) - known
+        if unknown:
+            raise ValueError(f"unknown protocols {sorted(unknown)!r}")
+        if self.transfer_workers < 1:
+            raise ValueError("transfer_workers must be >= 1")
+        if self.quantum_bytes < 1:
+            raise ValueError("quantum_bytes must be >= 1")

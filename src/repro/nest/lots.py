@@ -1,0 +1,389 @@
+"""Lots: guaranteed storage space (paper, section 5).
+
+A *lot* is NeST's storage-space reservation, "similar to reservations
+for network bandwidth".  Each lot has four characteristics: **owner**,
+**capacity**, **duration**, and **files**.  The number of files in a
+lot is unbounded, and a file may span multiple lots if it cannot fit
+within one.  When a lot's duration expires its files are *not* deleted;
+the lot becomes **best-effort** and its data survives until the space
+is needed for a new lot (reclamation policies below).
+
+Two enforcement modes, both from the paper:
+
+* ``"quota"`` -- lots ride the filesystem quota mechanism.  Cheap and
+  lets clients bypass NeST for local access, but enforcement is only
+  per-*user*: "a user may overfill a single lot and then not be able to
+  fill another lot to capacity".  We reproduce that caveat faithfully.
+* ``"nest"`` -- NeST-managed enforcement (the paper's future work):
+  every write is charged against specific lots, so per-lot capacity is
+  exact.  The overhead comparison is an ablation bench.
+
+Reclamation policies for best-effort space: ``"expired-first"`` (oldest
+expiry first), ``"largest-first"`` (frees space fastest), and ``"lru"``
+(least recently used lot first).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+
+class LotError(Exception):
+    """Lot operation failed (no space, unknown lot, not owner...)."""
+
+
+class LotState(enum.Enum):
+    """Lifecycle: ACTIVE while within duration, then BEST_EFFORT."""
+
+    ACTIVE = "active"
+    BEST_EFFORT = "best_effort"
+
+
+@dataclass
+class Lot:
+    """One storage-space guarantee."""
+
+    lot_id: str
+    owner: str
+    capacity: int
+    expires_at: float
+    state: LotState = LotState.ACTIVE
+    #: Volatile lots (serving IBP volatile allocations) reserve no
+    #: space: they accept charges while active but may be reclaimed at
+    #: any time, like best-effort data.
+    volatile: bool = False
+    #: bytes charged to this lot, per file path (files may span lots).
+    charges: dict[str, int] = field(default_factory=dict)
+    last_used: float = 0.0
+
+    @property
+    def used(self) -> int:
+        """Bytes currently charged against this lot."""
+        return sum(self.charges.values())
+
+    @property
+    def free(self) -> int:
+        """Capacity remaining in this lot."""
+        return self.capacity - self.used
+
+    def describe(self) -> dict:
+        """Stat output for ``lot_stat``."""
+        return {
+            "lot_id": self.lot_id,
+            "owner": self.owner,
+            "capacity": self.capacity,
+            "used": self.used,
+            "expires_at": self.expires_at,
+            "state": self.state.value,
+            "files": sorted(self.charges),
+        }
+
+
+class LotManager:
+    """Manages all lots on one NeST, with pluggable clock and enforcement.
+
+    ``clock`` abstracts time so the same code runs live (``time.time``)
+    and on the DES (``lambda: env.now``).  ``on_reclaim`` is invoked
+    with each file path whose space is reclaimed from a best-effort
+    lot, so the storage manager can delete the actual data.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        clock: Callable[[], float],
+        enforcement: str = "quota",
+        reclaim_policy: str = "expired-first",
+        on_reclaim: Callable[[str], None] | None = None,
+        groups: dict[str, set[str]] | None = None,
+    ):
+        if enforcement not in ("quota", "nest"):
+            raise ValueError(f"unknown enforcement mode {enforcement!r}")
+        if reclaim_policy not in ("expired-first", "largest-first", "lru"):
+            raise ValueError(f"unknown reclaim policy {reclaim_policy!r}")
+        self.capacity_bytes = int(capacity_bytes)
+        self.clock = clock
+        self.enforcement = enforcement
+        self.reclaim_policy = reclaim_policy
+        self.on_reclaim = on_reclaim or (lambda path: None)
+        #: group name -> members, for **group lots** (a lot owned by
+        #: ``group:<name>`` is usable by every member -- the paper's
+        #: "group lots will be included in the next release").
+        self.groups = groups if groups is not None else {}
+        self.lots: dict[str, Lot] = {}
+        #: path prefix -> lot_id: charges for files under the prefix go
+        #: to the attached lot first (Chirp's ``lot_attach``).
+        self.attachments: dict[str, str] = {}
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def expire_lots(self) -> list[Lot]:
+        """Flip expired ACTIVE lots to BEST_EFFORT; returns those flipped.
+
+        Expiry is checked lazily on every entry point, which keeps the
+        manager clock-agnostic (no timers needed).
+        """
+        now = self.clock()
+        flipped = []
+        for lot in self.lots.values():
+            if lot.state is LotState.ACTIVE and now >= lot.expires_at:
+                lot.state = LotState.BEST_EFFORT
+                flipped.append(lot)
+        return flipped
+
+    def _guaranteed_bytes(self) -> int:
+        """Space promised to ACTIVE non-volatile lots (full capacity)."""
+        return sum(l.capacity for l in self.lots.values()
+                   if l.state is LotState.ACTIVE and not l.volatile)
+
+    def _best_effort_used(self) -> int:
+        """Space occupied by reclaimable data: best-effort lots plus
+        active volatile lots."""
+        return sum(l.used for l in self.lots.values()
+                   if l.state is LotState.BEST_EFFORT
+                   or (l.state is LotState.ACTIVE and l.volatile))
+
+    def available_for_new_lot(self) -> int:
+        """Bytes a new lot could be granted *without* reclamation."""
+        self.expire_lots()
+        return self.capacity_bytes - self._guaranteed_bytes() - self._best_effort_used()
+
+    def reclaimable_bytes(self) -> int:
+        """Best-effort bytes that could be reclaimed if needed."""
+        self.expire_lots()
+        return self._best_effort_used()
+
+    def create_lot(self, owner: str, capacity: int, duration: float,
+                   volatile: bool = False) -> Lot:
+        """Create a lot, reclaiming best-effort space if necessary.
+
+        A ``volatile`` lot (IBP volatile allocations) makes no space
+        guarantee: nothing is reclaimed for it, and its own data is
+        reclaimable at any time.
+
+        Raises :exc:`LotError` when the guarantee cannot be met even
+        after reclaiming every best-effort byte.
+        """
+        if capacity <= 0 or duration <= 0:
+            raise LotError("capacity and duration must be positive")
+        self.expire_lots()
+        if not volatile:
+            shortfall = capacity - self.available_for_new_lot()
+            if shortfall > 0:
+                if shortfall > self.reclaimable_bytes():
+                    raise LotError(
+                        f"cannot guarantee {capacity} bytes: "
+                        f"{self.available_for_new_lot()} free, "
+                        f"{self.reclaimable_bytes()} reclaimable"
+                    )
+                self._reclaim(shortfall)
+        now = self.clock()
+        lot = Lot(
+            lot_id=f"lot{next(self._ids)}",
+            owner=owner,
+            capacity=int(capacity),
+            expires_at=now + duration,
+            last_used=now,
+            volatile=volatile,
+        )
+        self.lots[lot.lot_id] = lot
+        return lot
+
+    def renew(self, lot_id: str, duration: float, owner: str | None = None) -> Lot:
+        """Extend a lot's duration; best-effort lots reactivate if the
+        guarantee still fits (the paper allows indefinite renewal)."""
+        lot = self._get(lot_id, owner)
+        self.expire_lots()
+        if lot.state is LotState.BEST_EFFORT:
+            others = self.capacity_bytes - self._guaranteed_bytes() - (
+                self._best_effort_used() - lot.used
+            )
+            if lot.capacity > others:
+                raise LotError(f"cannot reactivate {lot_id}: space since promised away")
+            lot.state = LotState.ACTIVE
+        lot.expires_at = self.clock() + duration
+        return lot
+
+    def delete_lot(self, lot_id: str, owner: str | None = None) -> list[str]:
+        """Terminate a lot; returns paths whose only charge was here
+        (candidates for deletion by the storage manager)."""
+        lot = self._get(lot_id, owner)
+        del self.lots[lot.lot_id]
+        orphans = []
+        for path in lot.charges:
+            if not any(path in other.charges for other in self.lots.values()):
+                orphans.append(path)
+        return orphans
+
+    def stat(self, lot_id: str) -> dict:
+        """Describe one lot."""
+        self.expire_lots()
+        return self._get(lot_id).describe()
+
+    def list_lots(self, owner: str | None = None) -> list[dict]:
+        """Describe all lots, optionally filtered by owner."""
+        self.expire_lots()
+        return [
+            lot.describe()
+            for lot in self.lots.values()
+            if owner is None or lot.owner == owner
+        ]
+
+    def _get(self, lot_id: str, owner: str | None = None) -> Lot:
+        lot = self.lots.get(lot_id)
+        if lot is None:
+            raise LotError(f"no such lot {lot_id!r}")
+        if owner is not None and not self._usable_by(owner, lot):
+            raise LotError(f"lot {lot_id!r} not owned by {owner!r}")
+        return lot
+
+    # ------------------------------------------------------------------
+    # charging
+    # ------------------------------------------------------------------
+    def _usable_by(self, user: str, lot: Lot) -> bool:
+        """A lot is usable by its owner and, for group lots, by every
+        member of the owning group."""
+        if lot.owner == user:
+            return True
+        if lot.owner.startswith("group:"):
+            members = self.groups.get(lot.owner[len("group:"):], set())
+            return user in members
+        return False
+
+    def user_limit(self, owner: str) -> int:
+        """Total bytes ``owner`` may store (the quota-mode limit),
+        including group lots they can use."""
+        self.expire_lots()
+        return sum(l.capacity for l in self.lots.values()
+                   if self._usable_by(owner, l) and l.state is LotState.ACTIVE)
+
+    def attach(self, lot_id: str, prefix: str, owner: str | None = None) -> None:
+        """Bind a path prefix to a lot: future charges for files under
+        ``prefix`` are packed into that lot first."""
+        lot = self._get(lot_id, owner)
+        self.attachments[prefix.rstrip("/") or "/"] = lot.lot_id
+
+    def _attached_lot(self, path: str) -> Lot | None:
+        best: str | None = None
+        for prefix in self.attachments:
+            if path == prefix or path.startswith(prefix.rstrip("/") + "/"):
+                if best is None or len(prefix) > len(best):
+                    best = prefix
+        if best is None:
+            return None
+        return self.lots.get(self.attachments[best])
+
+    def charge(self, owner: str, path: str, nbytes: int) -> None:
+        """Charge a file's growth against the lots ``owner`` can use
+        (an attached lot for the path first, then their own, then
+        group lots).
+
+        In ``nest`` mode the bytes are packed into specific active lots
+        (spanning as needed); in ``quota`` mode only the per-user total
+        is enforced and charges are recorded against the first active
+        lot for bookkeeping -- including its overfill caveat.
+        """
+        if nbytes <= 0:
+            return
+        self.expire_lots()
+        now = self.clock()
+        mine = [l for l in self.lots.values()
+                if self._usable_by(owner, l) and l.state is LotState.ACTIVE]
+        attached = self._attached_lot(path)
+        mine.sort(key=lambda l: (l is not attached, l.owner != owner, l.lot_id))
+        if not mine:
+            raise LotError(f"user {owner!r} has no active lot")
+        if self.enforcement == "quota":
+            limit = sum(l.capacity for l in mine)
+            used = sum(l.used for l in mine)
+            if used + nbytes > limit:
+                raise LotError(
+                    f"user {owner!r} over quota: {used}+{nbytes} > {limit}"
+                )
+            lot = mine[0]
+            lot.charges[path] = lot.charges.get(path, 0) + nbytes
+            lot.last_used = now
+            return
+        # nest-managed: pack into lots with room, spanning if needed.
+        # Check first so a failed charge leaves no partial state.
+        total_free = sum(lot.free for lot in mine)
+        if nbytes > total_free:
+            raise LotError(
+                f"user {owner!r} out of lot space: {nbytes - total_free} bytes over"
+            )
+        remaining = nbytes
+        for lot in mine:
+            room = lot.free
+            if room <= 0:
+                continue
+            take = min(room, remaining)
+            lot.charges[path] = lot.charges.get(path, 0) + take
+            lot.last_used = now
+            remaining -= take
+            if remaining == 0:
+                return
+
+    def release(self, path: str, nbytes: int | None = None) -> None:
+        """Release a file's charges (all of them when ``nbytes`` is None)."""
+        remaining = nbytes
+        for lot in self.lots.values():
+            if path not in lot.charges:
+                continue
+            if remaining is None:
+                del lot.charges[path]
+            else:
+                take = min(lot.charges[path], remaining)
+                lot.charges[path] -= take
+                remaining -= take
+                if lot.charges[path] == 0:
+                    del lot.charges[path]
+                if remaining == 0:
+                    return
+
+    # ------------------------------------------------------------------
+    # reclamation
+    # ------------------------------------------------------------------
+    def _victim_order(self) -> list[Lot]:
+        best_effort = [
+            l for l in self.lots.values()
+            if l.state is LotState.BEST_EFFORT
+            or (l.state is LotState.ACTIVE and l.volatile)
+        ]
+        if self.reclaim_policy == "expired-first":
+            best_effort.sort(key=lambda l: l.expires_at)
+        elif self.reclaim_policy == "largest-first":
+            best_effort.sort(key=lambda l: -l.used)
+        else:  # lru
+            best_effort.sort(key=lambda l: l.last_used)
+        return best_effort
+
+    def _reclaim(self, needed: int) -> None:
+        freed = 0
+        for lot in self._victim_order():
+            if freed >= needed:
+                break
+            for path in list(lot.charges):
+                nbytes = lot.charges.pop(path)
+                freed += nbytes
+                if not any(path in other.charges for other in self.lots.values()):
+                    self.on_reclaim(path)
+                if freed >= needed:
+                    break
+            if not lot.charges:
+                del self.lots[lot.lot_id]
+
+    def total_used(self) -> int:
+        """Bytes charged across all lots."""
+        return sum(l.used for l in self.lots.values())
+
+    def lots_for_user(self, owner: str) -> list[Lot]:
+        """The user's lots, active first."""
+        self.expire_lots()
+        mine = [l for l in self.lots.values() if l.owner == owner]
+        mine.sort(key=lambda l: (l.state is not LotState.ACTIVE, l.lot_id))
+        return mine

@@ -1,0 +1,193 @@
+"""The live NeST server: dispatcher + listeners for every protocol.
+
+One :class:`NestServer` binds a TCP listener per configured protocol
+(Figure 1's protocol layer), accepts connections, and hands each to the
+matching handler from :mod:`repro.nest.handlers`.  All handlers share
+the single storage manager (synchronous metadata path), the single
+transfer manager (asynchronous data path, cross-protocol scheduling),
+the gray-box cache model, and the GSI context -- that sharing is what
+distinguishes NeST from JBOS.
+
+Ports default to 0 (ephemeral) so tests and examples can run many
+servers side by side; the bound ports are available as ``server.ports``
+after :meth:`NestServer.start`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+import time
+
+from repro.classads import ClassAd
+from repro.nest.advertise import build_advertisement
+from repro.nest.auth import CertificateAuthority, GSIContext
+from repro.nest.backends import DataStore
+from repro.nest.config import NestConfig
+from repro.nest.graybox import GrayBoxCacheModel
+from repro.nest.handlers import HANDLERS
+from repro.nest.storage import StorageManager
+from repro.nest.transfer import TransferManager
+
+
+class FileHandleRegistry:
+    """NFS file handles: stable token <-> path mapping, server-wide."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._by_token: dict[int, str] = {1: "/"}
+        self._by_path: dict[str, int] = {"/": 1}
+        self._next = itertools.count(2)
+
+    def token_for(self, path: str) -> int:
+        """The (stable) token for a path, allocating if new."""
+        with self._lock:
+            token = self._by_path.get(path)
+            if token is None:
+                token = next(self._next)
+                self._by_path[path] = token
+                self._by_token[token] = path
+            return token
+
+    def path_of(self, token: int) -> str | None:
+        """The path behind a token, or None for stale handles."""
+        with self._lock:
+            return self._by_token.get(token)
+
+    def forget(self, path: str) -> None:
+        """Invalidate a path's handle (delete/rename)."""
+        with self._lock:
+            token = self._by_path.pop(path, None)
+            if token is not None:
+                del self._by_token[token]
+
+
+class NestServer:
+    """A complete, running NeST appliance on localhost TCP."""
+
+    def __init__(
+        self,
+        config: NestConfig | None = None,
+        store: DataStore | None = None,
+        ca: CertificateAuthority | None = None,
+        host: str = "127.0.0.1",
+        ports: dict[str, int] | None = None,
+        subject_map: dict[str, str] | None = None,
+    ):
+        self.config = config or NestConfig()
+        self.config.validate()
+        self.host = host
+        self.storage = StorageManager(
+            store=store,
+            capacity_bytes=self.config.capacity_bytes,
+            clock=time.time,
+            require_lots=self.config.require_lots,
+            lot_enforcement=self.config.lot_enforcement,
+            reclaim_policy=self.config.reclaim_policy,
+            anonymous_rights=self.config.anonymous_rights,
+        )
+        self.graybox = GrayBoxCacheModel(self.config.graybox_cache_bytes)
+        self.transfers = TransferManager(
+            self.config, residency=self.graybox.predict_residency
+        )
+        if self.config.require_lots and self.config.default_anonymous_lot_bytes:
+            self.storage.lots.create_lot(
+                "anonymous", self.config.default_anonymous_lot_bytes,
+                duration=365 * 24 * 3600.0,
+            )
+        self.ca = ca or CertificateAuthority()
+        self.gsi = GSIContext(self.ca)
+        self.fhandles = FileHandleRegistry()
+        if "ibp" in self.config.protocols:
+            from repro.nest.ibp import IbpDepot
+
+            self.ibp_depot = IbpDepot(self.storage, host=host)
+        else:
+            self.ibp_depot = None
+        #: GSI subject -> local user name; unmapped subjects map to
+        #: themselves (the subject *is* the identity).
+        self.subject_map = dict(subject_map or {})
+        self._requested_ports = dict(ports or {})
+        self.ports: dict[str, int] = {}
+        self._listeners: dict[str, socket.socket] = {}
+        self._threads: list[threading.Thread] = []
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "NestServer":
+        """Bind every protocol listener and begin accepting."""
+        if self._running:
+            raise RuntimeError("server already started")
+        self._running = True
+        for proto in self.config.protocols:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((self.host, self._requested_ports.get(proto, 0)))
+            listener.listen(32)
+            listener.settimeout(0.2)
+            self._listeners[proto] = listener
+            self.ports[proto] = listener.getsockname()[1]
+            thread = threading.Thread(
+                target=self._accept_loop, args=(proto, listener),
+                name=f"nest-accept-{proto}", daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting and shut the transfer manager down."""
+        self._running = False
+        for listener in self._listeners.values():
+            try:
+                listener.close()
+            except OSError:
+                pass
+        for thread in self._threads:
+            thread.join(timeout=2)
+        self.transfers.shutdown()
+
+    def __enter__(self) -> "NestServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # dispatcher
+    # ------------------------------------------------------------------
+    def _accept_loop(self, proto: str, listener: socket.socket) -> None:
+        handler_cls = HANDLERS[proto]
+        while self._running:
+            try:
+                conn, addr = listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            handler = handler_cls(self, conn, addr)
+            thread = threading.Thread(
+                target=handler.run, name=f"nest-{proto}-conn", daemon=True
+            )
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # identity and advertisement
+    # ------------------------------------------------------------------
+    def map_subject(self, subject: str) -> str:
+        """Map an authenticated GSI subject to a local user."""
+        return self.subject_map.get(subject, subject)
+
+    def advertisement(self) -> ClassAd:
+        """Current resource/data availability as a ClassAd (§2.1)."""
+        return build_advertisement(
+            self.config.name, self.storage, list(self.config.protocols),
+            host=self.host, ports=self.ports,
+        )
+
+    def endpoint(self, proto: str) -> tuple[str, int]:
+        """(host, port) of a protocol's listener."""
+        return self.host, self.ports[proto]

@@ -1,0 +1,508 @@
+"""The storage manager (paper, sections 2.1 and 5).
+
+Four responsibilities, exactly as the paper lists them:
+
+1. virtualize and control physical storage (pluggable
+   :class:`~repro.nest.backends.DataStore` backends);
+2. directly execute non-transfer requests (directory and metadata
+   operations run synchronously -- they take "on the order of
+   milliseconds" -- under a lock, so the dispatcher can serialize them
+   trivially);
+3. implement and enforce access control (AFS-style ACLs over ClassAd
+   collections, :mod:`repro.nest.acl`), across *all* protocols;
+4. manage guaranteed storage space as lots (:mod:`repro.nest.lots`).
+
+Data transfers are *approved* here (permission + lot/space checks) and
+then executed asynchronously by the transfer manager: ``approve_get``/
+``approve_put`` return tickets carrying the backend stream.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, BinaryIO, Callable
+
+from repro.nest.acl import AccessControl, AclError, Rights, default_acl
+from repro.nest.backends import DataStore, MemoryStore
+from repro.nest.lots import LotError, LotManager
+from repro.protocols.common import Request, RequestType, Response, Status
+
+
+class StorageError(Exception):
+    """Carries a protocol-independent failure status."""
+
+    def __init__(self, status: Status, message: str = ""):
+        super().__init__(message or status.value)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class DirNode:
+    """A directory: children plus its ACL."""
+
+    name: str
+    acl: AccessControl
+    children: dict[str, "DirNode | FileNode"] = field(default_factory=dict)
+
+
+@dataclass
+class FileNode:
+    """A file's metadata; bytes live in the backend."""
+
+    name: str
+    owner: str
+    size: int = 0
+
+
+@dataclass
+class TransferTicket:
+    """A storage-manager-approved transfer, handed to the transfer manager."""
+
+    path: str
+    user: str
+    size: int  #: bytes to move (-1 when unknown until EOF)
+    stream: BinaryIO  #: backend source (get) or sink (put)
+    is_write: bool
+    offset: int = 0
+
+    def settle(self, actual_bytes: int) -> None:
+        """Called by the transfer manager when the data movement ends."""
+        self.stream.close()
+
+
+def _split(path: str) -> list[str]:
+    return [p for p in path.split("/") if p]
+
+
+class StorageManager:
+    """Namespace + ACLs + lots over a physical-storage backend."""
+
+    def __init__(
+        self,
+        store: DataStore | None = None,
+        capacity_bytes: int = 10 * (1 << 30),
+        clock: Callable[[], float] = time.time,
+        require_lots: bool = False,
+        lot_enforcement: str = "quota",
+        reclaim_policy: str = "expired-first",
+        anonymous_rights: str = "rl",
+    ):
+        self.store = store if store is not None else MemoryStore()
+        self.clock = clock
+        #: When True (the paper's deployment), writes require an active
+        #: lot; when False, writes are charged only against raw space.
+        self.require_lots = require_lots
+        self.groups: dict[str, set[str]] = {}
+        self.anonymous_rights = anonymous_rights
+        self.root = DirNode(
+            name="/", acl=default_acl("admin", self.groups, anonymous_rights)
+        )
+        # Anyone may create entries at the root by default; tighten via Chirp.
+        self.root.acl.set_entry("*", Rights.parse("rli"))
+        self.lots = LotManager(
+            capacity_bytes,
+            clock=clock,
+            enforcement=lot_enforcement,
+            reclaim_policy=reclaim_policy,
+            on_reclaim=self._reclaim_file,
+            groups=self.groups,
+        )
+        self.capacity_bytes = capacity_bytes
+        self.used_bytes = 0
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # namespace internals
+    # ------------------------------------------------------------------
+    def _walk_dir(self, parts: list[str]) -> DirNode:
+        node = self.root
+        for part in parts:
+            child = node.children.get(part)
+            if child is None:
+                raise StorageError(Status.NOT_FOUND, "/".join(parts))
+            if not isinstance(child, DirNode):
+                raise StorageError(Status.NOT_DIR, part)
+            node = child
+        return node
+
+    def _parent_and_name(self, path: str) -> tuple[DirNode, str]:
+        parts = _split(path)
+        if not parts:
+            raise StorageError(Status.BAD_REQUEST, "empty path")
+        return self._walk_dir(parts[:-1]), parts[-1]
+
+    def _lookup(self, path: str) -> "DirNode | FileNode":
+        parts = _split(path)
+        if not parts:
+            return self.root
+        parent = self._walk_dir(parts[:-1])
+        node = parent.children.get(parts[-1])
+        if node is None:
+            raise StorageError(Status.NOT_FOUND, path)
+        return node
+
+    def _check(self, acl: AccessControl, user: str, letter: str) -> None:
+        if not acl.allows(user, letter):
+            raise StorageError(Status.DENIED, f"{user} lacks {letter!r}")
+
+    def _dir_acl_of(self, path: str) -> AccessControl:
+        node = self._lookup(path)
+        if isinstance(node, FileNode):
+            parent, _ = self._parent_and_name(path)
+            return parent.acl
+        return node.acl
+
+    def _reclaim_file(self, path: str) -> None:
+        """Best-effort lot reclamation: delete the file's data + metadata."""
+        try:
+            parent, name = self._parent_and_name(path)
+            node = parent.children.get(name)
+            if isinstance(node, FileNode):
+                self.used_bytes -= node.size
+                del parent.children[name]
+        except StorageError:
+            pass
+        self.store.delete(path)
+
+    # ------------------------------------------------------------------
+    # metadata operations (synchronous; paper section 2.1)
+    # ------------------------------------------------------------------
+    def mkdir(self, user: str, path: str) -> None:
+        """Create a directory; requires insert on the parent."""
+        with self._lock:
+            parent, name = self._parent_and_name(path)
+            self._check(parent.acl, user, "i")
+            if name in parent.children:
+                raise StorageError(Status.EXISTS, path)
+            parent.children[name] = DirNode(
+                name=name, acl=default_acl(user, self.groups, self.anonymous_rights)
+            )
+
+    def rmdir(self, user: str, path: str) -> None:
+        """Remove an empty directory; requires delete on the parent."""
+        with self._lock:
+            parent, name = self._parent_and_name(path)
+            self._check(parent.acl, user, "d")
+            node = parent.children.get(name)
+            if node is None:
+                raise StorageError(Status.NOT_FOUND, path)
+            if isinstance(node, FileNode):
+                raise StorageError(Status.NOT_DIR, path)
+            if node.children:
+                raise StorageError(Status.NOT_EMPTY, path)
+            del parent.children[name]
+
+    def listdir(self, user: str, path: str) -> list[dict[str, Any]]:
+        """Directory listing; requires lookup."""
+        with self._lock:
+            node = self._lookup(path)
+            if isinstance(node, FileNode):
+                raise StorageError(Status.NOT_DIR, path)
+            self._check(node.acl, user, "l")
+            out = []
+            for name, child in sorted(node.children.items()):
+                if isinstance(child, DirNode):
+                    out.append({"name": name, "type": "dir", "size": 0, "owner": ""})
+                else:
+                    out.append({"name": name, "type": "file", "size": child.size,
+                                "owner": child.owner})
+            return out
+
+    def stat(self, user: str, path: str) -> dict[str, Any]:
+        """Metadata for one entry; requires lookup on the parent."""
+        with self._lock:
+            node = self._lookup(path)
+            self._check(self._dir_acl_of(path), user, "l")
+            if isinstance(node, DirNode):
+                return {"size": 0, "type": "dir", "owner": ""}
+            return {"size": node.size, "type": "file", "owner": node.owner}
+
+    def delete(self, user: str, path: str) -> None:
+        """Remove a file; requires delete on the parent."""
+        with self._lock:
+            parent, name = self._parent_and_name(path)
+            self._check(parent.acl, user, "d")
+            node = parent.children.get(name)
+            if node is None:
+                raise StorageError(Status.NOT_FOUND, path)
+            if isinstance(node, DirNode):
+                raise StorageError(Status.IS_DIR, path)
+            self.used_bytes -= node.size
+            self.lots.release(path)
+            del parent.children[name]
+            self.store.delete(path)
+
+    def rename(self, user: str, path: str, new_path: str) -> None:
+        """Rename within the namespace; requires modify on both parents."""
+        with self._lock:
+            parent, name = self._parent_and_name(path)
+            self._check(parent.acl, user, "m")
+            node = parent.children.get(name)
+            if node is None:
+                raise StorageError(Status.NOT_FOUND, path)
+            new_parent, new_name = self._parent_and_name(new_path)
+            self._check(new_parent.acl, user, "i")
+            if new_name in new_parent.children:
+                raise StorageError(Status.EXISTS, new_path)
+            del parent.children[name]
+            node.name = new_name
+            new_parent.children[new_name] = node
+            if isinstance(node, FileNode):
+                # Move the backing bytes.
+                src = self.store.open_read(path)
+                dst = self.store.open_write(new_path)
+                try:
+                    while True:
+                        chunk = src.read(1 << 20)
+                        if not chunk:
+                            break
+                        dst.write(chunk)
+                finally:
+                    src.close()
+                    dst.close()
+                self.store.delete(path)
+
+    def exists(self, path: str) -> bool:
+        """True if the path names a file or directory."""
+        with self._lock:
+            try:
+                self._lookup(path)
+                return True
+            except StorageError:
+                return False
+
+    # ------------------------------------------------------------------
+    # ACL operations (Chirp-only on the wire, enforced everywhere)
+    # ------------------------------------------------------------------
+    def acl_set(self, user: str, path: str, subject: str, rights: str) -> None:
+        """Change a directory's ACL; requires admin there."""
+        with self._lock:
+            node = self._lookup(path)
+            if isinstance(node, FileNode):
+                raise StorageError(Status.NOT_DIR, path)
+            self._check(node.acl, user, "a")
+            try:
+                node.acl.set_entry(subject, Rights.parse(rights))
+            except AclError as exc:
+                raise StorageError(Status.BAD_REQUEST, str(exc)) from exc
+
+    def acl_get(self, user: str, path: str) -> list[tuple[str, str]]:
+        """Read a directory's ACL; requires lookup."""
+        with self._lock:
+            node = self._lookup(path)
+            if isinstance(node, FileNode):
+                raise StorageError(Status.NOT_DIR, path)
+            self._check(node.acl, user, "l")
+            return node.acl.listing()
+
+    def add_group(self, name: str, members: set[str]) -> None:
+        """Define or replace a user group."""
+        with self._lock:
+            self.groups[name] = set(members)
+
+    # ------------------------------------------------------------------
+    # transfer approval (paper: storage manager synchronously approves,
+    # transfer manager then moves the data asynchronously)
+    # ------------------------------------------------------------------
+    def approve_get(self, user: str, path: str) -> TransferTicket:
+        """Authorize a whole-file read; returns the source ticket."""
+        with self._lock:
+            node = self._lookup(path)
+            if isinstance(node, DirNode):
+                raise StorageError(Status.IS_DIR, path)
+            self._check(self._dir_acl_of(path), user, "r")
+            return TransferTicket(
+                path=path, user=user, size=node.size,
+                stream=self.store.open_read(path), is_write=False,
+            )
+
+    def approve_put(self, user: str, path: str, length: int) -> TransferTicket:
+        """Authorize a whole-file write of ``length`` bytes.
+
+        Charges lots/space up front so the guarantee holds before any
+        data moves; over-declaration is settled back on completion.
+        """
+        with self._lock:
+            parent, name = self._parent_and_name(path)
+            existing = parent.children.get(name)
+            if isinstance(existing, DirNode):
+                raise StorageError(Status.IS_DIR, path)
+            if existing is None:
+                self._check(parent.acl, user, "i")
+            else:
+                self._check(parent.acl, user, "w")
+            declared = max(0, length)
+            old_size = existing.size if existing else 0
+            growth = max(0, declared - old_size)
+            self._charge(user, path, growth)
+            if existing is None:
+                parent.children[name] = FileNode(name=name, owner=user, size=declared)
+            else:
+                existing.size = declared
+            self.used_bytes += declared - old_size
+            manager = self
+
+            class _PutTicket(TransferTicket):
+                def settle(inner, actual_bytes: int) -> None:
+                    inner.stream.close()
+                    manager._settle_put(inner, declared, actual_bytes)
+
+            return _PutTicket(
+                path=path, user=user, size=declared,
+                stream=self.store.open_write(path), is_write=True,
+            )
+
+    def approve_write(self, user: str, path: str, offset: int, length: int) -> TransferTicket:
+        """Authorize a block write (NFS); creates the file if needed."""
+        with self._lock:
+            parent, name = self._parent_and_name(path)
+            existing = parent.children.get(name)
+            if isinstance(existing, DirNode):
+                raise StorageError(Status.IS_DIR, path)
+            if existing is None:
+                self._check(parent.acl, user, "i")
+                existing = FileNode(name=name, owner=user, size=0)
+                parent.children[name] = existing
+            else:
+                self._check(parent.acl, user, "w")
+            growth = max(0, offset + length - existing.size)
+            self._charge(user, path, growth)
+            existing.size += growth
+            self.used_bytes += growth
+            stream = self.store.open_update(path)
+            stream.seek(offset)
+            return TransferTicket(
+                path=path, user=user, size=length, stream=stream,
+                is_write=True, offset=offset,
+            )
+
+    def approve_read(self, user: str, path: str, offset: int, length: int) -> TransferTicket:
+        """Authorize a block read (NFS)."""
+        with self._lock:
+            node = self._lookup(path)
+            if isinstance(node, DirNode):
+                raise StorageError(Status.IS_DIR, path)
+            self._check(self._dir_acl_of(path), user, "r")
+            length = max(0, min(length, node.size - offset))
+            stream = self.store.open_read(path)
+            stream.seek(offset)
+            return TransferTicket(
+                path=path, user=user, size=length, stream=stream,
+                is_write=False, offset=offset,
+            )
+
+    def _charge(self, user: str, path: str, growth: int) -> None:
+        if growth <= 0:
+            return
+        if growth > self.capacity_bytes - self.used_bytes:
+            raise StorageError(Status.NO_SPACE, "filesystem full")
+        if self.require_lots:
+            try:
+                self.lots.charge(user, path, growth)
+            except LotError as exc:
+                raise StorageError(Status.NO_SPACE, str(exc)) from exc
+
+    def _settle_put(self, ticket: TransferTicket, declared: int, actual: int) -> None:
+        """Reconcile declared vs actual size after a put completes."""
+        with self._lock:
+            if actual == declared:
+                return
+            try:
+                parent, name = self._parent_and_name(ticket.path)
+            except StorageError:
+                return
+            node = parent.children.get(name)
+            if not isinstance(node, FileNode):
+                return
+            delta = actual - declared
+            node.size = actual
+            self.used_bytes += delta
+            if delta < 0:
+                self.lots.release(ticket.path, -delta)
+            elif self.require_lots:
+                # Under-declared: charge the remainder (may raise; the
+                # transfer manager reports the failure to the client).
+                self.lots.charge(ticket.user, ticket.path, delta)
+
+    # ------------------------------------------------------------------
+    # request execution (the dispatcher's synchronous path)
+    # ------------------------------------------------------------------
+    def execute(self, request: Request) -> Response:
+        """Execute one non-transfer request synchronously."""
+        handler = {
+            RequestType.MKDIR: lambda r: self.mkdir(r.user, r.path),
+            RequestType.RMDIR: lambda r: self.rmdir(r.user, r.path),
+            RequestType.LIST: lambda r: self.listdir(r.user, r.path),
+            RequestType.STAT: lambda r: self.stat(r.user, r.path),
+            RequestType.DELETE: lambda r: self.delete(r.user, r.path),
+            RequestType.RENAME: lambda r: self.rename(
+                r.user, r.path, r.params.get("new_path", "")
+            ),
+            RequestType.ACL_SET: lambda r: self.acl_set(
+                r.user, r.path, r.params.get("subject", ""), r.params.get("rights", "")
+            ),
+            RequestType.ACL_GET: lambda r: self.acl_get(r.user, r.path),
+            RequestType.LOT_CREATE: self._exec_lot_create,
+            RequestType.LOT_DELETE: self._exec_lot_delete,
+            RequestType.LOT_RENEW: self._exec_lot_renew,
+            RequestType.LOT_STAT: lambda r: self.lots.stat(r.params.get("lot_id", "")),
+            RequestType.LOT_ATTACH: lambda r: self.lots.attach(
+                r.params.get("lot_id", ""), r.path, owner=r.user
+            ),
+            RequestType.LOT_LIST: lambda r: self.lots.list_lots(owner=r.user),
+        }.get(request.rtype)
+        if handler is None:
+            return Response(Status.BAD_REQUEST,
+                            message=f"storage manager cannot execute {request.rtype}")
+        try:
+            data = handler(request)
+            return Response(Status.OK, data=data)
+        except StorageError as exc:
+            return Response(exc.status, message=exc.message)
+        except LotError as exc:
+            return Response(Status.NO_SPACE, message=str(exc))
+
+    def _exec_lot_create(self, request: Request):
+        if request.user == "anonymous":
+            raise StorageError(Status.NOT_AUTHENTICATED,
+                               "lot creation requires authentication")
+        owner = request.params.get("owner") or request.user
+        if owner.startswith("group:"):
+            # Group lots: any member may create one for their group.
+            members = self.groups.get(owner[len("group:"):], set())
+            if request.user not in members and not self.root.acl.allows(
+                request.user, "a"
+            ):
+                raise StorageError(
+                    Status.DENIED, f"{request.user} not in {owner}"
+                )
+        elif owner != request.user:
+            # Default lots for other users (including "anonymous") are
+            # an administrator feature (paper, §5: "when system
+            # administrators grant access to a NeST, they can
+            # simultaneously make a set of default lots for users").
+            self._check(self.root.acl, request.user, "a")
+        lot = self.lots.create_lot(
+            owner=owner,
+            capacity=int(request.params.get("capacity", 0)),
+            duration=float(request.params.get("duration", 0)),
+        )
+        return lot.describe()
+
+    def _exec_lot_delete(self, request: Request):
+        orphans = self.lots.delete_lot(request.params.get("lot_id", ""),
+                                       owner=request.user)
+        # Terminating a lot does not delete data (best-effort semantics
+        # apply only on expiry); orphan paths are reported to the caller.
+        return {"orphans": orphans}
+
+    def _exec_lot_renew(self, request: Request):
+        lot = self.lots.renew(
+            request.params.get("lot_id", ""),
+            float(request.params.get("duration", 0)),
+            owner=request.user,
+        )
+        return lot.describe()

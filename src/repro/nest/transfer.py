@@ -1,0 +1,255 @@
+"""The live transfer manager: asynchronous data movement (paper, §4).
+
+The transfer manager owns every on-going transfer: protocol handlers
+``submit()`` storage-manager-approved tickets and block on
+:meth:`Transfer.wait`; a scheduler thread dequeues one *quantum* at a
+time in scheduler order (FCFS / stride / cache-aware -- the same pure
+policy objects the simulated substrate uses) and dispatches the chunk
+to the chosen concurrency executor:
+
+* ``threads`` -- a pool of worker threads (chunks of different
+  transfers proceed in parallel, overlapping disk and network);
+* ``events`` -- a single-threaded executor (one chunk at a time,
+  mirroring an event loop's serialization).
+
+The ``processes`` model is available only on the simulated substrate:
+live sockets cannot portably migrate into forked workers inside a test
+suite (see DESIGN.md).  The adaptive selector is fed each transfer's
+goodput, exactly as in :mod:`repro.simnest`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import BinaryIO, Callable, Optional
+
+from repro.nest.concurrency import EVENTS, THREADS, Selector, make_selector
+from repro.nest.config import NestConfig
+from repro.nest.scheduling import Scheduler, TransferJob, make_job, make_scheduler
+
+
+class TransferError(Exception):
+    """A transfer failed mid-flight (stream error, short read...)."""
+
+
+class Transfer:
+    """One scheduled data movement between two byte streams."""
+
+    def __init__(
+        self,
+        job: TransferJob,
+        source: BinaryIO,
+        sink: BinaryIO,
+        total: int,
+        model: str,
+        on_done: Optional[Callable[["Transfer"], None]] = None,
+    ):
+        self.job = job
+        self.source = source
+        self.sink = sink
+        self.total = total
+        self.model = model
+        self.on_done = on_done
+        self.moved = 0
+        self.error: Optional[BaseException] = None
+        self.started_at = time.monotonic()
+        self._finished = threading.Event()
+
+    # -- worker side -------------------------------------------------------
+    def pump_chunk(self, nbytes: int) -> int:
+        """Move up to ``nbytes``; returns bytes moved (0 at EOF)."""
+        want = nbytes if self.total < 0 else min(nbytes, self.total - self.moved)
+        if want <= 0:
+            return 0
+        data = self.source.read(want)
+        if not data:
+            if self.total >= 0 and self.moved < self.total:
+                raise TransferError(
+                    f"source ended {self.total - self.moved} bytes early"
+                )
+            return 0
+        self.sink.write(data)
+        self.moved += len(data)
+        return len(data)
+
+    @property
+    def done(self) -> bool:
+        if self.error is not None:
+            return True
+        if self.total >= 0:
+            return self.moved >= self.total
+        return self._finished.is_set()
+
+    # -- waiter side -------------------------------------------------------
+    def wait(self, timeout: float | None = 30.0) -> int:
+        """Block until the transfer completes; returns bytes moved.
+
+        Raises the transfer's error, or :exc:`TransferError` on timeout.
+        """
+        if not self._finished.wait(timeout):
+            raise TransferError("transfer timed out")
+        if self.error is not None:
+            raise self.error
+        return self.moved
+
+    def _finish(self, error: BaseException | None = None) -> None:
+        if error is not None:
+            self.error = error
+        self._finished.set()
+        if self.on_done:
+            try:
+                self.on_done(self)
+            except Exception:
+                pass
+
+    @property
+    def elapsed(self) -> float:
+        return time.monotonic() - self.started_at
+
+
+class TransferManager:
+    """Schedules and executes transfers under one NestConfig."""
+
+    def __init__(self, config: NestConfig, residency=None):
+        config.validate()
+        self.config = config
+        self.scheduler: Scheduler = make_scheduler(
+            config.scheduling,
+            shares=config.shares,
+            residency=residency or (lambda path, size: 0.0),
+            work_conserving=config.work_conserving,
+            share_by=config.share_by,
+        )
+        models = [m for m in config.concurrency_models if m != "processes"]
+        if not models:
+            models = [THREADS]
+        self.selector: Selector = make_selector(
+            config.concurrency if config.concurrency != "processes" else THREADS,
+            models=models,
+        )
+        self._threads_pool = ThreadPoolExecutor(
+            max_workers=max(2, config.transfer_workers),
+            thread_name_prefix="nest-xfer",
+        )
+        #: single-threaded: the live analogue of an event loop.
+        self._events_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="nest-events"
+        )
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._pending: dict[int, Transfer] = {}
+        self._in_flight = 0
+        self._enqueue_seq = 0
+        self._running = True
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="nest-xfer-sched", daemon=True
+        )
+        self._dispatcher.start()
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        source: BinaryIO,
+        sink: BinaryIO,
+        total: int,
+        protocol: str,
+        user: str = "anonymous",
+        path: str = "",
+        on_done: Optional[Callable[[Transfer], None]] = None,
+    ) -> Transfer:
+        """Queue a transfer; returns immediately (asynchronous)."""
+        model = self.selector.choose()
+        job = make_job(protocol, user=user, path=path, total_bytes=total)
+        transfer = Transfer(job, source, sink, total, model, on_done=on_done)
+        with self._lock:
+            self.scheduler.add(job)
+            self._enqueue_seq += 1
+            job.enqueue_seq = self._enqueue_seq
+            job.ready = True
+            job.available = total if total >= 0 else 1 << 62
+            self._pending[job.job_id] = transfer
+            self._wakeup.notify()
+        return transfer
+
+    def transfer_sync(self, *args, timeout: float | None = 60.0, **kwargs) -> int:
+        """Submit and wait; returns bytes moved (handler convenience)."""
+        return self.submit(*args, **kwargs).wait(timeout)
+
+    def shutdown(self) -> None:
+        """Stop the scheduler thread and executors."""
+        with self._lock:
+            self._running = False
+            self._wakeup.notify_all()
+        self._dispatcher.join(timeout=5)
+        self._threads_pool.shutdown(wait=False)
+        self._events_pool.shutdown(wait=False)
+
+    # ------------------------------------------------------------------
+    # scheduling loop
+    # ------------------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._lock:
+                while self._running and not self._dispatchable_locked():
+                    self._wakeup.wait(timeout=0.2)
+                if not self._running:
+                    return
+                job = self.scheduler.select()
+                if job is None or job.job_id not in self._pending:
+                    # Non-work-conserving idling: wait briefly, then
+                    # grant the best ready job anyway.
+                    self._wakeup.wait(timeout=0.002)
+                    job = self._best_ready_locked()
+                    if job is None:
+                        continue
+                transfer = self._pending[job.job_id]
+                job.ready = False
+                self._in_flight += 1
+            executor = (
+                self._events_pool if transfer.model == EVENTS else self._threads_pool
+            )
+            executor.submit(self._run_quantum, transfer)
+
+    def _dispatchable_locked(self) -> bool:
+        return (
+            self._in_flight < self.config.transfer_workers
+            and any(t.job.ready for t in self._pending.values())
+        )
+
+    def _best_ready_locked(self) -> TransferJob | None:
+        ready = [t.job for t in self._pending.values() if t.job.ready]
+        if not ready:
+            return None
+        return min(ready, key=lambda j: (j.pass_value, j.enqueue_seq))
+
+    def _run_quantum(self, transfer: Transfer) -> None:
+        job = transfer.job
+        moved = 0
+        error: BaseException | None = None
+        try:
+            moved = transfer.pump_chunk(self.config.quantum_bytes)
+        except BaseException as exc:  # noqa: BLE001 - reported to waiter
+            error = exc
+        finished = error is not None or (
+            transfer.done if moved else True  # EOF counts as done
+        )
+        with self._lock:
+            self._in_flight -= 1
+            self.scheduler.charge(job, moved)
+            if finished:
+                self.scheduler.remove(job)
+                self._pending.pop(job.job_id, None)
+            else:
+                self._enqueue_seq += 1
+                job.enqueue_seq = self._enqueue_seq
+                job.ready = True
+            self._wakeup.notify()
+        if finished:
+            self.selector.report(
+                transfer.model, max(transfer.moved, 1), max(transfer.elapsed, 1e-6)
+            )
+            transfer._finish(error)

@@ -1,0 +1,45 @@
+"""Wire protocols and the common request interface.
+
+The paper's central flexibility mechanism is the *virtual protocol
+layer* (section 3): every protocol handler transforms its own wire
+format to and from a **common request interface** understood by the
+rest of NeST, much like the VFS layer in an operating system.
+
+This package provides:
+
+* :mod:`repro.protocols.common` -- the common request/response objects
+  and stream helpers shared by all protocols;
+* :mod:`repro.protocols.chirp` -- Chirp, NeST's native text protocol
+  (the only protocol with lot management and ACL operations);
+* :mod:`repro.protocols.http` -- an HTTP/1.0 subset (GET/PUT/HEAD);
+* :mod:`repro.protocols.ftp` -- an FTP subset (RFC 765 lineage):
+  control/data channels, passive mode, RETR/STOR/LIST/MKD/DELE;
+* :mod:`repro.protocols.gridftp` -- FTP extended with GSI
+  authentication (ADAT), extended-block mode (MODE E) with parallel
+  data streams, and third-party transfers;
+* :mod:`repro.protocols.nfs` -- a restricted NFS subset: framed
+  RPC with XDR-style marshalling, file handles, MOUNT and LOOKUP,
+  block-granular READ/WRITE (the only *block-based* protocol, which
+  matters for byte-based stride scheduling).
+
+Codecs are written against buffered binary streams so the same code
+serves the live socket servers, the clients, and the unit tests.
+"""
+
+from repro.protocols.common import (
+    Request,
+    Response,
+    RequestType,
+    Status,
+    ProtocolError,
+    PROTOCOL_NAMES,
+)
+
+__all__ = [
+    "Request",
+    "Response",
+    "RequestType",
+    "Status",
+    "ProtocolError",
+    "PROTOCOL_NAMES",
+]

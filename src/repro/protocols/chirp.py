@@ -1,0 +1,210 @@
+"""Chirp: NeST's native protocol.
+
+Chirp is a simple text line protocol (one request per line, arguments
+percent-encoded) and is the only protocol exposing NeST's full feature
+set: lot management, ACL manipulation, and ClassAd status queries
+(paper, sections 3 and 5).  Bulk data follows ``get``/``put`` exchanges
+as raw bytes with an announced length.
+
+Wire grammar::
+
+    request   := verb (' ' arg)* CRLF
+    response  := 'ok' (' ' arg)* CRLF [payload]
+              |  'err' status (' ' message)? CRLF
+
+``get`` replies ``ok <size>`` then streams ``size`` bytes; ``put
+<path> <size>`` replies ``ok`` (go ahead), the client streams ``size``
+bytes, and the server confirms with a final ``ok``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+from urllib.parse import quote, unquote
+
+from repro.protocols.common import (
+    ProtocolError,
+    Request,
+    RequestType,
+    Response,
+    Status,
+)
+
+#: Default TCP port for Chirp in this reproduction.
+DEFAULT_PORT = 9094
+
+_VERB_TO_TYPE = {
+    "get": RequestType.GET,
+    "put": RequestType.PUT,
+    "read": RequestType.READ,
+    "write": RequestType.WRITE,
+    "mkdir": RequestType.MKDIR,
+    "rmdir": RequestType.RMDIR,
+    "ls": RequestType.LIST,
+    "stat": RequestType.STAT,
+    "unlink": RequestType.DELETE,
+    "rename": RequestType.RENAME,
+    "lot_create": RequestType.LOT_CREATE,
+    "lot_delete": RequestType.LOT_DELETE,
+    "lot_renew": RequestType.LOT_RENEW,
+    "lot_stat": RequestType.LOT_STAT,
+    "lot_list": RequestType.LOT_LIST,
+    "lot_attach": RequestType.LOT_ATTACH,
+    "acl_set": RequestType.ACL_SET,
+    "acl_get": RequestType.ACL_GET,
+    "thirdput": RequestType.THIRDPUT,
+    "query": RequestType.QUERY,
+    "auth": RequestType.AUTH,
+    "quit": RequestType.QUIT,
+}
+_TYPE_TO_VERB = {v: k for k, v in _VERB_TO_TYPE.items()}
+
+_STATUS_CODES = {status: status.value for status in Status}
+_CODE_TO_STATUS = {status.value: status for status in Status}
+
+
+def encode_args(args: list[str]) -> str:
+    """Percent-encode arguments so paths with spaces survive the wire."""
+    return " ".join(quote(a, safe="/:.,=_-") for a in args)
+
+
+def decode_args(text: str) -> list[str]:
+    """Inverse of :func:`encode_args`."""
+    return [unquote(part) for part in text.split(" ") if part]
+
+
+def encode_request(req: Request) -> str:
+    """Render a :class:`Request` as one Chirp command line."""
+    verb = _TYPE_TO_VERB.get(req.rtype)
+    if verb is None:
+        raise ProtocolError(f"chirp cannot carry request type {req.rtype}")
+    args: list[str] = []
+    if req.rtype in (RequestType.GET, RequestType.STAT, RequestType.LIST,
+                     RequestType.MKDIR, RequestType.RMDIR, RequestType.DELETE,
+                     RequestType.ACL_GET):
+        args = [req.path]
+    elif req.rtype is RequestType.PUT:
+        args = [req.path, str(req.length)]
+    elif req.rtype in (RequestType.READ, RequestType.WRITE):
+        args = [req.path, str(req.offset), str(req.length)]
+    elif req.rtype is RequestType.RENAME:
+        args = [req.path, str(req.params.get("new_path", ""))]
+    elif req.rtype is RequestType.LOT_CREATE:
+        args = [str(req.params.get("capacity", 0)), str(req.params.get("duration", 0))]
+        if req.params.get("owner"):
+            args.append(str(req.params["owner"]))
+    elif req.rtype in (RequestType.LOT_DELETE, RequestType.LOT_STAT):
+        args = [str(req.params.get("lot_id", ""))]
+    elif req.rtype is RequestType.LOT_RENEW:
+        args = [str(req.params.get("lot_id", "")), str(req.params.get("duration", 0))]
+    elif req.rtype is RequestType.LOT_ATTACH:
+        args = [str(req.params.get("lot_id", "")), req.path]
+    elif req.rtype is RequestType.LOT_LIST:
+        args = []
+    elif req.rtype is RequestType.ACL_SET:
+        args = [req.path, str(req.params.get("subject", "")),
+                str(req.params.get("rights", ""))]
+    elif req.rtype is RequestType.THIRDPUT:
+        args = [req.path, str(req.params.get("host", "")),
+                str(req.params.get("port", 0)),
+                str(req.params.get("remote_path", ""))]
+    elif req.rtype is RequestType.QUERY:
+        args = []
+    elif req.rtype is RequestType.AUTH:
+        args = [str(req.params.get("mechanism", "gsi"))]
+    elif req.rtype is RequestType.QUIT:
+        args = []
+    return verb if not args else f"{verb} {encode_args(args)}"
+
+
+def decode_request(line: str) -> Request:
+    """Parse one Chirp command line into a :class:`Request`."""
+    parts = line.split(" ", 1)
+    verb = parts[0].lower()
+    rtype = _VERB_TO_TYPE.get(verb)
+    if rtype is None:
+        raise ProtocolError(f"unknown chirp verb {verb!r}")
+    args = decode_args(parts[1]) if len(parts) > 1 else []
+    req = Request(rtype=rtype, protocol="chirp")
+    try:
+        if rtype in (RequestType.GET, RequestType.STAT, RequestType.LIST,
+                     RequestType.MKDIR, RequestType.RMDIR, RequestType.DELETE,
+                     RequestType.ACL_GET):
+            req.path = args[0]
+        elif rtype is RequestType.PUT:
+            req.path = args[0]
+            req.length = int(args[1])
+        elif rtype in (RequestType.READ, RequestType.WRITE):
+            req.path = args[0]
+            req.offset = int(args[1])
+            req.length = int(args[2])
+        elif rtype is RequestType.RENAME:
+            req.path = args[0]
+            req.params["new_path"] = args[1]
+        elif rtype is RequestType.LOT_CREATE:
+            req.params["capacity"] = int(args[0])
+            req.params["duration"] = float(args[1])
+            if len(args) > 2:
+                req.params["owner"] = args[2]
+        elif rtype in (RequestType.LOT_DELETE, RequestType.LOT_STAT):
+            req.params["lot_id"] = args[0]
+        elif rtype is RequestType.LOT_RENEW:
+            req.params["lot_id"] = args[0]
+            req.params["duration"] = float(args[1])
+        elif rtype is RequestType.LOT_ATTACH:
+            req.params["lot_id"] = args[0]
+            req.path = args[1]
+        elif rtype is RequestType.ACL_SET:
+            req.path = args[0]
+            req.params["subject"] = args[1]
+            req.params["rights"] = args[2]
+        elif rtype is RequestType.THIRDPUT:
+            req.path = args[0]
+            req.params["host"] = args[1]
+            req.params["port"] = int(args[2])
+            req.params["remote_path"] = args[3]
+        elif rtype is RequestType.AUTH:
+            req.params["mechanism"] = args[0] if args else "gsi"
+    except (IndexError, ValueError) as exc:
+        raise ProtocolError(f"malformed chirp request {line!r}") from exc
+    return req
+
+
+def encode_response(resp: Response, extra_args: list[str] | None = None) -> str:
+    """Render a :class:`Response` as one Chirp status line."""
+    if resp.ok:
+        args = [str(a) for a in (extra_args or [])]
+        return "ok" if not args else f"ok {encode_args(args)}"
+    code = _STATUS_CODES[resp.status]
+    if resp.message:
+        return f"err {code} {encode_args([resp.message])}"
+    return f"err {code}"
+
+
+def decode_response(line: str) -> tuple[Response, list[str]]:
+    """Parse a Chirp status line; returns (response, positional args)."""
+    parts = line.split(" ", 1)
+    head = parts[0].lower()
+    rest = decode_args(parts[1]) if len(parts) > 1 else []
+    if head == "ok":
+        return Response(Status.OK), rest
+    if head == "err":
+        if not rest:
+            raise ProtocolError(f"malformed chirp error {line!r}")
+        status = _CODE_TO_STATUS.get(rest[0], Status.SERVER_ERROR)
+        message = rest[1] if len(rest) > 1 else ""
+        return Response(status, message=message), rest[1:]
+    raise ProtocolError(f"malformed chirp response {line!r}")
+
+
+def encode_stat(stat: dict[str, Any]) -> list[str]:
+    """Flatten a stat dict into response args (size, type, owner)."""
+    return [str(stat.get("size", 0)), str(stat.get("type", "file")),
+            str(stat.get("owner", ""))]
+
+
+def decode_stat(args: list[str]) -> dict[str, Any]:
+    """Inverse of :func:`encode_stat`."""
+    if len(args) < 3:
+        raise ProtocolError("malformed stat reply")
+    return {"size": int(args[0]), "type": args[1], "owner": args[2]}

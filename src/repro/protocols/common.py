@@ -1,0 +1,174 @@
+"""The common request interface behind the virtual protocol layer.
+
+Every protocol handler parses its wire format into a :class:`Request`
+and renders a :class:`Response` back; the dispatcher, storage manager,
+and transfer manager see only these objects.  This is the "virtual
+protocol connection" of the paper's section 3.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, BinaryIO
+
+
+#: Protocols NeST release 0.9 speaks, in the paper's order.
+PROTOCOL_NAMES = ("chirp", "ftp", "gridftp", "http", "nfs")
+
+
+class ProtocolError(Exception):
+    """Malformed or unexpected traffic on a protocol connection."""
+
+
+class RequestType(enum.Enum):
+    """Operations in the common request interface.
+
+    The paper observes most request types are shared across protocols
+    (directory create/remove/read; file read/write/get/put/remove/
+    query) with a few protocol-specific outliers: ``LOOKUP``/``MOUNT``
+    exist only for NFS, and lot management only for Chirp.
+    """
+
+    # file data transfer (routed to the transfer manager)
+    GET = "get"  #: whole-file retrieve
+    PUT = "put"  #: whole-file store
+    READ = "read"  #: block read at (offset, length) -- NFS
+    WRITE = "write"  #: block write at (offset, length) -- NFS
+
+    # file / directory metadata (executed synchronously by storage mgr)
+    MKDIR = "mkdir"
+    RMDIR = "rmdir"
+    LIST = "list"
+    STAT = "stat"
+    DELETE = "delete"
+    CREATE = "create"
+    RENAME = "rename"
+
+    # NFS-specific namespace operations
+    LOOKUP = "lookup"
+    MOUNT = "mount"
+
+    # lot management (Chirp only)
+    LOT_CREATE = "lot_create"
+    LOT_DELETE = "lot_delete"
+    LOT_RENEW = "lot_renew"
+    LOT_STAT = "lot_stat"
+    LOT_LIST = "lot_list"
+    LOT_ATTACH = "lot_attach"  #: bind a path prefix to a lot
+
+    # access control (Chirp, or any protocol with ACL semantics)
+    ACL_SET = "acl_set"
+    ACL_GET = "acl_get"
+
+    # third-party data movement (Chirp: push a file to another server)
+    THIRDPUT = "thirdput"
+
+    # resource discovery / server status
+    QUERY = "query"
+
+    # session
+    AUTH = "auth"
+    QUIT = "quit"
+
+
+#: Request types the dispatcher routes to the transfer manager; all
+#: others go to the storage manager (paper, section 2.1).
+TRANSFER_TYPES = frozenset(
+    {RequestType.GET, RequestType.PUT, RequestType.READ, RequestType.WRITE}
+)
+
+
+class Status(enum.Enum):
+    """Common response status codes (mapped per protocol on the wire)."""
+
+    OK = "ok"
+    NOT_FOUND = "not_found"
+    EXISTS = "exists"
+    DENIED = "denied"
+    NOT_AUTHENTICATED = "not_authenticated"
+    NO_SPACE = "no_space"
+    NOT_DIR = "not_dir"
+    IS_DIR = "is_dir"
+    NOT_EMPTY = "not_empty"
+    BAD_REQUEST = "bad_request"
+    SERVER_ERROR = "server_error"
+
+
+@dataclass
+class Request:
+    """A protocol-independent client request.
+
+    ``user`` is filled by the protocol handler's authentication step;
+    ``protocol`` records which handler produced the request so the
+    transfer manager can apply per-protocol scheduling shares.
+    """
+
+    rtype: RequestType
+    path: str = ""
+    offset: int = 0
+    length: int = -1  #: -1 means "whole file" / "not applicable"
+    user: str = "anonymous"
+    protocol: str = "chirp"
+    params: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def is_transfer(self) -> bool:
+        """True when the dispatcher must route this to the transfer manager."""
+        return self.rtype in TRANSFER_TYPES
+
+
+@dataclass
+class Response:
+    """A protocol-independent response.
+
+    ``data`` carries small payloads (listings, stat results); bulk file
+    data always moves through the transfer manager's data path, never
+    through a Response.
+    """
+
+    status: Status
+    data: Any = None
+    message: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status is Status.OK
+
+
+# ---------------------------------------------------------------------------
+# stream helpers shared by the codecs
+# ---------------------------------------------------------------------------
+
+
+def read_exact(stream: BinaryIO, n: int) -> bytes:
+    """Read exactly ``n`` bytes or raise :exc:`ProtocolError` on EOF."""
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining > 0:
+        chunk = stream.read(remaining)
+        if not chunk:
+            raise ProtocolError(f"connection closed with {remaining} bytes pending")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_line(stream: BinaryIO, limit: int = 65536) -> str:
+    """Read one CRLF- or LF-terminated line, decoded as UTF-8.
+
+    Returns the line without its terminator; raises
+    :exc:`ProtocolError` at EOF or if the line exceeds ``limit``.
+    """
+    raw = stream.readline(limit + 2)
+    if not raw:
+        raise ProtocolError("connection closed while reading line")
+    if len(raw) > limit and not raw.endswith(b"\n"):
+        raise ProtocolError("line too long")
+    return raw.rstrip(b"\r\n").decode("utf-8", errors="replace")
+
+
+def write_line(stream: BinaryIO, line: str) -> None:
+    """Write ``line`` with CRLF termination and flush."""
+    stream.write(line.encode("utf-8") + b"\r\n")
+    stream.flush()

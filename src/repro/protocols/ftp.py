@@ -1,0 +1,110 @@
+"""FTP subset (RFC 765/959 lineage).
+
+Control connection: text commands with three-digit numeric replies.
+Data connections: passive mode (``PASV``) only, stream mode, binary
+type.  Supported commands: USER, PASS, TYPE, PASV, RETR, STOR, LIST,
+MKD, RMD, DELE, SIZE, CWD, PWD, NOOP, QUIT.
+
+FTP permits anonymous access only (paper, section 3); GridFTP layers
+GSI authentication and extended transfer modes on this dialect (see
+:mod:`repro.protocols.gridftp`).
+"""
+
+from __future__ import annotations
+
+from repro.protocols.common import ProtocolError, Response, Status
+
+#: Default control-connection ports in this reproduction.
+DEFAULT_PORT = 9021
+GRIDFTP_DEFAULT_PORT = 9022
+
+# Reply codes used by the servers.
+READY = 220
+GOODBYE = 221
+TRANSFER_OK = 226
+PASSIVE = 227
+LOGGED_IN = 230
+ACTION_OK = 250
+PATH_CREATED = 257
+NEED_PASSWORD = 331
+OPENING_DATA = 150
+AUTH_OK = 234
+AUTH_CONTINUE = 335
+SYNTAX_ERROR = 500
+NOT_IMPLEMENTED = 502
+BAD_SEQUENCE = 503
+NOT_LOGGED_IN = 530
+ACTION_FAILED = 550
+NO_SPACE = 552
+
+#: Mapping from common Status to the FTP failure reply to send.
+STATUS_TO_REPLY = {
+    Status.OK: ACTION_OK,
+    Status.NOT_FOUND: ACTION_FAILED,
+    Status.DENIED: ACTION_FAILED,
+    Status.NOT_AUTHENTICATED: NOT_LOGGED_IN,
+    Status.EXISTS: ACTION_FAILED,
+    Status.NO_SPACE: NO_SPACE,
+    Status.NOT_DIR: ACTION_FAILED,
+    Status.IS_DIR: ACTION_FAILED,
+    Status.NOT_EMPTY: ACTION_FAILED,
+    Status.BAD_REQUEST: SYNTAX_ERROR,
+    Status.SERVER_ERROR: ACTION_FAILED,
+}
+
+
+def parse_command(line: str) -> tuple[str, str]:
+    """Split a control line into (VERB, argument)."""
+    if not line:
+        raise ProtocolError("empty FTP command")
+    parts = line.split(" ", 1)
+    return parts[0].upper(), parts[1] if len(parts) > 1 else ""
+
+
+def format_reply(code: int, text: str) -> str:
+    """Render a single-line reply."""
+    return f"{code} {text}"
+
+
+def parse_reply(line: str) -> tuple[int, str]:
+    """Parse a single-line reply into (code, text)."""
+    if len(line) < 3 or not line[:3].isdigit():
+        raise ProtocolError(f"malformed FTP reply {line!r}")
+    code = int(line[:3])
+    text = line[4:] if len(line) > 4 else ""
+    return code, text
+
+
+def format_pasv_reply(host: str, port: int) -> str:
+    """Render the 227 reply advertising the passive data endpoint."""
+    h = host.split(".")
+    if len(h) != 4:
+        h = ["127", "0", "0", "1"]
+    p1, p2 = port // 256, port % 256
+    return format_reply(
+        PASSIVE, f"Entering Passive Mode ({h[0]},{h[1]},{h[2]},{h[3]},{p1},{p2})"
+    )
+
+
+def parse_pasv_reply(text: str) -> tuple[str, int]:
+    """Extract (host, port) from a 227 reply's text."""
+    start = text.find("(")
+    end = text.find(")", start)
+    if start < 0 or end < 0:
+        raise ProtocolError(f"malformed PASV reply {text!r}")
+    fields = text[start + 1 : end].split(",")
+    if len(fields) != 6:
+        raise ProtocolError(f"malformed PASV reply {text!r}")
+    try:
+        nums = [int(f.strip()) for f in fields]
+    except ValueError:
+        raise ProtocolError(f"malformed PASV reply {text!r}") from None
+    host = ".".join(str(n) for n in nums[:4])
+    port = nums[4] * 256 + nums[5]
+    return host, port
+
+
+def failure_reply(resp: Response) -> str:
+    """Render a failed common Response as an FTP reply line."""
+    code = STATUS_TO_REPLY.get(resp.status, ACTION_FAILED)
+    return format_reply(code, resp.message or resp.status.value)

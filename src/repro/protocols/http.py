@@ -1,0 +1,152 @@
+"""HTTP/1.0 subset (RFC 1945 / 2068 lineage).
+
+NeST serves GET, PUT, HEAD, and DELETE with ``Content-Length`` framing
+and connection-per-request or keep-alive semantics.  HTTP clients are
+*file-based*: one request retrieves a whole file -- the property that
+makes byte-based stride accounting necessary (paper, section 4.2).
+
+Only anonymous access is allowed over HTTP (paper, section 3: GSI is
+available only for Chirp and GridFTP).
+"""
+
+from __future__ import annotations
+
+from typing import BinaryIO
+
+from repro.protocols.common import (
+    ProtocolError,
+    Request,
+    RequestType,
+    Response,
+    Status,
+    read_line,
+)
+
+#: Default TCP port for HTTP in this reproduction.
+DEFAULT_PORT = 9080
+
+_STATUS_LINE = {
+    Status.OK: (200, "OK"),
+    Status.NOT_FOUND: (404, "Not Found"),
+    Status.DENIED: (403, "Forbidden"),
+    Status.NOT_AUTHENTICATED: (401, "Unauthorized"),
+    Status.EXISTS: (409, "Conflict"),
+    Status.NO_SPACE: (507, "Insufficient Storage"),
+    Status.BAD_REQUEST: (400, "Bad Request"),
+    Status.NOT_DIR: (400, "Bad Request"),
+    Status.IS_DIR: (400, "Bad Request"),
+    Status.NOT_EMPTY: (409, "Conflict"),
+    Status.SERVER_ERROR: (500, "Internal Server Error"),
+}
+
+_CODE_TO_STATUS = {
+    200: Status.OK,
+    201: Status.OK,
+    204: Status.OK,
+    400: Status.BAD_REQUEST,
+    401: Status.NOT_AUTHENTICATED,
+    403: Status.DENIED,
+    404: Status.NOT_FOUND,
+    409: Status.EXISTS,
+    500: Status.SERVER_ERROR,
+    507: Status.NO_SPACE,
+}
+
+
+def read_request(stream: BinaryIO) -> Request | None:
+    """Parse one HTTP request head; returns None on clean EOF.
+
+    The body (for PUT) is *not* consumed: its length is recorded in
+    ``request.length`` and the transfer manager streams it.
+    """
+    raw = stream.readline(65538)
+    if not raw:
+        return None
+    line = raw.rstrip(b"\r\n").decode("latin-1")
+    parts = line.split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise ProtocolError(f"malformed request line {line!r}")
+    method, target, _version = parts
+    headers = read_headers(stream)
+    method = method.upper()
+    if method in ("GET", "HEAD"):
+        rtype = RequestType.GET if method == "GET" else RequestType.STAT
+        req = Request(rtype=rtype, path=target, protocol="http")
+    elif method == "PUT":
+        try:
+            length = int(headers.get("content-length", ""))
+        except ValueError:
+            raise ProtocolError("PUT without valid Content-Length") from None
+        req = Request(rtype=RequestType.PUT, path=target, length=length,
+                      protocol="http")
+    elif method == "DELETE":
+        req = Request(rtype=RequestType.DELETE, path=target, protocol="http")
+    else:
+        raise ProtocolError(f"unsupported method {method!r}")
+    req.params["headers"] = headers
+    req.params["keep_alive"] = headers.get("connection", "").lower() == "keep-alive"
+    return req
+
+
+def read_headers(stream: BinaryIO) -> dict[str, str]:
+    """Read header lines until the blank separator; keys lower-cased."""
+    headers: dict[str, str] = {}
+    while True:
+        line = read_line(stream)
+        if not line:
+            return headers
+        if ":" not in line:
+            raise ProtocolError(f"malformed header {line!r}")
+        key, _, value = line.partition(":")
+        headers[key.strip().lower()] = value.strip()
+
+
+def write_request(stream: BinaryIO, req: Request) -> None:
+    """Serialize a request head (client side)."""
+    if req.rtype is RequestType.GET:
+        head = f"GET {req.path} HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"
+    elif req.rtype is RequestType.STAT:
+        head = f"HEAD {req.path} HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"
+    elif req.rtype is RequestType.PUT:
+        head = (
+            f"PUT {req.path} HTTP/1.0\r\nConnection: keep-alive\r\n"
+            f"Content-Length: {req.length}\r\n\r\n"
+        )
+    elif req.rtype is RequestType.DELETE:
+        head = f"DELETE {req.path} HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"
+    else:
+        raise ProtocolError(f"http cannot carry request type {req.rtype}")
+    stream.write(head.encode("latin-1"))
+    stream.flush()
+
+
+def write_response_head(
+    stream: BinaryIO, resp: Response, content_length: int = 0,
+    keep_alive: bool = True,
+) -> None:
+    """Serialize a response status line + headers (server side)."""
+    code, reason = _STATUS_LINE.get(resp.status, (500, "Internal Server Error"))
+    connection = "keep-alive" if keep_alive else "close"
+    head = (
+        f"HTTP/1.0 {code} {reason}\r\n"
+        f"Server: NeST/0.9\r\n"
+        f"Content-Length: {content_length}\r\n"
+        f"Connection: {connection}\r\n\r\n"
+    )
+    stream.write(head.encode("latin-1"))
+    stream.flush()
+
+
+def read_response_head(stream: BinaryIO) -> tuple[Response, dict[str, str]]:
+    """Parse a response status line + headers (client side)."""
+    line = read_line(stream)
+    parts = line.split(" ", 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+        raise ProtocolError(f"malformed status line {line!r}")
+    try:
+        code = int(parts[1])
+    except ValueError:
+        raise ProtocolError(f"malformed status code in {line!r}") from None
+    headers = read_headers(stream)
+    status = _CODE_TO_STATUS.get(code, Status.SERVER_ERROR)
+    return Response(status, message=parts[2] if len(parts) > 2 else ""), headers

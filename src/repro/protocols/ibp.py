@@ -1,0 +1,124 @@
+"""IBP: the Internet Backplane Protocol (Plank et al.), simplified.
+
+The paper names IBP as the next protocol NeST should speak ("we plan to
+include other Grid-relevant protocols in NeST, including data movement
+protocols such as IBP") and §8 compares the two storage models: IBP
+serves *allocations of byte arrays* named by **capabilities** --
+unguessable strings granting read, write, or manage access -- with
+*stable* and *volatile* allocation types.
+
+This module defines the wire dialect (text control lines, raw data
+payloads) shared by the NeST handler and the client:
+
+==========================================  =================================
+``allocate <size> <duration> <type>``        -> ``ok <rcap> <wcap> <mcap>``
+``store <wcap> <nbytes>`` + data             -> ``ok <new-used>``
+``load <rcap> <offset> <nbytes>``            -> ``ok <n>`` + data
+``probe <mcap>``                             -> ``ok <size> <used> <expires> <type>``
+``extend <mcap> <duration>``                 -> ``ok <expires>``
+``decrement <mcap>``                         -> ``ok <refcount>``
+``increment <mcap>``                         -> ``ok <refcount>``
+``status``                                   -> ``ok <total> <used> <volatile>``
+==========================================  =================================
+
+Errors come back as ``err <code> <message>``.  Capabilities look like
+``ibp://<host>/<alloc-id>#<secret>/<kind>``; only the secret grants
+access -- possession is authorization, exactly IBP's model.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.protocols.common import ProtocolError
+
+#: Default TCP port for IBP in this reproduction.
+DEFAULT_PORT = 9063
+
+STABLE = "stable"
+VOLATILE = "volatile"
+ALLOCATION_TYPES = (STABLE, VOLATILE)
+
+#: Capability kinds.
+READ = "read"
+WRITE = "write"
+MANAGE = "manage"
+
+_CAP_RE = re.compile(
+    r"^ibp://(?P<host>[^/]*)/(?P<alloc>[A-Za-z0-9_-]+)"
+    r"#(?P<secret>[0-9a-f]+)/(?P<kind>read|write|manage)$"
+)
+
+
+@dataclass(frozen=True)
+class Capability:
+    """One parsed IBP capability."""
+
+    host: str
+    alloc_id: str
+    secret: str
+    kind: str
+
+    def render(self) -> str:
+        return f"ibp://{self.host}/{self.alloc_id}#{self.secret}/{self.kind}"
+
+
+def make_capability(host: str, alloc_id: str, secret: str, kind: str) -> str:
+    """Render a capability string."""
+    if kind not in (READ, WRITE, MANAGE):
+        raise ProtocolError(f"unknown capability kind {kind!r}")
+    return Capability(host, alloc_id, secret, kind).render()
+
+
+def parse_capability(text: str) -> Capability:
+    """Parse and validate a capability string."""
+    match = _CAP_RE.match(text.strip())
+    if match is None:
+        raise ProtocolError(f"malformed capability {text!r}")
+    return Capability(
+        host=match.group("host"),
+        alloc_id=match.group("alloc"),
+        secret=match.group("secret"),
+        kind=match.group("kind"),
+    )
+
+
+def parse_command(line: str) -> tuple[str, list[str]]:
+    """Split a control line into (verb, args)."""
+    parts = line.split()
+    if not parts:
+        raise ProtocolError("empty IBP command")
+    return parts[0].lower(), parts[1:]
+
+
+def format_ok(*args: object) -> str:
+    """Render a success reply."""
+    return "ok" if not args else "ok " + " ".join(str(a) for a in args)
+
+
+def format_err(code: str, message: str = "") -> str:
+    """Render a failure reply."""
+    return f"err {code} {message}".rstrip()
+
+
+def parse_reply(line: str) -> list[str]:
+    """Parse a reply; returns args on success, raises on ``err``."""
+    parts = line.split()
+    if not parts:
+        raise ProtocolError("empty IBP reply")
+    if parts[0] == "ok":
+        return parts[1:]
+    if parts[0] == "err":
+        code = parts[1] if len(parts) > 1 else "unknown"
+        message = " ".join(parts[2:])
+        raise IbpError(code, message)
+    raise ProtocolError(f"malformed IBP reply {line!r}")
+
+
+class IbpError(Exception):
+    """A depot-side failure, carrying the wire error code."""
+
+    def __init__(self, code: str, message: str = ""):
+        super().__init__(f"{code}: {message}" if message else code)
+        self.code = code

@@ -1,0 +1,108 @@
+"""Minimal XDR (RFC 1014-style) marshalling for the NFS subset."""
+
+from __future__ import annotations
+
+import struct
+
+from repro.protocols.common import ProtocolError
+
+
+class Packer:
+    """Serializes values into XDR's 4-byte-aligned big-endian format."""
+
+    def __init__(self) -> None:
+        self._parts: list[bytes] = []
+
+    def pack_uint(self, value: int) -> None:
+        """Pack an unsigned 32-bit integer."""
+        self._parts.append(struct.pack(">I", value & 0xFFFFFFFF))
+
+    def pack_int(self, value: int) -> None:
+        """Pack a signed 32-bit integer."""
+        self._parts.append(struct.pack(">i", value))
+
+    def pack_hyper(self, value: int) -> None:
+        """Pack an unsigned 64-bit integer."""
+        self._parts.append(struct.pack(">Q", value & 0xFFFFFFFFFFFFFFFF))
+
+    def pack_bool(self, value: bool) -> None:
+        """Pack a boolean as a 32-bit 0/1."""
+        self.pack_uint(1 if value else 0)
+
+    def pack_opaque(self, data: bytes) -> None:
+        """Pack variable-length opaque data (length-prefixed, padded)."""
+        self.pack_uint(len(data))
+        self.pack_fixed(data)
+
+    def pack_fixed(self, data: bytes) -> None:
+        """Pack fixed-length opaque data padded to a 4-byte boundary."""
+        self._parts.append(data)
+        pad = (-len(data)) % 4
+        if pad:
+            self._parts.append(b"\x00" * pad)
+
+    def pack_string(self, text: str) -> None:
+        """Pack a UTF-8 string as variable-length opaque."""
+        self.pack_opaque(text.encode("utf-8"))
+
+    def get_buffer(self) -> bytes:
+        """The serialized bytes so far."""
+        return b"".join(self._parts)
+
+
+class Unpacker:
+    """Deserializes XDR data produced by :class:`Packer`."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def _take(self, n: int) -> bytes:
+        if self._pos + n > len(self._data):
+            raise ProtocolError("XDR underflow")
+        out = self._data[self._pos : self._pos + n]
+        self._pos += n
+        return out
+
+    def unpack_uint(self) -> int:
+        """Unpack an unsigned 32-bit integer."""
+        return struct.unpack(">I", self._take(4))[0]
+
+    def unpack_int(self) -> int:
+        """Unpack a signed 32-bit integer."""
+        return struct.unpack(">i", self._take(4))[0]
+
+    def unpack_hyper(self) -> int:
+        """Unpack an unsigned 64-bit integer."""
+        return struct.unpack(">Q", self._take(8))[0]
+
+    def unpack_bool(self) -> bool:
+        """Unpack a boolean."""
+        return self.unpack_uint() != 0
+
+    def unpack_opaque(self) -> bytes:
+        """Unpack variable-length opaque data."""
+        length = self.unpack_uint()
+        return self.unpack_fixed(length)
+
+    def unpack_fixed(self, length: int) -> bytes:
+        """Unpack fixed-length opaque data (consuming padding)."""
+        data = self._take(length)
+        pad = (-length) % 4
+        if pad:
+            self._take(pad)
+        return data
+
+    def unpack_string(self) -> str:
+        """Unpack a UTF-8 string."""
+        return self.unpack_opaque().decode("utf-8")
+
+    @property
+    def remaining(self) -> int:
+        """Bytes not yet consumed."""
+        return len(self._data) - self._pos
+
+    def done(self) -> None:
+        """Assert all input was consumed."""
+        if self.remaining:
+            raise ProtocolError(f"{self.remaining} trailing XDR bytes")

@@ -1,0 +1,368 @@
+"""Core of the discrete-event simulation kernel.
+
+The design mirrors SimPy's proven API surface (``env.process``,
+``env.timeout``, ``yield event``) because it composes well with
+generator-based modelling code, but the implementation here is
+self-contained and deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, Generator, Iterable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (e.g. yielding a non-event)."""
+
+
+class StopProcess(Exception):
+    """Internal: raised into a generator to return a value via ``exit()``."""
+
+    def __init__(self, value: Any):
+        self.value = value
+
+
+#: Scheduling priorities: URGENT beats NORMAL at equal times.
+URGENT = 0
+NORMAL = 1
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event begins *pending*, may be *triggered* (scheduled to fire),
+    and finally *processed* once its callbacks run.  Processes wait on
+    events by yielding them.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed", "_defused")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: list[Callable[[Event], None]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+        self._triggered = False
+        self._processed = False
+        self._defused = False
+
+    # -- state ----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> Optional[bool]:
+        """True if succeeded, False if failed, None if still pending."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception, for failed events)."""
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self._triggered = True
+        self.env._schedule(self, priority=NORMAL)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event as failed; waiters receive ``exc``."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exc
+        self._triggered = True
+        self.env._schedule(self, priority=NORMAL)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it will not crash the run."""
+        self._defused = True
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self._triggered = True
+        env._schedule(self, priority=NORMAL, delay=delay)
+
+
+class Initialize(Event):
+    """Internal: first resume of a newly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment"):
+        super().__init__(env)
+        self._ok = True
+        self._triggered = True
+        env._schedule(self, priority=URGENT)
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    @property
+    def cause(self) -> Any:
+        """The cause passed to ``interrupt()``."""
+        return self.args[0]
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator.
+
+    The process is itself an event that fires when the generator
+    returns (its value is the generator's return value), so processes
+    can wait on each other by yielding them.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env: "Environment", generator: Generator, name: str | None = None):
+        if not hasattr(generator, "throw"):
+            raise SimulationError("process() requires a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        init = Initialize(env)
+        init.callbacks.append(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return self._ok is None
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError("cannot interrupt a finished process")
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        interrupt_ev = Event(self.env)
+        interrupt_ev._ok = False
+        interrupt_ev._value = Interrupt(cause)
+        interrupt_ev._defused = True
+        interrupt_ev._triggered = True
+        interrupt_ev.callbacks.append(self._resume)
+        self.env._schedule(interrupt_ev, priority=URGENT)
+
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        try:
+            if event._ok:
+                next_event = self._generator.send(event._value)
+            else:
+                event._defused = True
+                next_event = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self._finish(True, stop.value)
+            return
+        except StopProcess as stop:
+            self._finish(True, stop.value)
+            return
+        except BaseException as exc:  # process crashed
+            self._finish(False, exc)
+            return
+        if not isinstance(next_event, Event):
+            exc = SimulationError(
+                f"process {self.name!r} yielded non-event {next_event!r}"
+            )
+            try:
+                self._generator.throw(exc)
+            except BaseException as inner:
+                self._finish(False, inner)
+            return
+        if next_event.env is not self.env:
+            self._finish(False, SimulationError("event from a different environment"))
+            return
+        self._target = next_event
+        if next_event._processed:
+            # Already fired: resume immediately (via urgent null event).
+            bridge = Event(self.env)
+            bridge._ok = next_event._ok
+            bridge._value = next_event._value
+            bridge._defused = True
+            bridge._triggered = True
+            bridge.callbacks.append(self._resume)
+            self.env._schedule(bridge, priority=URGENT)
+        else:
+            next_event.callbacks.append(self._resume)
+
+    def _finish(self, ok: bool, value: Any) -> None:
+        self._ok = ok
+        self._value = value
+        self._triggered = True
+        self.env._schedule(self, priority=NORMAL)
+
+
+class Condition(Event):
+    """Base for ``AllOf`` / ``AnyOf`` composite wait conditions."""
+
+    __slots__ = ("_events", "_count")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        self._count = 0
+        if not self._events:
+            self.succeed({})
+            return
+        for ev in self._events:
+            if ev._processed:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._satisfied():
+            self.succeed(self._collect())
+
+    def _satisfied(self) -> bool:
+        raise NotImplementedError
+
+    def _collect(self) -> dict[Event, Any]:
+        return {ev: ev._value for ev in self._events if ev._ok}
+
+
+class AllOf(Condition):
+    """Fires when all given events have fired."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._count == len(self._events)
+
+
+class AnyOf(Condition):
+    """Fires when any one of the given events has fired."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._count >= 1
+
+
+class Environment:
+    """The simulation environment: clock plus event queue."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = count()
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    # -- factories --------------------------------------------------------
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str | None = None) -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event: all of ``events``."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event: any of ``events``."""
+        return AnyOf(self, events)
+
+    def exit(self, value: Any = None) -> None:
+        """Terminate the calling process, returning ``value``."""
+        raise StopProcess(value)
+
+    # -- scheduling ---------------------------------------------------------
+    def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
+        heapq.heappush(self._queue, (self._now + delay, priority, next(self._seq), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._queue:
+            raise SimulationError("no more events")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, []
+        event._processed = True
+        for cb in callbacks:
+            cb(event)
+        if event._ok is False and not event._defused:
+            raise event._value
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run until the queue drains, a time is reached, or an event fires.
+
+        * ``until=None`` -- run to exhaustion;
+        * a number -- run until that simulated time;
+        * an :class:`Event` -- run until it fires, returning its value.
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            target = until
+            while not target._processed:
+                if not self._queue:
+                    raise SimulationError("event never fired; queue exhausted")
+                self.step()
+            if target._ok:
+                return target._value
+            target._defused = True
+            raise target._value
+        horizon = float(until)
+        if horizon < self._now:
+            raise SimulationError("cannot run backwards in time")
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None

@@ -1,0 +1,201 @@
+"""Shared resources for the DES kernel: Resource, Container, Store.
+
+These follow the SimPy resource semantics: ``request()`` returns an
+event that fires when a slot is granted; requests support ``with``
+blocks for scoped holds.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.sim.core import Environment, Event, SimulationError
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot."""
+
+    __slots__ = ("resource", "priority", "_order")
+
+    def __init__(self, resource: "Resource", priority: int = 0):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        self._order = resource._next_order()
+        resource._enqueue(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw this request if it has not been granted yet."""
+        self.resource._cancel(self)
+
+
+class Resource:
+    """A resource with ``capacity`` slots and a wait queue.
+
+    The default queue discipline is FIFO; :class:`PriorityResource`
+    orders the queue by a caller-supplied priority.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError("capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self._users: list[Request] = []
+        self._waiting: list[Request] = []
+        self._order_counter = 0
+
+    def _next_order(self) -> int:
+        self._order_counter += 1
+        return self._order_counter
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self, priority: int = 0) -> Request:
+        """Claim a slot; the returned event fires when granted."""
+        return Request(self, priority)
+
+    def release(self, request: Request) -> None:
+        """Return a held slot (no-op if the request never got one)."""
+        if request in self._users:
+            self._users.remove(request)
+            self._grant_waiters()
+        else:
+            self._cancel(request)
+
+    # -- internals ----------------------------------------------------------
+    def _enqueue(self, request: Request) -> None:
+        self._waiting.append(request)
+        self._sort_queue()
+        self._grant_waiters()
+
+    def _sort_queue(self) -> None:
+        pass  # FIFO: insertion order is already correct
+
+    def _cancel(self, request: Request) -> None:
+        if request in self._waiting:
+            self._waiting.remove(request)
+
+    def _grant_waiters(self) -> None:
+        while self._waiting and len(self._users) < self.capacity:
+            nxt = self._waiting.pop(0)
+            self._users.append(nxt)
+            nxt.succeed()
+
+
+class PriorityResource(Resource):
+    """A resource whose queue is ordered by (priority, arrival)."""
+
+    def _sort_queue(self) -> None:
+        self._waiting.sort(key=lambda r: (r.priority, r._order))
+
+
+class Container:
+    """A homogeneous quantity (e.g. bytes of disk space) with put/get."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf"), init: float = 0.0):
+        if init < 0 or init > capacity:
+            raise SimulationError("initial level out of range")
+        self.env = env
+        self.capacity = capacity
+        self._level = float(init)
+        self._getters: list[tuple[float, Event]] = []
+        self._putters: list[tuple[float, Event]] = []
+
+    @property
+    def level(self) -> float:
+        """Current amount stored."""
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        """Add ``amount``; fires when it fits under ``capacity``."""
+        if amount < 0:
+            raise SimulationError("negative amount")
+        ev = Event(self.env)
+        self._putters.append((amount, ev))
+        self._settle()
+        return ev
+
+    def get(self, amount: float) -> Event:
+        """Remove ``amount``; fires when enough is available."""
+        if amount < 0:
+            raise SimulationError("negative amount")
+        ev = Event(self.env)
+        self._getters.append((amount, ev))
+        self._settle()
+        return ev
+
+    def _settle(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._putters:
+                amount, ev = self._putters[0]
+                if self._level + amount <= self.capacity:
+                    self._level += amount
+                    self._putters.pop(0)
+                    ev.succeed()
+                    progress = True
+            if self._getters:
+                amount, ev = self._getters[0]
+                if amount <= self._level:
+                    self._level -= amount
+                    self._getters.pop(0)
+                    ev.succeed(amount)
+                    progress = True
+
+
+class Store:
+    """A FIFO store of arbitrary items with blocking put/get."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        self.env = env
+        self.capacity = capacity
+        self.items: list[Any] = []
+        self._getters: list[Event] = []
+        self._putters: list[tuple[Any, Event]] = []
+
+    def put(self, item: Any) -> Event:
+        """Add ``item``; fires once there is room."""
+        ev = Event(self.env)
+        self._putters.append((item, ev))
+        self._settle()
+        return ev
+
+    def get(self) -> Event:
+        """Remove the oldest item; fires with it once one exists."""
+        ev = Event(self.env)
+        self._getters.append(ev)
+        self._settle()
+        return ev
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def _settle(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._putters and len(self.items) < self.capacity:
+                item, ev = self._putters.pop(0)
+                self.items.append(item)
+                ev.succeed()
+                progress = True
+            if self._getters and self.items:
+                ev = self._getters.pop(0)
+                ev.succeed(self.items.pop(0))
+                progress = True

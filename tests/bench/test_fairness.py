@@ -1,0 +1,53 @@
+"""Unit tests for Jain's fairness index."""
+
+import pytest
+
+from repro.bench.fairness import jains_fairness, proportional_shares
+
+
+class TestJain:
+    def test_ideal_allocation_is_one(self):
+        assert jains_fairness([10, 20, 30], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_scaled_allocation_still_one(self):
+        # Jain's index measures proportions, not magnitudes.
+        assert jains_fairness([5, 10, 15], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_single_component(self):
+        assert jains_fairness([7], [3]) == pytest.approx(1.0)
+
+    def test_skew_reduces_index(self):
+        fair = jains_fairness([10, 10], [10, 10])
+        skewed = jains_fairness([19, 1], [10, 10])
+        assert skewed < fair
+
+    def test_paper_magnitudes(self):
+        # The paper's 0.87 case: NFS far short of a 4x share while the
+        # others overshoot.
+        desired = proportional_shares(28.0, [1, 1, 1, 4])
+        delivered = [5.4, 5.4, 5.4, 8.0]
+        value = jains_fairness(delivered, desired)
+        assert 0.75 < value < 0.95
+
+    def test_total_starvation(self):
+        value = jains_fairness([30, 0], [15, 15])
+        assert value == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            jains_fairness([1, 2], [1])
+        with pytest.raises(ValueError):
+            jains_fairness([], [])
+        with pytest.raises(ValueError):
+            jains_fairness([1], [0])
+
+
+class TestShares:
+    def test_proportional_shares(self):
+        assert proportional_shares(28.0, [1, 1, 1, 4]) == pytest.approx(
+            [4.0, 4.0, 4.0, 16.0]
+        )
+
+    def test_zero_ratios_rejected(self):
+        with pytest.raises(ValueError):
+            proportional_shares(10, [0, 0])

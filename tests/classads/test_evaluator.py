@@ -1,0 +1,206 @@
+"""Unit tests for ClassAd evaluation semantics."""
+
+import pytest
+
+from repro.classads import ClassAd, parse, parse_expression
+from repro.classads.ast import ERROR, UNDEFINED, Error, Undefined
+from repro.classads.evaluator import EvalContext, evaluate
+
+
+def ev(text, my=None, other=None):
+    return evaluate(parse_expression(text), EvalContext(my=my, other=other))
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize("expr,expected", [
+        ("1 + 2", 3),
+        ("7 - 10", -3),
+        ("6 * 7", 42),
+        ("7 / 2", 3),          # integer division truncates toward zero
+        ("-7 / 2", -3),
+        ("7.0 / 2", 3.5),
+        ("7 % 3", 1),
+        ("-7 % 3", -1),
+        ("2 * 3 + 4", 10),
+        ("1 << 4", 16),
+        ("255 & 15", 15),
+        ("8 | 1", 9),
+        ("5 ^ 1", 4),
+    ])
+    def test_numeric(self, expr, expected):
+        assert ev(expr) == expected
+
+    def test_division_by_zero_is_error(self):
+        assert isinstance(ev("1 / 0"), Error)
+        assert isinstance(ev("1 % 0"), Error)
+
+    def test_string_concatenation_with_plus(self):
+        assert ev('"ab" + "cd"') == "abcd"
+
+    def test_type_mismatch_is_error(self):
+        assert isinstance(ev('1 + "a"'), Error)
+        assert isinstance(ev("true * 2"), Error)
+
+
+class TestComparison:
+    def test_numeric_comparison(self):
+        assert ev("3 < 4") is True
+        assert ev("3 >= 4") is False
+        assert ev("3 == 3.0") is True
+
+    def test_string_comparison_case_insensitive(self):
+        assert ev('"ABC" == "abc"') is True
+        assert ev('"abc" < "abd"') is True
+
+    def test_cross_type_comparison_is_error(self):
+        assert isinstance(ev('1 == "1"'), Error)
+
+    def test_bool_equality_only(self):
+        assert ev("true == true") is True
+        assert isinstance(ev("true < false"), Error)
+
+
+class TestThreeValuedLogic:
+    def test_undefined_attribute(self):
+        assert isinstance(ev("NoSuchThing"), Undefined)
+
+    def test_false_and_undefined_is_false(self):
+        assert ev("false && NoSuch") is False
+
+    def test_true_or_undefined_is_true(self):
+        assert ev("true || NoSuch") is True
+
+    def test_true_and_undefined_is_undefined(self):
+        assert isinstance(ev("true && NoSuch"), Undefined)
+
+    def test_undefined_propagates_through_arithmetic(self):
+        assert isinstance(ev("NoSuch + 1"), Undefined)
+
+    def test_error_beats_undefined_in_strict_ops(self):
+        assert isinstance(ev("(1/0) + NoSuch"), Error)
+
+    def test_meta_equality(self):
+        assert ev("undefined =?= undefined") is True
+        assert ev("undefined =?= 1") is False
+        assert ev("undefined =!= 1") is True
+        assert ev("error =?= error") is True
+        assert ev("1 =?= 1") is True
+        assert ev('1 =?= "1"') is False
+        assert ev("1 =?= true") is False
+
+    def test_not_of_non_bool_is_error(self):
+        assert isinstance(ev("!3"), Error)
+
+    def test_ternary_on_undefined(self):
+        assert isinstance(ev("NoSuch ? 1 : 2"), Undefined)
+
+
+class TestAttributeResolution:
+    def test_my_scope(self):
+        ad = parse("[ X = 10; Y = my.X + 1 ]")
+        assert ad.eval("Y") == 11
+
+    def test_bare_name_falls_through_to_other(self):
+        mine = parse("[ Req = Memory > 4 ]")
+        other = parse("[ Memory = 8 ]")
+        assert ev("Req", my=mine, other=other) is True
+
+    def test_other_scope(self):
+        mine = parse("[ X = 1 ]")
+        other = parse("[ X = 2 ]")
+        assert ev("other.X", my=mine, other=other) == 2
+        assert ev("my.X", my=mine, other=other) == 1
+
+    def test_other_evaluates_in_others_scope(self):
+        # other.Z references other's own Y, not mine.
+        mine = parse("[ Y = 100 ]")
+        other = parse("[ Y = 5; Z = my.Y * 2 ]")
+        assert ev("other.Z", my=mine, other=other) == 10
+
+    def test_circular_reference_is_error(self):
+        ad = parse("[ A = B; B = A ]")
+        assert isinstance(ad.eval("A"), Error)
+
+    def test_self_reference_is_error(self):
+        ad = parse("[ A = A + 1 ]")
+        assert isinstance(ad.eval("A"), Error)
+
+    def test_record_selection(self):
+        ad = parse("[ R = [ X = 4 ]; Y = R.X ]")
+        assert ad.eval("Y") == 4
+
+
+class TestListsAndSubscripts:
+    def test_subscript(self):
+        assert ev("{10, 20, 30}[1]") == 20
+
+    def test_subscript_out_of_range_is_error(self):
+        assert isinstance(ev("{1}[5]"), Error)
+
+    def test_member(self):
+        assert ev("member(2, {1, 2, 3})") is True
+        assert ev("member(9, {1, 2, 3})") is False
+
+    def test_member_string_case_insensitive(self):
+        assert ev('member("A", {"a", "b"})') is True
+
+    def test_member_of_non_list_is_error(self):
+        assert isinstance(ev("member(1, 2)"), Error)
+
+
+class TestBuiltins:
+    @pytest.mark.parametrize("expr,expected", [
+        ('strcat("a", "b")', "ab"),
+        ('strcat("n=", 4)', "n=4"),
+        ('tolower("AbC")', "abc"),
+        ('toupper("AbC")', "ABC"),
+        ('size("hello")', 5),
+        ("size({1, 2})", 2),
+        ('int("42")', 42),
+        ("int(3.9)", 3),
+        ('real("2.5")', 2.5),
+        ("floor(3.7)", 3),
+        ("ceiling(3.2)", 4),
+        ("round(3.5)", 4),
+        ("ifthenelse(true, 1, 2)", 1),
+        ("ifthenelse(false, 1, 2)", 2),
+        ("isundefined(NoSuch)", True),
+        ("isundefined(1)", False),
+        ("iserror(1/0)", True),
+    ])
+    def test_builtin(self, expr, expected):
+        assert ev(expr) == expected
+
+    def test_unknown_function_is_error(self):
+        assert isinstance(ev("nosuchfn(1)"), Error)
+
+    def test_builtin_propagates_undefined(self):
+        assert isinstance(ev("tolower(NoSuch)"), Undefined)
+
+
+class TestClassAdContainer:
+    def test_python_value_assignment(self):
+        ad = ClassAd()
+        ad["N"] = 5
+        ad["S"] = "x"
+        ad["L"] = [1, 2]
+        assert ad.eval("N") == 5
+        assert ad.eval("S") == "x"
+        assert list(ad.eval("L")) == [1, 2]
+
+    def test_unsupported_value_rejected(self):
+        ad = ClassAd()
+        with pytest.raises(TypeError):
+            ad["bad"] = object()
+
+    def test_copy_is_shallow_but_independent(self):
+        ad = parse("[ A = 1 ]")
+        dup = ad.copy()
+        dup["A"] = 2
+        assert ad.eval("A") == 1 and dup.eval("A") == 2
+
+    def test_delete(self):
+        ad = parse("[ A = 1 ]")
+        del ad["a"]
+        assert "A" not in ad
+        assert isinstance(ad.eval("A"), Undefined)

@@ -1,0 +1,86 @@
+"""Unit tests for the ClassAd tokenizer."""
+
+import pytest
+
+from repro.classads.lexer import LexError, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)][:-1]  # drop EOF
+
+
+class TestBasicTokens:
+    def test_integers(self):
+        assert values("1 42 007") == [1, 42, 7]
+
+    def test_reals(self):
+        assert values("1.5 0.25") == [1.5, 0.25]
+
+    def test_scientific_notation(self):
+        assert values("1e3 2.5e-2") == [1000.0, 0.025]
+
+    def test_integer_then_dot_is_not_real_without_digits(self):
+        # "1.foo" must lex as INT, '.', IDENT (attribute selection).
+        toks = tokenize("1 . foo")
+        assert [t.kind for t in toks] == ["INT", "OP", "IDENT", "EOF"]
+
+    def test_strings(self):
+        assert values('"hello" "a b"') == ["hello", "a b"]
+
+    def test_string_escapes(self):
+        assert values(r'"a\"b" "c\\d" "e\nf"') == ['a"b', "c\\d", "e\nf"]
+
+    def test_identifiers(self):
+        assert values("foo Bar_9 _x") == ["foo", "Bar_9", "_x"]
+
+    def test_operators_longest_match(self):
+        assert values("=?= =!= <= >= == != && || << >>") == [
+            "=?=", "=!=", "<=", ">=", "==", "!=", "&&", "||", "<<", ">>",
+        ]
+
+    def test_single_char_operators(self):
+        assert values("( ) [ ] { } , ; ? : . + - * / % ! ~ < > = & | ^") == list(
+            "()[]{},;?:.+-*/%!~<>=&|^"
+        )
+
+
+class TestWhitespaceAndComments:
+    def test_whitespace_ignored(self):
+        assert kinds("  1\t2\n3 ") == ["INT", "INT", "INT", "EOF"]
+
+    def test_line_comment(self):
+        assert values("1 // comment\n2") == [1, 2]
+
+    def test_block_comment(self):
+        assert values("1 /* x */ 2") == [1, 2]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("1 /* oops")
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"abc')
+
+    def test_bad_escape(self):
+        with pytest.raises(LexError):
+            tokenize(r'"\q"')
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+    def test_eof_token_present(self):
+        toks = tokenize("")
+        assert len(toks) == 1 and toks[0].kind == "EOF"
+
+    def test_positions_recorded(self):
+        toks = tokenize("ab cd")
+        assert toks[0].pos == 0
+        assert toks[1].pos == 3

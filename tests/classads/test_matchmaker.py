@@ -1,0 +1,131 @@
+"""Unit tests for ClassAd matchmaking and collections."""
+
+from repro.classads import (
+    ClassAd,
+    ClassAdCollection,
+    MatchMaker,
+    parse,
+    symmetric_match,
+    match_rank,
+)
+from repro.classads.matchmaker import requirements_met
+
+
+def storage_ad(name, free, protocols=("chirp",)):
+    ad = parse(
+        '[ Type = "Storage"; Requirements = other.RequestedSpace <= my.FreeSpace ]'
+    )
+    ad["Name"] = name
+    ad["FreeSpace"] = free
+    ad["Protocols"] = list(protocols)
+    return ad
+
+
+def request_ad(space, rank="other.FreeSpace"):
+    ad = parse('[ Type = "Request"; Requirements = other.Type == "Storage" ]')
+    ad["RequestedSpace"] = space
+    from repro.classads.parser import parse_expression
+
+    ad["Rank"] = parse_expression(rank)
+    return ad
+
+
+class TestRequirements:
+    def test_missing_requirements_accepts_anything(self):
+        assert requirements_met(ClassAd({"A": 1}), ClassAd())
+
+    def test_undefined_requirements_do_not_match(self):
+        ad = parse("[ Requirements = other.Nope ]")
+        assert not requirements_met(ad, ClassAd())
+
+    def test_non_bool_requirements_do_not_match(self):
+        ad = parse("[ Requirements = 42 ]")
+        assert not requirements_met(ad, ClassAd())
+
+    def test_symmetric_match_requires_both_sides(self):
+        server = storage_ad("s", free=100)
+        ok = request_ad(50)
+        too_big = request_ad(500)
+        assert symmetric_match(server, ok)
+        assert not symmetric_match(server, too_big)
+
+
+class TestRank:
+    def test_rank_numeric(self):
+        req = request_ad(10)
+        assert match_rank(req, storage_ad("s", free=7)) == 7.0
+
+    def test_missing_rank_is_zero(self):
+        ad = ClassAd()
+        assert match_rank(ad, storage_ad("s", free=7)) == 0.0
+
+    def test_bool_rank_maps_to_binary(self):
+        req = parse("[ Rank = other.FreeSpace > 5 ]")
+        assert match_rank(req, storage_ad("s", free=7)) == 1.0
+        assert match_rank(req, storage_ad("s", free=2)) == 0.0
+
+
+class TestMatchMaker:
+    def test_best_match_prefers_higher_rank(self):
+        mm = MatchMaker()
+        small = storage_ad("small", free=10)
+        big = storage_ad("big", free=1000)
+        mm.add(small)
+        mm.add(big)
+        best = mm.best_match(request_ad(5))
+        assert best is big
+
+    def test_no_match_returns_none(self):
+        mm = MatchMaker([storage_ad("s", free=1)])
+        assert mm.best_match(request_ad(100)) is None
+
+    def test_matches_sorted_by_rank(self):
+        mm = MatchMaker()
+        for free in (10, 1000, 100):
+            mm.add(storage_ad(f"s{free}", free=free))
+        ranked = mm.matches(request_ad(5))
+        assert [m.rank for m in ranked] == [1000.0, 100.0, 10.0]
+
+    def test_remove(self):
+        mm = MatchMaker()
+        ad = storage_ad("s", free=10)
+        mm.add(ad)
+        mm.remove(ad)
+        assert len(mm) == 0
+
+
+class TestCollections:
+    def entries(self):
+        return [
+            ClassAd({"Type": "AclEntry", "Subject": "alice", "Rights": "rl"}),
+            ClassAd({"Type": "AclEntry", "Subject": "bob", "Rights": "rwmidla"}),
+            ClassAd({"Type": "Other"}),
+        ]
+
+    def test_query_constraint(self):
+        coll = ClassAdCollection(self.entries())
+        acl = coll.query('Type == "AclEntry"')
+        assert len(acl) == 2
+
+    def test_query_with_other_scope(self):
+        coll = ClassAdCollection(self.entries())
+        client = ClassAd({"User": "alice"})
+        mine = coll.query("Subject == other.User", other=client)
+        assert len(mine) == 1
+
+    def test_first(self):
+        coll = ClassAdCollection(self.entries())
+        found = coll.first('Subject == "bob"')
+        assert found is not None and found.eval("Rights") == "rwmidla"
+        assert coll.first('Subject == "carol"') is None
+
+    def test_remove_if(self):
+        coll = ClassAdCollection(self.entries())
+        removed = coll.remove_if(lambda ad: "subject" in ad)
+        assert removed == 2 and len(coll) == 1
+
+    def test_remove_identity(self):
+        items = self.entries()
+        coll = ClassAdCollection(items)
+        assert coll.remove(items[0]) is True
+        assert coll.remove(items[0]) is False

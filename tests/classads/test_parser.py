@@ -1,0 +1,141 @@
+"""Unit tests for the ClassAd parser."""
+
+import pytest
+
+from repro.classads import ClassAd, parse, parse_expression, ParseError
+from repro.classads.ast import (
+    AttrRef,
+    BinaryOp,
+    FuncCall,
+    ListExpr,
+    Literal,
+    Select,
+    Subscript,
+    Ternary,
+    UnaryOp,
+)
+
+
+class TestClassAdParsing:
+    def test_empty_ad(self):
+        assert len(parse("[]")) == 0
+
+    def test_simple_attributes(self):
+        ad = parse('[ A = 1; B = "two"; C = true ]')
+        assert ad.eval("A") == 1
+        assert ad.eval("B") == "two"
+        assert ad.eval("C") is True
+
+    def test_trailing_semicolon_allowed(self):
+        ad = parse("[ A = 1; ]")
+        assert ad.eval("A") == 1
+
+    def test_case_insensitive_names(self):
+        ad = parse("[ FooBar = 7 ]")
+        assert ad.eval("foobar") == 7
+        assert "FOOBAR" in ad
+
+    def test_original_case_preserved_in_iteration(self):
+        ad = parse("[ FooBar = 7 ]")
+        assert list(ad) == ["FooBar"]
+
+    def test_nested_record(self):
+        ad = parse("[ Inner = [ X = 3 ] ]")
+        inner = ad.eval("Inner")
+        assert isinstance(inner, ClassAd)
+        assert inner.eval("X") == 3
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(ParseError):
+            parse("[ A 1 ]")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse("[ A = 1 ] junk")
+
+
+class TestExpressionParsing:
+    def test_precedence_mul_over_add(self):
+        e = parse_expression("1 + 2 * 3")
+        assert isinstance(e, BinaryOp) and e.op == "+"
+        assert isinstance(e.right, BinaryOp) and e.right.op == "*"
+
+    def test_parentheses_override(self):
+        e = parse_expression("(1 + 2) * 3")
+        assert isinstance(e, BinaryOp) and e.op == "*"
+
+    def test_comparison_below_logic(self):
+        e = parse_expression("a < b && c > d")
+        assert isinstance(e, BinaryOp) and e.op == "&&"
+
+    def test_ternary(self):
+        e = parse_expression("a ? 1 : 2")
+        assert isinstance(e, Ternary)
+
+    def test_nested_ternary_right_associates(self):
+        e = parse_expression("a ? 1 : b ? 2 : 3")
+        assert isinstance(e, Ternary)
+        assert isinstance(e.otherwise, Ternary)
+
+    def test_unary_minus(self):
+        e = parse_expression("-x")
+        assert isinstance(e, UnaryOp) and e.op == "-"
+
+    def test_function_call(self):
+        e = parse_expression('strcat("a", "b", "c")')
+        assert isinstance(e, FuncCall)
+        assert e.name == "strcat" and len(e.args) == 3
+
+    def test_zero_arg_function(self):
+        e = parse_expression("foo()")
+        assert isinstance(e, FuncCall) and e.args == ()
+
+    def test_list_literal(self):
+        e = parse_expression("{1, 2, 3}")
+        assert isinstance(e, ListExpr) and len(e.items) == 3
+
+    def test_empty_list(self):
+        e = parse_expression("{}")
+        assert isinstance(e, ListExpr) and e.items == ()
+
+    def test_subscript(self):
+        e = parse_expression("xs[0]")
+        assert isinstance(e, Subscript)
+
+    def test_scoped_references(self):
+        assert parse_expression("other.Memory") == AttrRef("Memory", scope="other")
+        assert parse_expression("TARGET.Memory") == AttrRef("Memory", scope="other")
+        assert parse_expression("my.Disk") == AttrRef("Disk", scope="my")
+        assert parse_expression("self.Disk") == AttrRef("Disk", scope="my")
+
+    def test_bare_reference(self):
+        assert parse_expression("Memory") == AttrRef("Memory")
+
+    def test_selection_on_record(self):
+        e = parse_expression("[a = 1].a")
+        assert isinstance(e, Select)
+
+    def test_keyword_literals(self):
+        assert parse_expression("true") == Literal(True)
+        assert parse_expression("FALSE") == Literal(False)
+        assert repr(parse_expression("undefined").value) == "undefined"
+        assert repr(parse_expression("ERROR").value) == "error"
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("(1 + 2")
+
+
+class TestRoundTrip:
+    CASES = [
+        '[ A = 1; B = "two"; C = true; D = undefined ]',
+        "[ Requirements = other.X > my.Y && member(z, {1, 2, 3}) ]",
+        "[ E = (1 + 2) * 3 % 4; F = a ? b : c ]",
+        '[ N = [ Inner = "deep" ] ]',
+    ]
+
+    @pytest.mark.parametrize("text", CASES)
+    def test_external_repr_round_trips(self, text):
+        once = parse(text)
+        twice = parse(once.external_repr())
+        assert once.external_repr() == twice.external_repr()

@@ -1,0 +1,35 @@
+"""Tests for the regexp() builtin (used in ACL/discovery constraints)."""
+
+from repro.classads import parse, parse_expression
+from repro.classads.ast import Error, Undefined
+from repro.classads.evaluator import EvalContext, evaluate
+
+
+def ev(text, my=None):
+    return evaluate(parse_expression(text), EvalContext(my=my))
+
+
+class TestRegexp:
+    def test_match(self):
+        assert ev('regexp("^ab+c$", "abbbc")') is True
+
+    def test_no_match(self):
+        assert ev('regexp("^x", "abc")') is False
+
+    def test_search_semantics(self):
+        assert ev('regexp("b+", "aabbaa")') is True
+
+    def test_bad_pattern_is_error(self):
+        assert isinstance(ev('regexp("(", "x")'), Error)
+
+    def test_non_string_is_error(self):
+        assert isinstance(ev('regexp(1, "x")'), Error)
+
+    def test_undefined_propagates(self):
+        assert isinstance(ev('regexp("x", NoSuch)'), Undefined)
+
+    def test_in_requirements(self):
+        # The intended use: subject-pattern constraints in policy ads.
+        ad = parse('[ Subject = "/O=Grid/CN=alice"; '
+                   'Trusted = regexp("^/O=Grid/", my.Subject) ]')
+        assert ad.eval("Trusted") is True

@@ -1,0 +1,131 @@
+"""Unit tests for the DAGMan-style executor."""
+
+import threading
+import time
+
+import pytest
+
+from repro.grid.dagman import DagError, DagMan
+
+
+class TestStructure:
+    def test_duplicate_name_rejected(self):
+        dag = DagMan()
+        dag.add("a", lambda: None)
+        with pytest.raises(DagError):
+            dag.add("a", lambda: None)
+
+    def test_unknown_parent_rejected(self):
+        dag = DagMan()
+        dag.add("child", lambda: None, parents=["ghost"])
+        with pytest.raises(DagError):
+            dag.run()
+
+    def test_cycle_rejected(self):
+        dag = DagMan()
+        dag.add("a", lambda: None, parents=["b"])
+        dag.add("b", lambda: None, parents=["a"])
+        with pytest.raises(DagError):
+            dag.run()
+
+    def test_self_cycle_rejected(self):
+        dag = DagMan()
+        dag.add("a", lambda: None, parents=["a"])
+        with pytest.raises(DagError):
+            dag.run()
+
+
+class TestExecution:
+    def test_linear_chain_order(self):
+        order = []
+        dag = DagMan()
+        dag.add("one", lambda: order.append(1))
+        dag.add("two", lambda: order.append(2), parents=["one"])
+        dag.add("three", lambda: order.append(3), parents=["two"])
+        assert dag.run()
+        assert order == [1, 2, 3]
+
+    def test_diamond(self):
+        order = []
+        lock = threading.Lock()
+
+        def step(n):
+            def fn():
+                with lock:
+                    order.append(n)
+            return fn
+
+        dag = DagMan()
+        dag.add("src", step("src"))
+        dag.add("left", step("left"), parents=["src"])
+        dag.add("right", step("right"), parents=["src"])
+        dag.add("sink", step("sink"), parents=["left", "right"])
+        assert dag.run()
+        assert order[0] == "src" and order[-1] == "sink"
+        assert set(order[1:3]) == {"left", "right"}
+
+    def test_results_recorded(self):
+        dag = DagMan()
+        dag.add("compute", lambda: 42)
+        dag.run()
+        assert dag.node("compute").result == 42
+
+    def test_failure_skips_descendants(self):
+        ran = []
+
+        def boom():
+            raise RuntimeError("nope")
+
+        dag = DagMan()
+        dag.add("bad", boom)
+        dag.add("child", lambda: ran.append("child"), parents=["bad"])
+        dag.add("independent", lambda: ran.append("independent"))
+        assert not dag.run()
+        assert dag.report() == {
+            "bad": "failed", "child": "skipped", "independent": "done",
+        }
+        assert ran == ["independent"]
+        assert isinstance(dag.node("bad").error, RuntimeError)
+
+    def test_retries(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise ValueError("transient")
+            return "finally"
+
+        dag = DagMan()
+        dag.add("flaky", flaky, retries=3)
+        assert dag.run()
+        assert len(attempts) == 3
+        assert dag.node("flaky").result == "finally"
+
+    def test_retries_exhausted(self):
+        dag = DagMan()
+        dag.add("hopeless", lambda: 1 / 0, retries=2)
+        assert not dag.run()
+        assert dag.node("hopeless").attempts == 3
+
+    def test_concurrency_limit(self):
+        active = []
+        peak = []
+        lock = threading.Lock()
+
+        def work():
+            with lock:
+                active.append(1)
+                peak.append(len(active))
+            time.sleep(0.05)
+            with lock:
+                active.pop()
+
+        dag = DagMan()
+        for i in range(8):
+            dag.add(f"n{i}", work)
+        assert dag.run(max_concurrent=2)
+        assert max(peak) <= 2
+
+    def test_empty_dag(self):
+        assert DagMan().run()

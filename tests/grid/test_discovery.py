@@ -1,0 +1,89 @@
+"""Unit tests for the collector."""
+
+import pytest
+
+from repro.classads import ClassAd, parse
+from repro.grid.discovery import Collector
+from repro.nest.advertise import storage_request_ad
+
+
+def storage_ad(name, grantable, protocols=("chirp", "gridftp")):
+    ad = parse(
+        '[ Type = "Storage"; Requirements = other.Type == "Request" '
+        "&& other.RequestedSpace <= my.GrantableSpace ]"
+    )
+    ad["Name"] = name
+    ad["Host"] = "127.0.0.1"
+    ad["GrantableSpace"] = grantable
+    ad["Protocols"] = list(protocols)
+    return ad
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestCollector:
+    def test_advertise_and_count(self):
+        c = Collector()
+        c.advertise(storage_ad("a", 100))
+        c.advertise(storage_ad("b", 100))
+        assert len(c) == 2
+
+    def test_refresh_replaces(self):
+        c = Collector()
+        c.advertise(storage_ad("a", 100))
+        c.advertise(storage_ad("a", 999))
+        assert len(c) == 1
+        best = c.locate(storage_request_ad(10))
+        assert best.eval("GrantableSpace") == 999
+
+    def test_nameless_ad_rejected(self):
+        c = Collector()
+        with pytest.raises(ValueError):
+            c.advertise(ClassAd({"Type": "Storage"}))
+
+    def test_ttl_expiry(self):
+        clock = Clock()
+        c = Collector(clock=clock, default_ttl=60)
+        c.advertise(storage_ad("a", 100))
+        clock.now = 59
+        assert len(c) == 1
+        clock.now = 61
+        assert len(c) == 0
+
+    def test_per_ad_ttl(self):
+        clock = Clock()
+        c = Collector(clock=clock, default_ttl=60)
+        c.advertise(storage_ad("short", 100), ttl=5)
+        c.advertise(storage_ad("long", 100), ttl=500)
+        clock.now = 100
+        assert len(c) == 1
+
+    def test_withdraw(self):
+        c = Collector()
+        c.advertise(storage_ad("a", 100))
+        c.withdraw("a")
+        assert len(c) == 0
+
+    def test_query_ranked_by_request_rank(self):
+        c = Collector()
+        c.advertise(storage_ad("small", 10_000))
+        c.advertise(storage_ad("big", 1_000_000))
+        results = c.query(storage_request_ad(1_000))
+        assert [str(ad.eval("Name")) for ad in results] == ["big", "small"]
+
+    def test_query_filters_non_matching(self):
+        c = Collector()
+        c.advertise(storage_ad("tiny", 10))
+        assert c.query(storage_request_ad(10_000)) == []
+        assert c.locate(storage_request_ad(10_000)) is None
+
+    def test_protocol_constraint(self):
+        c = Collector()
+        c.advertise(storage_ad("nfs-less", 10**9, protocols=("http",)))
+        assert c.locate(storage_request_ad(1, protocol="nfs")) is None

@@ -1,0 +1,24 @@
+"""Fixtures for live-server integration tests."""
+
+import pytest
+
+from repro.nest.auth import CertificateAuthority
+from repro.nest.config import NestConfig
+from repro.nest.server import NestServer
+
+
+@pytest.fixture(scope="module")
+def ca():
+    return CertificateAuthority("Test Grid CA")
+
+
+@pytest.fixture
+def server(ca):
+    """A live NeST on ephemeral ports with a /data directory the
+    anonymous protocols can write into."""
+    srv = NestServer(NestConfig(name="test-nest"), ca=ca)
+    srv.start()
+    srv.storage.mkdir("admin", "/data")
+    srv.storage.acl_set("admin", "/data", "*", "rliwd")
+    yield srv
+    srv.stop()

@@ -1,0 +1,67 @@
+"""Integration: Chirp block I/O and lot attachment over the wire."""
+
+import pytest
+
+from repro.client import ChirpClient
+from repro.client.chirp import ChirpError
+from repro.nest.config import NestConfig
+from repro.nest.server import NestServer
+
+
+@pytest.fixture
+def lots_server():
+    cfg = NestConfig(name="extras", require_lots=True,
+                     lot_enforcement="nest", capacity_bytes=1_000_000)
+    with NestServer(cfg) as server:
+        yield server
+
+
+class TestBlockIo:
+    def test_pwrite_pread(self, server):
+        with ChirpClient(*server.endpoint("chirp")) as c:
+            c.pwrite("/data/sparse", 0, b"AAAA")
+            c.pwrite("/data/sparse", 4, b"BBBB")
+            assert c.pread("/data/sparse", 0, 8) == b"AAAABBBB"
+            assert c.pread("/data/sparse", 2, 4) == b"AABB"
+
+    def test_pwrite_extends(self, server):
+        with ChirpClient(*server.endpoint("chirp")) as c:
+            c.pwrite("/data/grow", 0, b"x" * 10)
+            c.pwrite("/data/grow", 10, b"y" * 10)
+            assert c.stat("/data/grow")["size"] == 20
+
+    def test_pread_clamped_at_eof(self, server):
+        with ChirpClient(*server.endpoint("chirp")) as c:
+            c.put("/data/short", b"abc")
+            assert c.pread("/data/short", 1, 100) == b"bc"
+
+    def test_pread_missing_file(self, server):
+        with ChirpClient(*server.endpoint("chirp")) as c:
+            with pytest.raises(ChirpError):
+                c.pread("/data/ghost", 0, 10)
+
+
+class TestLotAttachWire:
+    def test_attach_routes_charges(self, lots_server):
+        cred = lots_server.ca.issue("/CN=u")
+        with ChirpClient(*lots_server.endpoint("chirp")) as c:
+            c.authenticate(cred)
+            general = c.lot_create(100_000, 600)
+            project = c.lot_create(100_000, 600)
+            c.mkdir("/proj")
+            c.lot_attach(project["lot_id"], "/proj")
+            c.put("/proj/data", b"p" * 50_000)
+            c.put("/other", b"o" * 10_000)
+            assert c.lot_stat(project["lot_id"])["used"] == 50_000
+            assert c.lot_stat(general["lot_id"])["used"] == 10_000
+
+    def test_attach_foreign_lot_rejected(self, lots_server):
+        alice = lots_server.ca.issue("/CN=alice")
+        bob = lots_server.ca.issue("/CN=bob")
+        with ChirpClient(*lots_server.endpoint("chirp")) as ca_client:
+            ca_client.authenticate(alice)
+            lot = ca_client.lot_create(1000, 600)
+        with ChirpClient(*lots_server.endpoint("chirp")) as cb:
+            cb.authenticate(bob)
+            with pytest.raises(ChirpError):
+                cb.lot_attach(lot["lot_id"], "/steal")

@@ -1,0 +1,110 @@
+"""Integration: Chirp third-party puts and Kangaroo spooled movement."""
+
+import time
+
+import pytest
+
+from repro.client import ChirpClient
+from repro.client.chirp import ChirpError
+from repro.grid.kangaroo import KangarooMover
+from repro.nest.config import NestConfig
+from repro.nest.server import NestServer
+
+
+@pytest.fixture
+def pair():
+    src = NestServer(NestConfig(name="src")).start()
+    dst = NestServer(NestConfig(name="dst")).start()
+    for server in (src, dst):
+        server.storage.mkdir("admin", "/d")
+        server.storage.acl_set("admin", "/d", "*", "rliwd")
+    yield src, dst
+    dst.stop()
+    src.stop()
+
+
+class TestChirpThirdParty:
+    def test_thirdput_moves_server_to_server(self, pair):
+        src, dst = pair
+        with ChirpClient(*src.endpoint("chirp")) as c:
+            c.put("/d/source.bin", b"3rd party" * 1000)
+            moved = c.thirdput("/d/source.bin", dst.host,
+                               dst.ports["chirp"], "/d/copy.bin")
+            assert moved == 9000
+        with ChirpClient(*dst.endpoint("chirp")) as c:
+            assert c.get("/d/copy.bin") == b"3rd party" * 1000
+
+    def test_thirdput_missing_source(self, pair):
+        src, dst = pair
+        with ChirpClient(*src.endpoint("chirp")) as c:
+            with pytest.raises(ChirpError):
+                c.thirdput("/d/ghost", dst.host, dst.ports["chirp"],
+                           "/d/never")
+
+    def test_thirdput_unreachable_destination(self, pair):
+        src, _ = pair
+        with ChirpClient(*src.endpoint("chirp")) as c:
+            c.put("/d/f", b"x")
+            with pytest.raises(ChirpError):
+                c.thirdput("/d/f", "127.0.0.1", 1, "/d/x")  # closed port
+
+
+class TestKangaroo:
+    def test_spooled_delivery(self, pair):
+        _, dst = pair
+        with KangarooMover(dst.host, dst.ports["chirp"]) as mover:
+            for i in range(5):
+                mover.put(f"/d/k-{i}", bytes([i]) * 100)
+            assert mover.flush(10)
+        assert mover.stats.delivered == 5
+        with ChirpClient(*dst.endpoint("chirp")) as c:
+            for i in range(5):
+                assert c.get(f"/d/k-{i}") == bytes([i]) * 100
+
+    def test_put_returns_before_delivery(self, pair):
+        _, dst = pair
+        with KangarooMover(dst.host, dst.ports["chirp"]) as mover:
+            t0 = time.monotonic()
+            mover.put("/d/big", b"B" * 2_000_000)
+            handoff = time.monotonic() - t0
+            assert handoff < 0.1  # the Kangaroo hand-off is instant
+            assert mover.flush(15)
+
+    def test_retries_until_destination_appears(self):
+        # Reserve a port, keep the destination down, spool, then start
+        # the server: the mover must deliver once it comes up.
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+
+        mover = KangarooMover("127.0.0.1", port, retry_delay=0.1,
+                              max_attempts=50)
+        try:
+            mover.put("/late.bin", b"delayed delivery")
+            time.sleep(0.3)  # a few failed attempts accumulate
+            assert mover.stats.retries > 0
+            server = NestServer(NestConfig(name="late"),
+                                ports={"chirp": port})
+            server.start()
+            try:
+                assert mover.flush(15)
+                assert mover.stats.delivered == 1
+                with ChirpClient("127.0.0.1", port) as c:
+                    assert c.get("/late.bin") == b"delayed delivery"
+            finally:
+                server.stop()
+        finally:
+            mover.stop()
+
+    def test_gives_up_after_max_attempts(self):
+        mover = KangarooMover("127.0.0.1", 1, retry_delay=0.01,
+                              max_attempts=3)
+        try:
+            mover.put("/doomed", b"x")
+            assert mover.flush(10)
+            assert mover.stats.failed == ["/doomed"]
+        finally:
+            mover.stop()

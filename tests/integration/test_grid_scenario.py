@@ -1,0 +1,119 @@
+"""Integration: the Figure 2 scenario end to end on live servers."""
+
+import pytest
+
+from repro.client import ChirpClient, GridFtpClient, third_party_transfer
+from repro.grid import Collector, ExecutionManager, GridJob
+from repro.nest.auth import CertificateAuthority
+from repro.nest.config import NestConfig
+from repro.nest.server import NestServer
+
+
+@pytest.fixture(scope="module")
+def grid():
+    """Two live sites + collector + credential, shared by the module."""
+    ca = CertificateAuthority("Scenario CA")
+    cred = ca.issue("/O=Test/CN=manager")
+    home = NestServer(NestConfig(name="home-site"), ca=ca).start()
+    remote = NestServer(
+        NestConfig(name="remote-site", require_lots=True,
+                   lot_enforcement="nest",
+                   default_anonymous_lot_bytes=50_000_000),
+        ca=ca,
+    ).start()
+    collector = Collector()
+    collector.advertise(home.advertisement())
+    collector.advertise(remote.advertisement())
+    yield {"ca": ca, "cred": cred, "home": home, "remote": remote,
+           "collector": collector}
+    remote.stop()
+    home.stop()
+
+
+class TestThirdParty:
+    def test_server_to_server_transfer(self, grid):
+        cred = grid["cred"]
+        home, remote = grid["home"], grid["remote"]
+        with ChirpClient(*home.endpoint("chirp")) as c:
+            c.authenticate(cred)
+            if not any(e["name"] == "tp" for e in c.listdir("/")):
+                c.mkdir("/tp")
+            c.acl_set("/tp", "*", "rl")
+            c.put("/tp/source.bin", b"T" * 123_456)
+        with ChirpClient(*remote.endpoint("chirp")) as rc:
+            rc.authenticate(cred)
+            rc.lot_create(1_000_000, 600)
+            if not any(e["name"] == "tp" for e in rc.listdir("/")):
+                rc.mkdir("/tp")
+        with GridFtpClient(*home.endpoint("gridftp"), credential=cred) as gs, \
+             GridFtpClient(*remote.endpoint("gridftp"), credential=cred) as gd:
+            third_party_transfer(gs, "/tp/source.bin", gd, "/tp/copy.bin")
+        with ChirpClient(*remote.endpoint("chirp")) as rc:
+            rc.authenticate(cred)
+            assert rc.get("/tp/copy.bin") == b"T" * 123_456
+
+
+class TestFullScenario:
+    def test_six_steps(self, grid):
+        cred = grid["cred"]
+        home = grid["home"]
+        with ChirpClient(*home.endpoint("chirp")) as c:
+            c.authenticate(cred)
+            if not any(e["name"] == "home" for e in c.listdir("/")):
+                c.mkdir("/home")
+            c.acl_set("/home", "*", "rl")
+            c.put("/home/input.dat", b"IN" * 10_000)
+
+        def double(inputs):
+            return {"output.dat": inputs["input.dat"] * 2}
+
+        manager = ExecutionManager(grid["collector"], cred)
+        report = manager.run_scenario(
+            home,
+            jobs=[GridJob("double", inputs=("input.dat",),
+                          outputs=("output.dat",), compute=double)],
+        )
+        # The manager must pick the remote site, not home.
+        assert report.site == "remote-site"
+        assert report.staged_in == ["input.dat"]
+        assert report.jobs_run == ["double"]
+        assert report.staged_out == ["output.dat"]
+        assert report.lot_terminated
+        assert all(s == "done" for s in report.dag_status.values())
+        # Step 6 really removed the reservation at the remote site.
+        assert report.lot_id not in grid["remote"].storage.lots.lots
+        with ChirpClient(*home.endpoint("chirp")) as c:
+            c.authenticate(cred)
+            assert c.get("/home/output.dat") == b"IN" * 20_000
+
+    def test_no_site_big_enough(self, grid):
+        manager = ExecutionManager(grid["collector"], grid["cred"])
+        with pytest.raises(RuntimeError):
+            manager.find_site(10**15)
+
+    def test_admin_default_lot_survives(self, grid):
+        # The admin's default anonymous lot outlives every scenario.
+        remote = grid["remote"]
+        owners = {l.owner for l in remote.storage.lots.lots.values()}
+        assert "anonymous" in owners
+
+
+class TestDiscovery:
+    def test_advertisements_refresh(self, grid):
+        collector = grid["collector"]
+        home = grid["home"]
+        before = len(collector)
+        collector.advertise(home.advertisement())  # refresh, not dup
+        assert len(collector) == before
+
+    def test_ttl_expiry(self):
+        from repro.grid.discovery import Collector
+
+        t = [0.0]
+        collector = Collector(clock=lambda: t[0], default_ttl=10.0)
+        from repro.classads import ClassAd
+
+        collector.advertise(ClassAd({"Name": "ephemeral", "Type": "Storage"}))
+        assert len(collector) == 1
+        t[0] = 11.0
+        assert len(collector) == 0

@@ -1,0 +1,60 @@
+"""Integration: the protocol-selecting NestClient facade."""
+
+import pytest
+
+from repro.client import NestClient
+from repro.nest.config import NestConfig
+from repro.nest.server import NestServer
+
+
+@pytest.fixture(scope="module")
+def facade_server():
+    server = NestServer(NestConfig(name="facade")).start()
+    server.storage.mkdir("admin", "/pub")
+    server.storage.acl_set("admin", "/pub", "*", "rliwd")
+    yield server
+    server.stop()
+
+
+class TestProtocolSelection:
+    @pytest.mark.parametrize("proto", ["chirp", "http", "ftp", "gridftp",
+                                       "nfs"])
+    def test_read_write_via_each_data_protocol(self, facade_server, proto):
+        payload = f"via {proto}".encode() * 500
+        credential = facade_server.ca.issue(f"/CN={proto}-user")
+        with NestClient(facade_server.host, facade_server.ports,
+                        data_protocol=proto, credential=credential) as client:
+            client.write(f"/pub/{proto}.bin", payload)
+            assert client.read(f"/pub/{proto}.bin") == payload
+
+    def test_management_always_via_chirp(self, facade_server):
+        cred = facade_server.ca.issue("/CN=mgr")
+        with NestClient(facade_server.host, facade_server.ports,
+                        data_protocol="http", credential=cred) as client:
+            client.mkdir("/pub/managed")
+            client.grant("/pub/managed", "*", "rliw")
+            client.write("/pub/managed/f", b"data over http")
+            assert client.stat("/pub/managed/f")["size"] == 14
+            names = [e["name"] for e in client.listdir("/pub/managed")]
+            assert names == ["f"]
+            client.unlink("/pub/managed/f")
+
+    def test_space_reservation_via_facade(self, facade_server):
+        cred = facade_server.ca.issue("/CN=reserver")
+        with NestClient(facade_server.host, facade_server.ports,
+                        data_protocol="chirp", credential=cred) as client:
+            lot = client.reserve_space(100_000, duration=600)
+            assert lot["capacity"] == 100_000
+            client.release_space(lot["lot_id"])
+
+    def test_server_ad_readable(self, facade_server):
+        from repro.classads import parse
+
+        with NestClient(facade_server.host, facade_server.ports) as client:
+            ad = parse(client.server_ad())
+            assert ad.eval("Name") == "facade"
+
+    def test_unknown_protocol_rejected(self, facade_server):
+        with pytest.raises(ValueError):
+            NestClient(facade_server.host, facade_server.ports,
+                       data_protocol="smb")

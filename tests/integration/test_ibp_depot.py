@@ -1,0 +1,144 @@
+"""Integration: the IBP dialect against a live NeST depot."""
+
+import pytest
+
+from repro.client.ibp import IbpClient, IbpError
+from repro.nest.config import NestConfig
+from repro.nest.server import NestServer
+from repro.protocols.ibp import STABLE, VOLATILE
+
+
+@pytest.fixture
+def depot():
+    cfg = NestConfig(
+        name="depot", protocols=("chirp", "ibp"),
+        require_lots=True, lot_enforcement="nest",
+        capacity_bytes=2_000_000,
+    )
+    with NestServer(cfg) as server:
+        with IbpClient(*server.endpoint("ibp")) as client:
+            yield server, client
+
+
+class TestAllocationLifecycle:
+    def test_allocate_store_load(self, depot):
+        _, client = depot
+        caps = client.allocate(10_000, 600)
+        assert client.store(caps["write"], b"first") == 5
+        assert client.store(caps["write"], b" second") == 12
+        assert client.load(caps["read"]) == b"first second"
+        assert client.load(caps["read"], offset=6) == b"second"
+        assert client.load(caps["read"], offset=0, nbytes=5) == b"first"
+
+    def test_allocation_backed_by_lot(self, depot):
+        server, client = depot
+        caps = client.allocate(50_000, 600)
+        info = client.probe(caps["manage"])
+        assert info["size"] == 50_000 and info["type"] == STABLE
+        owners = {l.owner for l in server.storage.lots.lots.values()}
+        assert any(o.startswith("ibp:") for o in owners)
+
+    def test_over_allocation_refused(self, depot):
+        _, client = depot
+        caps = client.allocate(100, 600)
+        with pytest.raises(IbpError) as info:
+            client.store(caps["write"], b"x" * 101)
+        assert info.value.code == "over-allocation"
+        # The refusal was clean: the allocation still works.
+        assert client.store(caps["write"], b"x" * 100) == 100
+
+    def test_capability_kinds_enforced(self, depot):
+        _, client = depot
+        caps = client.allocate(100, 600)
+        for wrong, op in [
+            (caps["read"], lambda: client.store(caps["read"], b"x")),
+            (caps["write"], lambda: client.load(caps["write"])),
+            (caps["read"], lambda: client.probe(caps["read"])),
+        ]:
+            with pytest.raises(IbpError):
+                op()
+
+    def test_forged_secret_rejected(self, depot):
+        _, client = depot
+        caps = client.allocate(100, 600)
+        forged = caps["read"].replace("#", "#0f", 1)
+        with pytest.raises(IbpError):
+            client.load(forged)
+
+    def test_refcounting_frees_at_zero(self, depot):
+        server, client = depot
+        caps = client.allocate(100, 600)
+        client.store(caps["write"], b"shared")
+        assert client.increment(caps["manage"]) == 2
+        assert client.decrement(caps["manage"]) == 1
+        assert client.load(caps["read"]) == b"shared"
+        assert client.decrement(caps["manage"]) == 0
+        with pytest.raises(IbpError):
+            client.load(caps["read"])
+        assert server.storage.lots.total_used() == 0
+
+    def test_extend_stable_only(self, depot):
+        _, client = depot
+        stable = client.allocate(100, 10)
+        before = client.probe(stable["manage"])["expires_at"]
+        after = client.extend(stable["manage"], 600)
+        assert after > before
+        volatile = client.allocate(100, 10, atype=VOLATILE)
+        with pytest.raises(IbpError) as info:
+            client.extend(volatile["manage"], 600)
+        assert info.value.code == "is-volatile"
+
+
+class TestVolatileSemantics:
+    def test_volatile_survives_until_pressure(self, depot):
+        _, client = depot
+        vcaps = client.allocate(500_000, 600, atype=VOLATILE)
+        client.store(vcaps["write"], b"v" * 400_000)
+        assert client.load(vcaps["read"], nbytes=10) == b"v" * 10
+        # A big stable guarantee forces reclamation.
+        client.allocate(1_900_000, 600)
+        with pytest.raises(IbpError) as info:
+            client.load(vcaps["read"])
+        assert info.value.code == "reclaimed"
+
+    def test_stable_guarantee_never_reclaimed(self, depot):
+        _, client = depot
+        scaps = client.allocate(500_000, 600)
+        client.store(scaps["write"], b"s" * 400_000)
+        # Asking for more than free+volatile space fails instead of
+        # touching the stable allocation.
+        with pytest.raises(IbpError) as info:
+            client.allocate(1_900_000, 600)
+        assert info.value.code == "no-space"
+        assert client.load(scaps["read"], nbytes=5) == b"sssss"
+
+    def test_status_counts(self, depot):
+        _, client = depot
+        client.allocate(100, 600, atype=VOLATILE)
+        client.allocate(100, 600, atype=STABLE)
+        status = client.status()
+        assert status["volatile"] == 1
+        assert status["total"] == 2_000_000
+
+
+class TestValidation:
+    @pytest.mark.parametrize("size,duration,atype,code", [
+        (0, 60, STABLE, "bad-size"),
+        (100, 0, STABLE, "bad-duration"),
+        (100, 60, "permanent", "bad-type"),
+    ])
+    def test_bad_allocate_arguments(self, depot, size, duration, atype, code):
+        _, client = depot
+        with pytest.raises(IbpError) as info:
+            client.allocate(size, duration, atype)
+        assert info.value.code == code
+
+    def test_namespace_hidden_from_other_protocols(self, depot):
+        server, client = depot
+        from repro.client import ChirpClient
+        from repro.client.chirp import ChirpError
+
+        client.allocate(100, 600)
+        with ChirpClient(*server.endpoint("chirp")) as chirp_client:
+            with pytest.raises(ChirpError):
+                chirp_client.listdir("/.ibp")

@@ -1,0 +1,109 @@
+"""Integration: the native JBOS bunch over real sockets."""
+
+import time
+
+import pytest
+
+from repro.client import (
+    ChirpClient,
+    FtpClient,
+    GridFtpClient,
+    HttpClient,
+    NfsClient,
+)
+from repro.jbos import JbosManager, Throttle
+from repro.nest.auth import CertificateAuthority
+
+
+@pytest.fixture(scope="module")
+def bunch():
+    ca = CertificateAuthority("JBOS CA")
+    mgr = JbosManager(ca=ca).start()
+    mgr.store.mkdir("/pub")
+    mgr.store.write("/pub/seed.bin", b"seed" * 1000)
+    yield mgr, ca
+    mgr.stop()
+
+
+class TestBunch:
+    def test_every_native_server_serves(self, bunch):
+        mgr, ca = bunch
+        with ChirpClient(mgr.host, mgr.ports["chirp"]) as c:
+            assert c.get("/pub/seed.bin") == b"seed" * 1000
+        with HttpClient(mgr.host, mgr.ports["http"]) as h:
+            assert h.get("/pub/seed.bin") == b"seed" * 1000
+        with FtpClient(mgr.host, mgr.ports["ftp"]) as f:
+            assert f.retr("/pub/seed.bin") == b"seed" * 1000
+        with GridFtpClient(mgr.host, mgr.ports["gridftp"],
+                           credential=ca.issue("/CN=u")) as g:
+            assert g.retr("/pub/seed.bin") == b"seed" * 1000
+        with NfsClient(mgr.host, mgr.ports["nfs"]) as n:
+            n.mount("/")
+            assert n.read_file("/pub/seed.bin") == b"seed" * 1000
+
+    def test_shared_store_across_servers(self, bunch):
+        mgr, _ca = bunch
+        with HttpClient(mgr.host, mgr.ports["http"]) as h:
+            h.put("/pub/crosswrite.bin", b"from http")
+        with FtpClient(mgr.host, mgr.ports["ftp"]) as f:
+            assert f.retr("/pub/crosswrite.bin") == b"from http"
+
+    def test_no_lot_support_anywhere(self, bunch):
+        # JBOS has no lots: the chirpd rejects lot operations.
+        from repro.client.chirp import ChirpError
+
+        mgr, _ca = bunch
+        with ChirpClient(mgr.host, mgr.ports["chirp"]) as c:
+            with pytest.raises(ChirpError):
+                c.lot_create(1000, 60)
+
+    def test_gridftp_eblock_mode(self, bunch):
+        mgr, ca = bunch
+        with GridFtpClient(mgr.host, mgr.ports["gridftp"],
+                           credential=ca.issue("/CN=u")) as g:
+            g.command("MODE E", expect=200)
+            # The native daemon speaks single-stream eblock via PASV.
+            import socket
+
+            from repro.protocols import ftp as ftpproto
+            from repro.protocols import gridftp as gftpproto
+
+            _, text = g.command("PASV", expect=ftpproto.PASSIVE)
+            host, port = ftpproto.parse_pasv_reply(text)
+            g.command("RETR /pub/seed.bin", expect=ftpproto.OPENING_DATA)
+            conn = socket.create_connection((host, port), timeout=10)
+            stream = conn.makefile("rb")
+            data = bytearray()
+            for offset, payload in gftpproto.iter_blocks(stream):
+                data[offset:offset + len(payload)] = payload
+            stream.close()
+            conn.close()
+            g._expect(ftpproto.TRANSFER_OK)
+            assert bytes(data) == b"seed" * 1000
+
+
+class TestThrottleModule:
+    def test_throttle_caps_one_server_only(self):
+        ca = CertificateAuthority()
+        throttled = JbosManager(
+            protocols=("http", "ftp"),
+            throttles={"http": Throttle(200_000, burst=20_000)},
+            ca=ca,
+        ).start()
+        try:
+            throttled.store.mkdir("/d")
+            throttled.store.write("/d/f", b"z" * 200_000)
+
+            with HttpClient(throttled.host, throttled.ports["http"]) as h:
+                t0 = time.monotonic()
+                h.get("/d/f")
+                http_time = time.monotonic() - t0
+            with FtpClient(throttled.host, throttled.ports["ftp"]) as f:
+                t0 = time.monotonic()
+                f.retr("/d/f")
+                ftp_time = time.monotonic() - t0
+            # HTTP is paced to ~1s; FTP is unconstrained.
+            assert http_time > 0.5
+            assert ftp_time < 0.5 * http_time
+        finally:
+            throttled.stop()

@@ -1,0 +1,109 @@
+"""Unit tests for the JBOS shared store and throttle."""
+
+import time
+
+import pytest
+
+from repro.jbos.store import SimpleStore, SimpleStoreError
+from repro.jbos.throttle import Throttle, Unthrottled
+
+
+class TestSimpleStore:
+    def test_write_read(self):
+        s = SimpleStore()
+        s.write("/f", b"data")
+        assert s.read("/f") == b"data"
+        assert s.size("/f") == 4
+
+    def test_missing_file(self):
+        s = SimpleStore()
+        with pytest.raises(SimpleStoreError):
+            s.read("/nope")
+        with pytest.raises(SimpleStoreError):
+            s.delete("/nope")
+        with pytest.raises(SimpleStoreError):
+            s.size("/nope")
+
+    def test_write_needs_parent_dir(self):
+        s = SimpleStore()
+        with pytest.raises(SimpleStoreError):
+            s.write("/no/such/f", b"x")
+
+    def test_mkdir_listdir(self):
+        s = SimpleStore()
+        s.mkdir("/d")
+        s.mkdir("/d/sub")
+        s.write("/d/f", b"123")
+        assert s.listdir("/d") == [("f", "file", 3), ("sub", "dir", 0)]
+
+    def test_rmdir_requires_empty(self):
+        s = SimpleStore()
+        s.mkdir("/d")
+        s.write("/d/f", b"x")
+        with pytest.raises(SimpleStoreError):
+            s.rmdir("/d")
+        s.delete("/d/f")
+        s.rmdir("/d")
+        assert not s.exists("/d")
+
+    def test_root_not_removable(self):
+        with pytest.raises(SimpleStoreError):
+            SimpleStore().rmdir("/")
+
+    def test_mkdir_conflicts(self):
+        s = SimpleStore()
+        s.mkdir("/d")
+        with pytest.raises(SimpleStoreError):
+            s.mkdir("/d")
+        s.write("/f", b"x")
+        with pytest.raises(SimpleStoreError):
+            s.mkdir("/f")
+
+    def test_write_at_extends_with_zeros(self):
+        s = SimpleStore()
+        s.mkdir("/d")
+        size = s.write_at("/d/f", 4, b"ab")
+        assert size == 6
+        assert s.read("/d/f") == b"\x00\x00\x00\x00ab"
+
+    def test_write_at_overwrites_in_place(self):
+        s = SimpleStore()
+        s.write("/f", b"abcdef")
+        s.write_at("/f", 2, b"XY")
+        assert s.read("/f") == b"abXYef"
+
+    def test_path_normalization(self):
+        s = SimpleStore()
+        s.mkdir("/d")
+        s.write("/d//f", b"x")
+        assert s.read("/d/f") == b"x"
+
+    def test_listdir_is_shallow(self):
+        s = SimpleStore()
+        s.mkdir("/d")
+        s.mkdir("/d/deep")
+        s.write("/d/deep/f", b"x")
+        names = [n for n, _, _ in s.listdir("/d")]
+        assert names == ["deep"]
+
+
+class TestThrottle:
+    def test_paces_to_rate(self):
+        throttle = Throttle(1_000_000, burst=50_000)
+        t0 = time.monotonic()
+        throttle.consume(500_000)
+        elapsed = time.monotonic() - t0
+        assert 0.3 < elapsed < 1.5
+
+    def test_burst_is_free(self):
+        throttle = Throttle(1_000, burst=10_000)
+        t0 = time.monotonic()
+        throttle.consume(5_000)
+        assert time.monotonic() - t0 < 0.1
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Throttle(0)
+
+    def test_unthrottled_noop(self):
+        Unthrottled().consume(10**12)

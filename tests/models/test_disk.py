@@ -1,0 +1,127 @@
+"""Unit tests for the seek-aware disk model."""
+
+import pytest
+
+from repro.models.disk import Disk
+from repro.sim import Environment
+
+
+def make_disk(env, bw=100.0, seek=1.0):
+    return Disk(env, read_bw=bw, write_bw=bw, seek_time=seek)
+
+
+class TestSequentialVsSeek:
+    def test_first_access_seeks(self):
+        env = Environment()
+        disk = make_disk(env)
+
+        def proc():
+            yield from disk.read("f", 0, 100)
+
+        env.run(env.process(proc()))
+        assert env.now == pytest.approx(1.0 + 1.0)  # seek + 100/100
+        assert disk.seeks == 1
+
+    def test_sequential_continuation_skips_seek(self):
+        env = Environment()
+        disk = make_disk(env)
+
+        def proc():
+            yield from disk.read("f", 0, 100)
+            yield from disk.read("f", 100, 100)
+
+        env.run(env.process(proc()))
+        assert disk.seeks == 1
+        assert env.now == pytest.approx(1.0 + 2.0)
+
+    def test_file_switch_seeks(self):
+        env = Environment()
+        disk = make_disk(env)
+
+        def proc():
+            yield from disk.read("a", 0, 100)
+            yield from disk.read("b", 0, 100)
+            yield from disk.read("a", 100, 100)
+
+        env.run(env.process(proc()))
+        assert disk.seeks == 3
+
+    def test_offset_hole_seeks(self):
+        env = Environment()
+        disk = make_disk(env)
+
+        def proc():
+            yield from disk.read("a", 0, 100)
+            yield from disk.read("a", 500, 100)
+
+        env.run(env.process(proc()))
+        assert disk.seeks == 2
+
+
+class TestSerialization:
+    def test_concurrent_requests_serialize(self):
+        env = Environment()
+        disk = make_disk(env, bw=100, seek=0.5)
+        ends = []
+
+        def proc(name, file):
+            yield from disk.read(file, 0, 100)
+            ends.append((env.now, name))
+
+        env.process(proc("a", "fa"))
+        env.process(proc("b", "fb"))
+        env.run()
+        assert ends[0][1] == "a"
+        assert ends[0][0] == pytest.approx(1.5)
+        assert ends[1][0] == pytest.approx(3.0)
+
+    def test_queue_length_visible(self):
+        env = Environment()
+        disk = make_disk(env)
+
+        def long_read():
+            yield from disk.read("a", 0, 1000)
+
+        def waiter():
+            yield env.timeout(0.1)
+            yield from disk.read("b", 0, 10)
+
+        env.process(long_read())
+        env.process(waiter())
+        env.run(until=0.2)
+        assert disk.queue_length == 1
+
+
+class TestAccounting:
+    def test_byte_counters(self):
+        env = Environment()
+        disk = make_disk(env)
+
+        def proc():
+            yield from disk.read("a", 0, 70)
+            yield from disk.write("a", 70, 30)
+
+        env.run(env.process(proc()))
+        assert disk.bytes_read == 70
+        assert disk.bytes_written == 30
+
+    def test_zero_byte_io_is_free(self):
+        env = Environment()
+        disk = make_disk(env)
+
+        def proc():
+            yield from disk.read("a", 0, 0)
+
+        env.run(env.process(proc()))
+        assert env.now == 0.0 and disk.seeks == 0
+
+    def test_write_continues_head_position(self):
+        env = Environment()
+        disk = make_disk(env)
+
+        def proc():
+            yield from disk.write("a", 0, 100)
+            yield from disk.read("a", 100, 50)
+
+        env.run(env.process(proc()))
+        assert disk.seeks == 1

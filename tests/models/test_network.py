@@ -1,0 +1,152 @@
+"""Unit tests for the fair-share link model."""
+
+import pytest
+
+from repro.models.network import FairShareLink
+from repro.sim import Environment
+from repro.sim.core import SimulationError
+
+
+def finish_times(capacity, flows, group_caps=None):
+    """Run a set of (bytes, cap, group) flows; return completion times."""
+    env = Environment()
+    link = FairShareLink(env, capacity)
+    for group, cap in (group_caps or {}).items():
+        link.set_group_cap(group, cap)
+    done = {}
+
+    def flow(name, nbytes, cap, group):
+        yield link.transfer(nbytes, cap=cap, group=group)
+        done[name] = env.now
+
+    for i, spec in enumerate(flows):
+        nbytes, cap, group = spec
+        env.process(flow(i, nbytes, cap, group))
+    env.run()
+    return done, link
+
+
+class TestSingleFlow:
+    def test_full_capacity(self):
+        done, _ = finish_times(10.0, [(100, None, None)])
+        assert done[0] == pytest.approx(10.0)
+
+    def test_per_flow_cap(self):
+        done, _ = finish_times(10.0, [(100, 2.0, None)])
+        assert done[0] == pytest.approx(50.0)
+
+    def test_zero_bytes_completes_immediately(self):
+        env = Environment()
+        link = FairShareLink(env, 10)
+        ev = link.transfer(0)
+        assert ev.triggered
+
+    def test_negative_bytes_rejected(self):
+        env = Environment()
+        link = FairShareLink(env, 10)
+        with pytest.raises(SimulationError):
+            link.transfer(-1)
+
+    def test_non_positive_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            FairShareLink(Environment(), 0)
+
+
+class TestFairSharing:
+    def test_equal_split(self):
+        # Two equal flows on a 10 B/s link: both at 5 B/s.
+        done, _ = finish_times(10.0, [(50, None, None), (50, None, None)])
+        assert done[0] == pytest.approx(10.0)
+        assert done[1] == pytest.approx(10.0)
+
+    def test_leftover_redistributed_after_completion(self):
+        # Flow 1 is smaller; after it finishes flow 0 speeds up.
+        done, _ = finish_times(10.0, [(100, None, None), (20, None, None)])
+        # Phase 1: both at 5 until t=4 (flow1 done). Flow0 has 80 left
+        # at 10 B/s -> done at 12.
+        assert done[1] == pytest.approx(4.0)
+        assert done[0] == pytest.approx(12.0)
+
+    def test_capped_flow_leaves_room(self):
+        # Flow 0 capped at 2; flow 1 takes the remaining 8.
+        done, _ = finish_times(10.0, [(20, 2.0, None), (80, None, None)])
+        assert done[0] == pytest.approx(10.0)
+        assert done[1] == pytest.approx(10.0)
+
+    def test_total_conservation(self):
+        done, link = finish_times(
+            10.0, [(40, None, None), (20, 2.0, None), (35, None, None)]
+        )
+        assert link.bytes_delivered == pytest.approx(95.0)
+
+    def test_late_arrival_shares(self):
+        env = Environment()
+        link = FairShareLink(env, 10.0)
+        done = {}
+
+        def early():
+            yield link.transfer(100)
+            done["early"] = env.now
+
+        def late():
+            yield env.timeout(5)
+            yield link.transfer(25)
+            done["late"] = env.now
+
+        env.process(early())
+        env.process(late())
+        env.run()
+        # early: 50 bytes alone by t=5, then 5 B/s. late: 5 B/s.
+        assert done["late"] == pytest.approx(10.0)
+        assert done["early"] == pytest.approx(12.5)
+
+
+class TestGroupCaps:
+    def test_group_aggregate_capped(self):
+        # Four flows in a group capped at 5 on a 100 B/s link.
+        done, _ = finish_times(
+            100.0,
+            [(10, None, "g")] * 4,
+            group_caps={"g": 5.0},
+        )
+        # Each flow: 5/4 = 1.25 B/s -> 8 s.
+        for i in range(4):
+            assert done[i] == pytest.approx(8.0)
+
+    def test_group_cap_ignored_for_other_groups(self):
+        done, _ = finish_times(
+            10.0,
+            [(40, None, "slow"), (40, None, None)],
+            group_caps={"slow": 2.0},
+        )
+        assert done[0] == pytest.approx(20.0)
+        # Other flow gets the remaining 8 B/s.
+        assert done[1] == pytest.approx(5.0)
+
+    def test_group_cap_not_binding_under_contention(self):
+        # 16 flows, group cap 50 on a 35 B/s link: fair share (35/16)
+        # is below the group's per-flow slice, so the cap is moot.
+        done, link = finish_times(
+            35.0,
+            [(35, None, "g")] * 8 + [(35, None, None)] * 8,
+            group_caps={"g": 50.0},
+        )
+        for i in range(16):
+            assert done[i] == pytest.approx(16.0)
+
+
+class TestRates:
+    def test_current_rate_reflects_active_flows(self):
+        env = Environment()
+        link = FairShareLink(env, 10.0)
+        link.transfer(100)
+        link.transfer(100)
+        assert link.current_rate() == pytest.approx(10.0)
+
+    def test_active_flows_counter(self):
+        env = Environment()
+        link = FairShareLink(env, 10.0)
+        link.transfer(100)
+        assert link.active_flows == 1
+        env.run()
+        assert link.active_flows == 0

@@ -1,0 +1,39 @@
+"""Unit tests for platform profiles."""
+
+import pytest
+
+from repro.models.platform import LINUX, SOLARIS, get_platform
+
+
+class TestProfiles:
+    def test_lookup_by_name(self):
+        assert get_platform("linux") is LINUX
+        assert get_platform("SOLARIS") is SOLARIS
+
+    def test_unknown_platform_rejected(self):
+        with pytest.raises(ValueError):
+            get_platform("plan9")
+
+    def test_scaled_override(self):
+        fast = LINUX.scaled(disk_read_bw=1e9)
+        assert fast.disk_read_bw == 1e9
+        assert fast.link_bw == LINUX.link_bw
+        assert LINUX.disk_read_bw != 1e9  # original untouched
+
+    def test_profiles_frozen(self):
+        with pytest.raises(Exception):
+            LINUX.link_bw = 1.0
+
+    def test_relative_costs_match_paper_claims(self):
+        # Fig. 5's premises: Solaris thread ops are expensive relative
+        # to event dispatch; the Solaris network is the slow 100 Mbit.
+        assert SOLARIS.thread_create_cost > 5 * SOLARIS.event_dispatch_cost
+        assert SOLARIS.link_bw < LINUX.link_bw / 2
+        # Processes cost more than threads on both platforms.
+        for p in (LINUX, SOLARIS):
+            assert p.process_create_cost > p.thread_create_cost
+            assert p.process_switch_cost > p.thread_switch_cost
+
+    def test_event_chunks_smaller_than_thread_chunks(self):
+        for p in (LINUX, SOLARIS):
+            assert p.event_chunk < p.thread_chunk

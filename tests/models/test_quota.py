@@ -1,0 +1,78 @@
+"""Unit tests for quota accounting."""
+
+import pytest
+
+from repro.models.quota import OverQuota, QuotaTable
+
+
+class TestLimits:
+    def test_unconfigured_user_unconstrained(self):
+        q = QuotaTable()
+        q.charge("free", 10**12)  # no limit, no error
+        assert q.used_by("free") == 0
+        assert q.available_to("free") is None
+
+    def test_charge_within_limit(self):
+        q = QuotaTable()
+        q.set_limit("u", 1000)
+        q.charge("u", 600)
+        assert q.used_by("u") == 600
+        assert q.available_to("u") == 400
+
+    def test_charge_over_limit_raises(self):
+        q = QuotaTable()
+        q.set_limit("u", 100)
+        with pytest.raises(OverQuota) as info:
+            q.charge("u", 150)
+        assert info.value.available == 100
+        assert q.used_by("u") == 0  # failed charge leaves state intact
+
+    def test_exact_fit_allowed(self):
+        q = QuotaTable()
+        q.set_limit("u", 100)
+        q.charge("u", 100)
+        assert q.available_to("u") == 0
+
+    def test_release(self):
+        q = QuotaTable()
+        q.set_limit("u", 100)
+        q.charge("u", 80)
+        q.release("u", 30)
+        assert q.used_by("u") == 50
+
+    def test_release_floors_at_zero(self):
+        q = QuotaTable()
+        q.set_limit("u", 100)
+        q.charge("u", 10)
+        q.release("u", 500)
+        assert q.used_by("u") == 0
+
+    def test_resize_keeps_usage(self):
+        q = QuotaTable()
+        q.set_limit("u", 100)
+        q.charge("u", 90)
+        q.set_limit("u", 50)  # now over; future charges fail
+        assert q.used_by("u") == 90
+        with pytest.raises(OverQuota):
+            q.charge("u", 1)
+
+    def test_remove_unconstrains(self):
+        q = QuotaTable()
+        q.set_limit("u", 1)
+        q.remove("u")
+        q.charge("u", 10**9)
+
+    def test_would_fit(self):
+        q = QuotaTable()
+        q.set_limit("u", 100)
+        assert q.would_fit("u", 100)
+        assert not q.would_fit("u", 101)
+        assert q.would_fit("other", 10**15)
+
+    def test_negative_amounts_rejected(self):
+        q = QuotaTable()
+        q.set_limit("u", 100)
+        with pytest.raises(ValueError):
+            q.charge("u", -1)
+        with pytest.raises(ValueError):
+            q.release("u", -1)

@@ -1,0 +1,62 @@
+"""Unit tests for ClassAd advertisement and discovery matching."""
+
+from repro.classads import MatchMaker, symmetric_match
+from repro.nest.advertise import build_advertisement, storage_request_ad
+from repro.nest.storage import StorageManager
+
+
+def make_storage(capacity=10_000):
+    return StorageManager(capacity_bytes=capacity, clock=lambda: 0.0)
+
+
+class TestAdvertisement:
+    def test_basic_attributes(self):
+        sm = make_storage()
+        ad = build_advertisement("n1", sm, ["chirp", "nfs"], host="h",
+                                 ports={"chirp": 9094})
+        assert ad.eval("Type") == "Storage"
+        assert ad.eval("Name") == "n1"
+        assert ad.eval("TotalSpace") == 10_000
+        assert ad.eval("ChirpPort") == 9094
+
+    def test_grantable_accounts_for_lots(self):
+        sm = make_storage()
+        sm.lots.create_lot("a", 4_000, duration=100)
+        ad = build_advertisement("n1", sm, ["chirp"])
+        assert ad.eval("GrantableSpace") == 6_000
+        assert ad.eval("ActiveLots") == 1
+
+    def test_file_count(self):
+        sm = make_storage()
+        sm.mkdir("a", "/d")
+        t = sm.approve_put("a", "/d/f", 10)
+        t.settle(10)
+        ad = build_advertisement("n1", sm, ["chirp"])
+        assert ad.eval("FilesStored") == 1
+
+
+class TestMatching:
+    def test_fitting_request_matches(self):
+        sm = make_storage()
+        ad = build_advertisement("n1", sm, ["chirp", "gridftp"])
+        req = storage_request_ad(5_000, protocol="gridftp")
+        assert symmetric_match(ad, req)
+
+    def test_oversized_request_rejected(self):
+        sm = make_storage()
+        ad = build_advertisement("n1", sm, ["chirp"])
+        req = storage_request_ad(50_000)
+        assert not symmetric_match(ad, req)
+
+    def test_protocol_requirement(self):
+        sm = make_storage()
+        ad = build_advertisement("n1", sm, ["chirp"])
+        assert not symmetric_match(ad, storage_request_ad(1, protocol="nfs"))
+        assert symmetric_match(ad, storage_request_ad(1, protocol="chirp"))
+
+    def test_rank_prefers_more_grantable_space(self):
+        big = build_advertisement("big", make_storage(100_000), ["chirp"])
+        small = build_advertisement("small", make_storage(1_000), ["chirp"])
+        mm = MatchMaker([small, big])
+        best = mm.best_match(storage_request_ad(500))
+        assert best is big

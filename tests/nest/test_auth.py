@@ -1,0 +1,85 @@
+"""Unit tests for GSI-style authentication."""
+
+import pytest
+
+from repro.nest.auth import (
+    AuthError,
+    Certificate,
+    CertificateAuthority,
+    GSIContext,
+)
+
+
+@pytest.fixture
+def ca():
+    return CertificateAuthority(secret=b"test-secret" * 3)
+
+
+class TestCertificates:
+    def test_issue_and_verify(self, ca):
+        cred = ca.issue("/O=Grid/CN=alice")
+        assert ca.verify_certificate(cred.certificate)
+        assert cred.subject == "/O=Grid/CN=alice"
+
+    def test_other_ca_rejected(self, ca):
+        other = CertificateAuthority(secret=b"different" * 4)
+        cred = other.issue("mallory")
+        assert not ca.verify_certificate(cred.certificate)
+
+    def test_tampered_subject_rejected(self, ca):
+        cred = ca.issue("alice")
+        forged = Certificate(
+            subject="root", issuer=cred.certificate.issuer,
+            signature=cred.certificate.signature,
+        )
+        assert not ca.verify_certificate(forged)
+
+    def test_wire_round_trip(self, ca):
+        cred = ca.issue("alice")
+        wire = cred.certificate.to_bytes()
+        parsed = Certificate.from_bytes(wire)
+        assert parsed == cred.certificate
+
+    def test_malformed_wire_certificate(self):
+        with pytest.raises(AuthError):
+            Certificate.from_bytes(b"not json at all")
+        with pytest.raises(AuthError):
+            Certificate.from_bytes(b'{"subject": "x"}')
+
+
+class TestHandshake:
+    def test_full_handshake(self, ca):
+        cred = ca.issue("alice")
+        ctx = GSIContext(ca)
+        cert_msg = GSIContext.initiate(cred)
+        challenge = ctx.challenge()
+        response = GSIContext.respond(cred, challenge)
+        assert ctx.accept(cert_msg, challenge, response) == "alice"
+
+    def test_wrong_key_rejected(self, ca):
+        alice = ca.issue("alice")
+        bob = ca.issue("bob")
+        ctx = GSIContext(ca)
+        challenge = ctx.challenge()
+        # Bob presents Alice's certificate but signs with his own key.
+        response = GSIContext.respond(bob, challenge)
+        with pytest.raises(AuthError):
+            ctx.accept(GSIContext.initiate(alice), challenge, response)
+
+    def test_replayed_response_fails_fresh_challenge(self, ca):
+        cred = ca.issue("alice")
+        ctx = GSIContext(ca)
+        old = ctx.challenge()
+        replay = GSIContext.respond(cred, old)
+        fresh = ctx.challenge()
+        assert fresh != old
+        with pytest.raises(AuthError):
+            ctx.accept(GSIContext.initiate(cred), fresh, replay)
+
+    def test_foreign_certificate_in_handshake(self, ca):
+        foreign = CertificateAuthority(secret=b"x" * 16).issue("eve")
+        ctx = GSIContext(ca)
+        challenge = ctx.challenge()
+        response = GSIContext.respond(foreign, challenge)
+        with pytest.raises(AuthError):
+            ctx.accept(GSIContext.initiate(foreign), challenge, response)

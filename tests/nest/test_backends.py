@@ -1,0 +1,76 @@
+"""Unit tests for the physical-storage backends."""
+
+import pytest
+
+from repro.nest.backends import LocalFSStore, MemoryStore
+
+
+@pytest.fixture(params=["memory", "localfs"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        return MemoryStore()
+    return LocalFSStore(str(tmp_path / "root"))
+
+
+class TestBackendContract:
+    def test_write_then_read(self, store):
+        with store.open_write("/f") as w:
+            w.write(b"hello bytes")
+        with store.open_read("/f") as r:
+            assert r.read() == b"hello bytes"
+
+    def test_overwrite_truncates(self, store):
+        with store.open_write("/f") as w:
+            w.write(b"long original content")
+        with store.open_write("/f") as w:
+            w.write(b"short")
+        assert store.size("/f") == 5
+
+    def test_append_mode(self, store):
+        with store.open_write("/f") as w:
+            w.write(b"one")
+        with store.open_write("/f", append=True) as w:
+            w.write(b"two")
+        with store.open_read("/f") as r:
+            assert r.read() == b"onetwo"
+
+    def test_update_seek_write(self, store):
+        with store.open_write("/f") as w:
+            w.write(b"abcdef")
+        with store.open_update("/f") as u:
+            u.seek(2)
+            u.write(b"XY")
+        with store.open_read("/f") as r:
+            assert r.read() == b"abXYef"
+
+    def test_update_creates_missing(self, store):
+        with store.open_update("/new") as u:
+            u.write(b"fresh")
+        assert store.size("/new") == 5
+
+    def test_delete_and_size(self, store):
+        with store.open_write("/f") as w:
+            w.write(b"xyz")
+        assert store.size("/f") == 3
+        store.delete("/f")
+        assert store.size("/f") == 0
+        store.delete("/f")  # idempotent
+
+    def test_nested_paths(self, store):
+        with store.open_write("/a/b/c/deep") as w:
+            w.write(b"d")
+        with store.open_read("/a/b/c/deep") as r:
+            assert r.read() == b"d"
+
+
+class TestLocalFSSandbox:
+    def test_escape_rejected(self, tmp_path):
+        store = LocalFSStore(str(tmp_path / "root"))
+        with pytest.raises(PermissionError):
+            store.open_read("/../outside")
+
+    def test_absolute_paths_confined(self, tmp_path):
+        store = LocalFSStore(str(tmp_path / "root"))
+        with store.open_write("/etc/passwd") as w:  # relative to root
+            w.write(b"safe")
+        assert (tmp_path / "root" / "etc" / "passwd").exists()

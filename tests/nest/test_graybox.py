@@ -1,0 +1,55 @@
+"""Unit tests for the gray-box cache estimator."""
+
+from repro.nest.graybox import GrayBoxCacheModel
+
+
+def model(blocks=4, bs=100):
+    return GrayBoxCacheModel(assumed_capacity_bytes=blocks * bs, block_size=bs)
+
+
+class TestPredictions:
+    def test_unseen_file_not_resident(self):
+        g = model()
+        assert g.predict_residency("f", 400) == 0.0
+        assert not g.predict_resident("f", 400)
+
+    def test_observed_read_becomes_resident(self):
+        g = model()
+        g.observe_read("f", 0, 400)
+        assert g.predict_resident("f", 400)
+
+    def test_partial_residency(self):
+        g = model(blocks=8)
+        g.observe_read("f", 0, 200)
+        assert g.predict_residency("f", 800) == 0.25
+
+    def test_writes_count_as_resident(self):
+        g = model()
+        g.observe_write("f", 0, 200)
+        assert g.predict_residency("f", 200) == 1.0
+
+    def test_lru_displacement_tracked(self):
+        g = model(blocks=2)
+        g.observe_read("a", 0, 200)
+        g.observe_read("b", 0, 200)  # displaces a in the shadow
+        assert not g.predict_resident("a", 200)
+        assert g.predict_resident("b", 200)
+
+    def test_delete_invalidates(self):
+        g = model()
+        g.observe_read("f", 0, 100)
+        g.observe_delete("f")
+        assert g.predict_residency("f", 100) == 0.0
+
+    def test_estimate_is_fallible_by_design(self):
+        # The gray-box model cannot see other processes' I/O: if the
+        # kernel cached a file NeST never touched, the estimate misses
+        # it.  This divergence is inherent to the technique.
+        g = model()
+        assert g.predict_residency("cached-by-someone-else", 100) == 0.0
+
+    def test_threshold_parameter(self):
+        g = model(blocks=8)
+        g.observe_read("f", 0, 700)
+        assert g.predict_resident("f", 800, threshold=0.8)
+        assert not g.predict_resident("f", 800, threshold=0.95)

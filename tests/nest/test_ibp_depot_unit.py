@@ -1,0 +1,108 @@
+"""Unit tests for the IBP depot translation layer (no sockets)."""
+
+import pytest
+
+from repro.nest.ibp import IbpDepot
+from repro.nest.storage import StorageManager
+from repro.protocols.ibp import (
+    MANAGE,
+    READ,
+    STABLE,
+    VOLATILE,
+    WRITE,
+    IbpError,
+    parse_capability,
+)
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return Clock()
+
+
+@pytest.fixture
+def depot(clock):
+    storage = StorageManager(capacity_bytes=100_000, clock=clock,
+                             require_lots=True, lot_enforcement="nest")
+    return IbpDepot(storage, host="depot.test")
+
+
+def caps_of(depot, alloc):
+    return {kind: parse_capability(depot.capability(alloc, kind))
+            for kind in (READ, WRITE, MANAGE)}
+
+
+class TestAllocation:
+    def test_allocate_creates_lot_and_file(self, depot):
+        alloc = depot.allocate(1000, 60, STABLE)
+        assert alloc.lot_id in depot.storage.lots.lots
+        assert depot.storage.exists(alloc.path)
+
+    def test_capability_embeds_host(self, depot):
+        alloc = depot.allocate(100, 60, STABLE)
+        cap = parse_capability(depot.capability(alloc, READ))
+        assert cap.host == "depot.test"
+        assert cap.alloc_id == alloc.alloc_id
+
+    def test_secrets_distinct_per_kind(self, depot):
+        alloc = depot.allocate(100, 60, STABLE)
+        secrets = {alloc.secrets[k] for k in (READ, WRITE, MANAGE)}
+        assert len(secrets) == 3
+
+    def test_store_appends(self, depot):
+        alloc = depot.allocate(100, 60, STABLE)
+        caps = caps_of(depot, alloc)
+        assert depot.store(caps[WRITE], b"aa") == 2
+        assert depot.store(caps[WRITE], b"bb") == 4
+        assert depot.load(caps[READ], 0, 10) == b"aabb"
+
+    def test_load_ranges(self, depot):
+        alloc = depot.allocate(100, 60, STABLE)
+        caps = caps_of(depot, alloc)
+        depot.store(caps[WRITE], b"0123456789")
+        assert depot.load(caps[READ], 3, 4) == b"3456"
+        assert depot.load(caps[READ], 10, 4) == b""
+        with pytest.raises(IbpError):
+            depot.load(caps[READ], 11, 1)
+
+    def test_stable_expiry_follows_lot(self, depot, clock):
+        alloc = depot.allocate(100, 60, STABLE)
+        caps = caps_of(depot, alloc)
+        assert depot.probe(caps[MANAGE])["expires_at"] == 60.0
+        depot.extend(caps[MANAGE], 600)
+        assert depot.probe(caps[MANAGE])["expires_at"] == 600.0
+
+    def test_volatile_lot_flag(self, depot):
+        alloc = depot.allocate(100, 60, VOLATILE)
+        lot = depot.storage.lots.lots[alloc.lot_id]
+        assert lot.volatile
+
+    def test_failed_store_rolls_back_used(self, depot):
+        alloc = depot.allocate(100, 60, STABLE)
+        caps = caps_of(depot, alloc)
+        with pytest.raises(IbpError):
+            depot.store(caps[WRITE], b"x" * 200)
+        assert depot.probe(caps[MANAGE])["used"] == 0
+
+    def test_allocate_beyond_capacity(self, depot):
+        with pytest.raises(IbpError) as info:
+            depot.allocate(10**9, 60, STABLE)
+        assert info.value.code == "no-space"
+
+    def test_decrement_releases_lot_space(self, depot):
+        alloc = depot.allocate(50_000, 60, STABLE)
+        caps = caps_of(depot, alloc)
+        depot.store(caps[WRITE], b"z" * 10_000)
+        before = depot.storage.lots.available_for_new_lot()
+        depot.decrement(caps[MANAGE])
+        after = depot.storage.lots.available_for_new_lot()
+        assert after > before
+        assert not depot.storage.exists(alloc.path)

@@ -1,0 +1,108 @@
+"""Unit tests for live-server plumbing (no sockets needed)."""
+
+import pytest
+
+from repro.nest.config import NestConfig
+from repro.nest.server import FileHandleRegistry, NestServer
+
+
+class TestFileHandleRegistry:
+    def test_root_is_token_one(self):
+        reg = FileHandleRegistry()
+        assert reg.path_of(1) == "/"
+
+    def test_token_stable(self):
+        reg = FileHandleRegistry()
+        t1 = reg.token_for("/a/b")
+        t2 = reg.token_for("/a/b")
+        assert t1 == t2
+        assert reg.path_of(t1) == "/a/b"
+
+    def test_distinct_paths_distinct_tokens(self):
+        reg = FileHandleRegistry()
+        assert reg.token_for("/a") != reg.token_for("/b")
+
+    def test_forget_makes_stale(self):
+        reg = FileHandleRegistry()
+        token = reg.token_for("/gone")
+        reg.forget("/gone")
+        assert reg.path_of(token) is None
+        # A fresh token is handed out afterwards.
+        assert reg.token_for("/gone") != token
+
+    def test_unknown_token_is_none(self):
+        assert FileHandleRegistry().path_of(424242) is None
+
+
+class TestServerConstruction:
+    def test_subject_map(self):
+        server = NestServer(subject_map={"/CN=alice": "alice"})
+        try:
+            assert server.map_subject("/CN=alice") == "alice"
+            assert server.map_subject("/CN=unknown") == "/CN=unknown"
+        finally:
+            server.transfers.shutdown()
+
+    def test_double_start_rejected(self):
+        server = NestServer(NestConfig(protocols=("chirp",)))
+        server.start()
+        try:
+            with pytest.raises(RuntimeError):
+                server.start()
+        finally:
+            server.stop()
+
+    def test_requested_ports_honored(self):
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        server = NestServer(NestConfig(protocols=("chirp",)),
+                            ports={"chirp": port})
+        server.start()
+        try:
+            assert server.ports["chirp"] == port
+        finally:
+            server.stop()
+
+    def test_no_ibp_depot_without_protocol(self):
+        server = NestServer(NestConfig(protocols=("chirp",)))
+        try:
+            assert server.ibp_depot is None
+        finally:
+            server.transfers.shutdown()
+
+    def test_advertisement_lists_ports(self):
+        server = NestServer(NestConfig(protocols=("chirp", "http")))
+        server.start()
+        try:
+            ad = server.advertisement()
+            assert ad.eval("ChirpPort") == server.ports["chirp"]
+            assert ad.eval("HttpPort") == server.ports["http"]
+        finally:
+            server.stop()
+
+
+class TestCli:
+    def test_parser_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve"])
+        assert args.name == "nest"
+        assert "chirp" in args.protocols
+
+    def test_bench_choices(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["bench", "fig3"])
+        assert args.figure == "fig3"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "fig99"])
+
+    def test_command_required(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

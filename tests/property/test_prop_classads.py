@@ -1,0 +1,96 @@
+"""Property-based tests for the ClassAd language."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classads import ClassAd, parse, parse_expression
+from repro.classads.ast import ERROR, UNDEFINED, Error, Undefined
+from repro.classads.evaluator import EvalContext, evaluate
+
+names = st.text(alphabet=string.ascii_letters + "_", min_size=1, max_size=12)
+
+scalars = st.one_of(
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.booleans(),
+    st.text(alphabet=string.printable, max_size=30),
+)
+
+
+@st.composite
+def classads(draw):
+    ad = ClassAd()
+    # Unique (case-insensitive) names so round-trip is well defined.
+    keys = draw(st.lists(names, min_size=0, max_size=6,
+                         unique_by=lambda s: s.lower()))
+    for key in keys:
+        ad[key] = draw(scalars)
+    return ad
+
+
+class TestRoundTrip:
+    @given(classads())
+    @settings(max_examples=200)
+    def test_external_repr_parses_back_identically(self, ad):
+        text = ad.external_repr()
+        reparsed = parse(text)
+        assert list(reparsed) == list(ad)
+        for name in ad:
+            left = ad.eval(name)
+            right = reparsed.eval(name)
+            if isinstance(left, float):
+                assert right == left
+            else:
+                assert right == left
+
+    @given(classads())
+    def test_repr_is_stable_under_double_round_trip(self, ad):
+        once = parse(ad.external_repr()).external_repr()
+        twice = parse(once).external_repr()
+        assert once == twice
+
+
+class TestEvaluatorTotality:
+    @given(st.integers(-1000, 1000), st.integers(-1000, 1000),
+           st.sampled_from(["+", "-", "*", "/", "%", "<", "<=", ">", ">=",
+                            "==", "!=", "=?=", "=!="]))
+    def test_integer_ops_never_crash(self, a, b, op):
+        value = evaluate(parse_expression(f"({a}) {op} ({b})"))
+        assert isinstance(value, (int, float, bool, Undefined, Error))
+
+    @given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+    def test_arithmetic_matches_python_when_defined(self, a, b):
+        total = evaluate(parse_expression(f"({a}) + ({b})"))
+        assert total == a + b
+
+    @given(st.integers(-1000, 1000), st.integers(1, 1000))
+    def test_division_truncates_toward_zero(self, a, b):
+        got = evaluate(parse_expression(f"({a}) / ({b})"))
+        assert got == int(a / b)
+
+    @given(st.booleans(), st.booleans())
+    def test_logic_matches_python_on_booleans(self, a, b):
+        sa, sb = str(a).lower(), str(b).lower()
+        assert evaluate(parse_expression(f"{sa} && {sb}")) == (a and b)
+        assert evaluate(parse_expression(f"{sa} || {sb}")) == (a or b)
+
+
+class TestThreeValuedLaws:
+    @given(st.sampled_from(["undefined", "error", "true", "false", "3"]))
+    def test_false_annihilates_and(self, other):
+        assert evaluate(parse_expression(f"false && {other}")) is False
+        assert evaluate(parse_expression(f"{other} && false")) is False or \
+            isinstance(evaluate(parse_expression(f"{other} && false")), Error)
+
+    @given(st.sampled_from(["undefined", "true", "false"]))
+    def test_true_annihilates_or(self, other):
+        assert evaluate(parse_expression(f"true || {other}")) is True
+        assert evaluate(parse_expression(f"{other} || true")) is True
+
+    @given(scalars)
+    def test_meta_equality_is_reflexive(self, value):
+        ad = ClassAd({"X": value})
+        result = evaluate(parse_expression("X =?= X"), EvalContext(my=ad))
+        assert result is True

@@ -1,0 +1,86 @@
+"""Property-based tests for the fair-share link: conservation and caps."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.network import FairShareLink
+from repro.sim import Environment
+
+flow_specs = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=10_000),        # bytes
+        st.one_of(st.none(),
+                  st.floats(min_value=0.5, max_value=50.0)),  # cap
+        st.floats(min_value=0.0, max_value=20.0),          # start time
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+def run_flows(specs, capacity=10.0, group_cap=None):
+    env = Environment()
+    link = FairShareLink(env, capacity)
+    if group_cap is not None:
+        link.set_group_cap("g", group_cap)
+    finish = {}
+
+    def flow(i, nbytes, cap, delay):
+        yield env.timeout(delay)
+        yield link.transfer(nbytes, cap=cap,
+                            group="g" if group_cap is not None else None)
+        finish[i] = env.now
+
+    for i, (nbytes, cap, delay) in enumerate(specs):
+        env.process(flow(i, nbytes, cap, delay))
+    env.run()
+    return env, link, finish
+
+
+class TestConservation:
+    @given(flow_specs)
+    @settings(max_examples=100, deadline=None)
+    def test_all_bytes_delivered(self, specs):
+        _, link, finish = run_flows(specs)
+        assert len(finish) == len(specs)
+        assert link.bytes_delivered == pytest.approx(
+            sum(nbytes for nbytes, _, _ in specs), rel=1e-6
+        )
+
+    @given(flow_specs)
+    @settings(max_examples=100, deadline=None)
+    def test_link_capacity_respected(self, specs):
+        # Total time must be at least total bytes / capacity after the
+        # last arrival... conservatively: total bytes / capacity.
+        env, _, finish = run_flows(specs, capacity=10.0)
+        total_bytes = sum(nbytes for nbytes, _, _ in specs)
+        assert env.now >= total_bytes / 10.0 - 1e-6
+
+    @given(flow_specs)
+    @settings(max_examples=100, deadline=None)
+    def test_per_flow_cap_is_a_lower_bound_on_duration(self, specs):
+        _, _, finish = run_flows(specs)
+        for i, (nbytes, cap, delay) in enumerate(specs):
+            if cap is not None:
+                assert finish[i] >= delay + nbytes / cap - 1e-6
+
+    @given(flow_specs, st.floats(min_value=1.0, max_value=8.0))
+    @settings(max_examples=60, deadline=None)
+    def test_group_cap_bounds_aggregate(self, specs, group_cap):
+        env, link, finish = run_flows(specs, capacity=100.0,
+                                      group_cap=group_cap)
+        total_bytes = sum(nbytes for nbytes, _, _ in specs)
+        # The whole group can never beat its cap end to end.
+        assert env.now >= total_bytes / group_cap - 1e-6
+
+
+class TestMonotonicity:
+    @given(st.integers(min_value=1, max_value=10_000),
+           st.integers(min_value=1, max_value=10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_more_bytes_take_longer(self, a, b):
+        small, large = sorted((a, b))
+        _, _, f1 = run_flows([(small, None, 0.0)])
+        _, _, f2 = run_flows([(large, None, 0.0)])
+        assert f1[0] <= f2[0] + 1e-9

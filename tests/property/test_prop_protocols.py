@@ -1,0 +1,113 @@
+"""Property-based round-trip tests for the wire codecs."""
+
+import io
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocols import chirp, gridftp, nfs
+from repro.protocols.common import Request, RequestType
+from repro.protocols.xdr import Packer, Unpacker
+
+paths = st.text(
+    alphabet=string.ascii_letters + string.digits + "/._- ",
+    min_size=1, max_size=40,
+).map(lambda s: "/" + s.strip("/"))
+
+
+class TestChirpRoundTrip:
+    @given(paths)
+    def test_get(self, path):
+        out = chirp.decode_request(chirp.encode_request(
+            Request(rtype=RequestType.GET, path=path)))
+        assert out.path == path
+
+    @given(paths, st.integers(min_value=0, max_value=2**40))
+    def test_put(self, path, length):
+        out = chirp.decode_request(chirp.encode_request(
+            Request(rtype=RequestType.PUT, path=path, length=length)))
+        assert (out.path, out.length) == (path, length)
+
+    @given(st.integers(min_value=1, max_value=2**40),
+           st.floats(min_value=0.001, max_value=1e6, allow_nan=False))
+    def test_lot_create(self, capacity, duration):
+        out = chirp.decode_request(chirp.encode_request(Request(
+            rtype=RequestType.LOT_CREATE,
+            params={"capacity": capacity, "duration": duration})))
+        assert out.params["capacity"] == capacity
+        assert abs(out.params["duration"] - duration) < 1e-9 * max(1, duration)
+
+
+class TestXdrRoundTrip:
+    @given(st.lists(st.one_of(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=0, max_value=2**64 - 1).map(lambda v: ("h", v)),
+        st.binary(max_size=100),
+        st.text(max_size=50),
+        st.booleans(),
+    ), max_size=20))
+    @settings(max_examples=150)
+    def test_mixed_sequences(self, values):
+        p = Packer()
+        for v in values:
+            if isinstance(v, tuple):
+                p.pack_hyper(v[1])
+            elif isinstance(v, bool):
+                p.pack_bool(v)
+            elif isinstance(v, int):
+                p.pack_uint(v)
+            elif isinstance(v, bytes):
+                p.pack_opaque(v)
+            else:
+                p.pack_string(v)
+        u = Unpacker(p.get_buffer())
+        for v in values:
+            if isinstance(v, tuple):
+                assert u.unpack_hyper() == v[1]
+            elif isinstance(v, bool):
+                assert u.unpack_bool() == v
+            elif isinstance(v, int):
+                assert u.unpack_uint() == v
+            elif isinstance(v, bytes):
+                assert u.unpack_opaque() == v
+            else:
+                assert u.unpack_string() == v
+        u.done()
+
+    @given(st.binary(max_size=1000))
+    def test_record_marking(self, payload):
+        buf = io.BytesIO()
+        nfs.write_record(buf, payload)
+        buf.seek(0)
+        assert nfs.read_record(buf) == payload
+
+
+class TestEblockRoundTrip:
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=2**40),
+                              st.binary(min_size=1, max_size=200)),
+                    max_size=15))
+    @settings(max_examples=100)
+    def test_blocks_survive_framing(self, blocks):
+        buf = io.BytesIO()
+        for offset, payload in blocks:
+            gridftp.write_block(buf, offset, payload)
+        gridftp.write_eod(buf, eof=True)
+        buf.seek(0)
+        received = list(gridftp.iter_blocks(buf))
+        assert received == blocks
+
+    @given(st.integers(min_value=0, max_value=100_000),
+           st.integers(min_value=1, max_value=8),
+           st.integers(min_value=1, max_value=10_000))
+    @settings(max_examples=150)
+    def test_striping_partitions_exactly(self, total, streams, block):
+        lanes = gridftp.stripe_ranges(total, streams, block)
+        assert len(lanes) == streams
+        covered = sorted(extent for lane in lanes for extent in lane)
+        position = 0
+        for offset, length in covered:
+            assert offset == position
+            assert 0 < length <= block
+            position += length
+        assert position == total

@@ -1,0 +1,103 @@
+"""Property-based tests for the stride scheduler's fairness guarantees."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nest.scheduling import StrideScheduler, make_job
+
+shares_lists = st.lists(st.integers(min_value=1, max_value=8),
+                        min_size=2, max_size=5)
+
+
+class TestProportionality:
+    @given(shares_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_long_run_shares_converge(self, ratios):
+        protos = [f"p{i}" for i in range(len(ratios))]
+        sched = StrideScheduler(shares=dict(zip(protos, map(float, ratios))))
+        jobs = {}
+        for proto in protos:
+            job = make_job(proto)
+            jobs[proto] = job
+            sched.add(job)
+        moved = {proto: 0 for proto in protos}
+        for _ in range(4000):
+            job = sched.select()
+            sched.charge(job, 1000)
+            moved[job.protocol] += 1000
+        total = sum(moved.values())
+        share_sum = sum(ratios)
+        for proto, ratio in zip(protos, ratios):
+            expected = ratio / share_sum
+            actual = moved[proto] / total
+            assert abs(actual - expected) < 0.03
+
+    @given(shares_lists, st.integers(min_value=1, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_class_share_independent_of_job_count(self, ratios, njobs):
+        # Splitting one class across several jobs must not change the
+        # class's aggregate share.
+        protos = [f"p{i}" for i in range(len(ratios))]
+        sched = StrideScheduler(shares=dict(zip(protos, map(float, ratios))))
+        for proto in protos:
+            count = njobs if proto == protos[0] else 1
+            for _ in range(count):
+                sched.add(make_job(proto))
+        moved = {proto: 0 for proto in protos}
+        for _ in range(4000):
+            job = sched.select()
+            sched.charge(job, 500)
+            moved[job.protocol] += 500
+        total = sum(moved.values())
+        expected = ratios[0] / sum(ratios)
+        assert abs(moved[protos[0]] / total - expected) < 0.03
+
+
+class TestInvariants:
+    @given(st.lists(st.integers(min_value=1, max_value=10**6),
+                    min_size=1, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_charge_accounting_exact(self, amounts):
+        sched = StrideScheduler(shares={"a": 1})
+        job = make_job("a")
+        sched.add(job)
+        for amount in amounts:
+            sched.charge(job, amount)
+        assert job.bytes_moved == sum(amounts)
+
+    @given(st.integers(min_value=1, max_value=6))
+    @settings(max_examples=30, deadline=None)
+    def test_select_is_deterministic(self, njobs):
+        def run():
+            sched = StrideScheduler(shares={"x": 1})
+            jobs = []
+            for i in range(njobs):
+                job = make_job("x")
+                job.arrival_seq = i  # normalize across runs
+                job.job_id = i
+                jobs.append(job)
+                sched.add(job)
+            picks = []
+            for _ in range(50):
+                job = sched.select()
+                picks.append(job.job_id)
+                sched.charge(job, 100)
+            return picks
+
+        assert run() == run()
+
+    @given(st.lists(st.booleans(), min_size=2, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_never_selects_unready(self, readiness):
+        sched = StrideScheduler(shares={"a": 1})
+        jobs = []
+        for ready in readiness:
+            job = make_job("a")
+            job.ready = ready
+            jobs.append(job)
+            sched.add(job)
+        chosen = sched.select()
+        if any(readiness):
+            assert chosen is not None and chosen.ready
+        else:
+            assert chosen is None

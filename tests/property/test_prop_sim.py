@@ -1,0 +1,81 @@
+"""Property-based tests for the DES kernel: determinism and ordering."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment, Resource
+
+
+@st.composite
+def schedules(draw):
+    """Random process specs: (start_delay, work_duration)."""
+    n = draw(st.integers(min_value=1, max_value=12))
+    return [
+        (
+            draw(st.floats(min_value=0.0, max_value=10.0)),
+            draw(st.floats(min_value=0.01, max_value=5.0)),
+        )
+        for _ in range(n)
+    ]
+
+
+def run_schedule(specs, capacity):
+    env = Environment()
+    res = Resource(env, capacity=capacity)
+    log = []
+
+    def worker(i, delay, work):
+        yield env.timeout(delay)
+        with res.request() as req:
+            yield req
+            log.append(("start", i, env.now))
+            yield env.timeout(work)
+            log.append(("end", i, env.now))
+
+    for i, (delay, work) in enumerate(specs):
+        env.process(worker(i, delay, work))
+    env.run()
+    return log, env.now
+
+
+class TestDeterminism:
+    @given(schedules(), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=100, deadline=None)
+    def test_identical_runs_identical_logs(self, specs, capacity):
+        first = run_schedule(specs, capacity)
+        second = run_schedule(specs, capacity)
+        assert first == second
+
+    @given(schedules())
+    @settings(max_examples=100, deadline=None)
+    def test_time_is_monotone_in_log(self, specs):
+        log, _ = run_schedule(specs, capacity=2)
+        times = [t for _, _, t in log]
+        assert times == sorted(times)
+
+    @given(schedules(), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=100, deadline=None)
+    def test_every_worker_starts_and_ends_once(self, specs, capacity):
+        log, _ = run_schedule(specs, capacity)
+        starts = [i for kind, i, _ in log if kind == "start"]
+        ends = [i for kind, i, _ in log if kind == "end"]
+        assert sorted(starts) == list(range(len(specs)))
+        assert sorted(ends) == list(range(len(specs)))
+
+    @given(schedules())
+    @settings(max_examples=100, deadline=None)
+    def test_capacity_one_serializes_intervals(self, specs):
+        log, _ = run_schedule(specs, capacity=1)
+        intervals = {}
+        for kind, i, t in log:
+            intervals.setdefault(i, {})[kind] = t
+        spans = sorted((v["start"], v["end"]) for v in intervals.values())
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 <= s2 + 1e-12
+
+    @given(schedules(), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=60, deadline=None)
+    def test_makespan_bounded_below_by_total_work(self, specs, capacity):
+        _, makespan = run_schedule(specs, capacity)
+        total_work = sum(work for _, work in specs)
+        assert makespan >= total_work / capacity - 1e-9

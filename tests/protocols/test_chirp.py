@@ -1,0 +1,132 @@
+"""Unit tests for the Chirp codec."""
+
+import pytest
+
+from repro.protocols.chirp import (
+    decode_request,
+    decode_response,
+    decode_stat,
+    encode_request,
+    encode_response,
+    encode_stat,
+)
+from repro.protocols.common import (
+    ProtocolError,
+    Request,
+    RequestType,
+    Response,
+    Status,
+)
+
+
+def round_trip(req: Request) -> Request:
+    return decode_request(encode_request(req))
+
+
+class TestRequestCodec:
+    def test_get(self):
+        out = round_trip(Request(rtype=RequestType.GET, path="/a/b"))
+        assert out.rtype is RequestType.GET and out.path == "/a/b"
+
+    def test_put_carries_length(self):
+        out = round_trip(Request(rtype=RequestType.PUT, path="/f", length=123))
+        assert out.length == 123
+
+    def test_read_write_offsets(self):
+        out = round_trip(Request(rtype=RequestType.READ, path="/f",
+                                 offset=4096, length=8192))
+        assert (out.offset, out.length) == (4096, 8192)
+
+    def test_path_with_spaces_survives(self):
+        out = round_trip(Request(rtype=RequestType.GET, path="/my file name"))
+        assert out.path == "/my file name"
+
+    def test_lot_create(self):
+        req = Request(rtype=RequestType.LOT_CREATE,
+                      params={"capacity": 1000, "duration": 60.0})
+        out = round_trip(req)
+        assert out.params["capacity"] == 1000
+        assert out.params["duration"] == 60.0
+
+    def test_lot_renew(self):
+        req = Request(rtype=RequestType.LOT_RENEW,
+                      params={"lot_id": "lot7", "duration": 10.0})
+        out = round_trip(req)
+        assert out.params == {"lot_id": "lot7", "duration": 10.0}
+
+    def test_acl_set(self):
+        req = Request(rtype=RequestType.ACL_SET, path="/d",
+                      params={"subject": "group:wind", "rights": "rwl"})
+        out = round_trip(req)
+        assert out.params["subject"] == "group:wind"
+        assert out.params["rights"] == "rwl"
+
+    def test_rename(self):
+        req = Request(rtype=RequestType.RENAME, path="/a",
+                      params={"new_path": "/b"})
+        out = round_trip(req)
+        assert out.params["new_path"] == "/b"
+
+    def test_all_simple_verbs(self):
+        for rtype in (RequestType.MKDIR, RequestType.RMDIR, RequestType.LIST,
+                      RequestType.STAT, RequestType.DELETE,
+                      RequestType.ACL_GET):
+            out = round_trip(Request(rtype=rtype, path="/p"))
+            assert out.rtype is rtype and out.path == "/p"
+
+    def test_bare_verbs(self):
+        for rtype in (RequestType.QUERY, RequestType.QUIT,
+                      RequestType.LOT_LIST):
+            assert round_trip(Request(rtype=rtype)).rtype is rtype
+
+    def test_unknown_verb_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_request("frobnicate /x")
+
+    def test_malformed_arguments_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_request("put /f notanumber")
+        with pytest.raises(ProtocolError):
+            decode_request("read /f")
+
+
+class TestResponseCodec:
+    def test_ok_with_args(self):
+        line = encode_response(Response(Status.OK), ["123", "file"])
+        resp, args = decode_response(line)
+        assert resp.ok and args == ["123", "file"]
+
+    def test_ok_bare(self):
+        resp, args = decode_response(encode_response(Response(Status.OK)))
+        assert resp.ok and args == []
+
+    def test_error_with_message(self):
+        line = encode_response(
+            Response(Status.NOT_FOUND, message="/gone missing")
+        )
+        resp, _ = decode_response(line)
+        assert resp.status is Status.NOT_FOUND
+        assert resp.message == "/gone missing"
+
+    def test_every_status_round_trips(self):
+        for status in Status:
+            if status is Status.OK:
+                continue
+            resp, _ = decode_response(encode_response(Response(status)))
+            assert resp.status is status
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_response("banana")
+        with pytest.raises(ProtocolError):
+            decode_response("err")
+
+
+class TestStatCodec:
+    def test_round_trip(self):
+        stat = {"size": 42, "type": "file", "owner": "alice"}
+        assert decode_stat(encode_stat(stat)) == stat
+
+    def test_short_reply_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_stat(["1"])

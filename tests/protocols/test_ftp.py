@@ -1,0 +1,83 @@
+"""Unit tests for the FTP codec helpers."""
+
+import pytest
+
+from repro.protocols import ftp
+from repro.protocols.common import ProtocolError, Response, Status
+
+
+class TestCommands:
+    def test_parse_with_argument(self):
+        assert ftp.parse_command("RETR /file.txt") == ("RETR", "/file.txt")
+
+    def test_parse_lower_cased_verb(self):
+        assert ftp.parse_command("user anonymous") == ("USER", "anonymous")
+
+    def test_parse_bare(self):
+        assert ftp.parse_command("QUIT") == ("QUIT", "")
+
+    def test_argument_with_spaces(self):
+        assert ftp.parse_command("STOR a b c") == ("STOR", "a b c")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ProtocolError):
+            ftp.parse_command("")
+
+
+class TestReplies:
+    def test_format_and_parse(self):
+        line = ftp.format_reply(ftp.READY, "Service ready")
+        assert ftp.parse_reply(line) == (220, "Service ready")
+
+    def test_parse_no_text(self):
+        assert ftp.parse_reply("221") == (221, "")
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ProtocolError):
+            ftp.parse_reply("hi there")
+        with pytest.raises(ProtocolError):
+            ftp.parse_reply("2x0 nope")
+
+
+class TestPassiveMode:
+    def test_pasv_round_trip(self):
+        line = ftp.format_pasv_reply("127.0.0.1", 51234)
+        code, text = ftp.parse_reply(line)
+        assert code == ftp.PASSIVE
+        host, port = ftp.parse_pasv_reply(text)
+        assert (host, port) == ("127.0.0.1", 51234)
+
+    def test_pasv_port_arithmetic(self):
+        line = ftp.format_pasv_reply("10.0.0.5", 256 * 7 + 9)
+        _, text = ftp.parse_reply(line)
+        assert "(10,0,0,5,7,9)" in text
+
+    def test_non_ipv4_host_falls_back_to_loopback(self):
+        line = ftp.format_pasv_reply("localhost", 2000)
+        _, text = ftp.parse_reply(line)
+        host, port = ftp.parse_pasv_reply(text)
+        assert host == "127.0.0.1" and port == 2000
+
+    @pytest.mark.parametrize("bad", [
+        "no parens", "(1,2,3)", "(a,b,c,d,e,f)",
+    ])
+    def test_malformed_pasv_rejected(self, bad):
+        with pytest.raises(ProtocolError):
+            ftp.parse_pasv_reply(bad)
+
+
+class TestFailureMapping:
+    def test_not_found_maps_to_550(self):
+        line = ftp.failure_reply(Response(Status.NOT_FOUND, message="gone"))
+        code, text = ftp.parse_reply(line)
+        assert code == ftp.ACTION_FAILED and text == "gone"
+
+    def test_no_space_maps_to_552(self):
+        code, _ = ftp.parse_reply(ftp.failure_reply(Response(Status.NO_SPACE)))
+        assert code == ftp.NO_SPACE
+
+    def test_not_logged_in(self):
+        code, _ = ftp.parse_reply(
+            ftp.failure_reply(Response(Status.NOT_AUTHENTICATED))
+        )
+        assert code == ftp.NOT_LOGGED_IN

@@ -1,0 +1,113 @@
+"""Unit tests for the HTTP codec."""
+
+import io
+
+import pytest
+
+from repro.protocols import http
+from repro.protocols.common import (
+    ProtocolError,
+    Request,
+    RequestType,
+    Response,
+    Status,
+)
+
+
+def parse(raw: bytes):
+    return http.read_request(io.BytesIO(raw))
+
+
+class TestRequestParsing:
+    def test_get(self):
+        req = parse(b"GET /f HTTP/1.0\r\nHost: x\r\n\r\n")
+        assert req.rtype is RequestType.GET and req.path == "/f"
+
+    def test_head_maps_to_stat(self):
+        req = parse(b"HEAD /f HTTP/1.0\r\n\r\n")
+        assert req.rtype is RequestType.STAT
+
+    def test_put_requires_content_length(self):
+        req = parse(b"PUT /f HTTP/1.0\r\nContent-Length: 99\r\n\r\n")
+        assert req.rtype is RequestType.PUT and req.length == 99
+        with pytest.raises(ProtocolError):
+            parse(b"PUT /f HTTP/1.0\r\n\r\n")
+
+    def test_delete(self):
+        assert parse(b"DELETE /f HTTP/1.0\r\n\r\n").rtype is RequestType.DELETE
+
+    def test_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_keep_alive_flag(self):
+        req = parse(b"GET /f HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+        assert req.params["keep_alive"] is True
+        req = parse(b"GET /f HTTP/1.0\r\n\r\n")
+        assert req.params["keep_alive"] is False
+
+    def test_headers_lower_cased(self):
+        req = parse(b"GET /f HTTP/1.0\r\nX-Custom: Value\r\n\r\n")
+        assert req.params["headers"]["x-custom"] == "Value"
+
+    def test_malformed_request_line(self):
+        with pytest.raises(ProtocolError):
+            parse(b"GET /f\r\n\r\n")
+        with pytest.raises(ProtocolError):
+            parse(b"NONSENSE\r\n\r\n")
+
+    def test_unsupported_method(self):
+        with pytest.raises(ProtocolError):
+            parse(b"PATCH /f HTTP/1.0\r\n\r\n")
+
+    def test_malformed_header(self):
+        with pytest.raises(ProtocolError):
+            parse(b"GET /f HTTP/1.0\r\nnocolon\r\n\r\n")
+
+
+class TestClientSide:
+    def test_write_request_round_trips(self):
+        buf = io.BytesIO()
+        http.write_request(buf, Request(rtype=RequestType.GET, path="/x"))
+        buf.seek(0)
+        req = http.read_request(buf)
+        assert req.rtype is RequestType.GET and req.path == "/x"
+
+    def test_write_put_round_trips(self):
+        buf = io.BytesIO()
+        http.write_request(buf, Request(rtype=RequestType.PUT, path="/x",
+                                        length=7))
+        buf.seek(0)
+        req = http.read_request(buf)
+        assert req.length == 7
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(ProtocolError):
+            http.write_request(io.BytesIO(),
+                               Request(rtype=RequestType.LOT_CREATE))
+
+
+class TestResponseCodec:
+    def test_ok_head(self):
+        buf = io.BytesIO()
+        http.write_response_head(buf, Response(Status.OK), content_length=5)
+        buf.seek(0)
+        resp, headers = http.read_response_head(buf)
+        assert resp.ok and headers["content-length"] == "5"
+
+    @pytest.mark.parametrize("status,code", [
+        (Status.NOT_FOUND, "404"),
+        (Status.DENIED, "403"),
+        (Status.NO_SPACE, "507"),
+        (Status.SERVER_ERROR, "500"),
+    ])
+    def test_error_statuses(self, status, code):
+        buf = io.BytesIO()
+        http.write_response_head(buf, Response(status))
+        buf.seek(0)
+        assert buf.getvalue().split(b" ")[1] == code.encode()
+        resp, _ = http.read_response_head(io.BytesIO(buf.getvalue()))
+        assert resp.status is status
+
+    def test_malformed_status_line(self):
+        with pytest.raises(ProtocolError):
+            http.read_response_head(io.BytesIO(b"garbage\r\n\r\n"))

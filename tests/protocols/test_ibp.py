@@ -1,0 +1,73 @@
+"""Unit tests for the IBP wire dialect."""
+
+import pytest
+
+from repro.protocols.common import ProtocolError
+from repro.protocols.ibp import (
+    IbpError,
+    make_capability,
+    parse_capability,
+    parse_command,
+    parse_reply,
+    format_err,
+    format_ok,
+)
+
+
+class TestCapabilities:
+    def test_round_trip(self):
+        text = make_capability("depot.example.org", "a17", "deadbeef", "read")
+        cap = parse_capability(text)
+        assert cap.host == "depot.example.org"
+        assert cap.alloc_id == "a17"
+        assert cap.secret == "deadbeef"
+        assert cap.kind == "read"
+        assert cap.render() == text
+
+    @pytest.mark.parametrize("kind", ["read", "write", "manage"])
+    def test_all_kinds(self, kind):
+        assert parse_capability(
+            make_capability("h", "a1", "ab12", kind)
+        ).kind == kind
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ProtocolError):
+            make_capability("h", "a1", "ab", "root")
+
+    @pytest.mark.parametrize("bad", [
+        "http://h/a1#ab/read",
+        "ibp://h/a1/read",
+        "ibp://h/a1#xyz!/read",
+        "ibp://h/a1#ab/execute",
+        "",
+    ])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ProtocolError):
+            parse_capability(bad)
+
+
+class TestWireFormat:
+    def test_command_parsing(self):
+        verb, args = parse_command("allocate 1000 60 stable")
+        assert verb == "allocate" and args == ["1000", "60", "stable"]
+
+    def test_command_case_folded(self):
+        verb, _ = parse_command("STATUS")
+        assert verb == "status"
+
+    def test_empty_command_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_command("   ")
+
+    def test_ok_round_trip(self):
+        assert parse_reply(format_ok(1, "two", 3.0)) == ["1", "two", "3.0"]
+        assert parse_reply(format_ok()) == []
+
+    def test_err_raises(self):
+        with pytest.raises(IbpError) as info:
+            parse_reply(format_err("no-space", "depot full"))
+        assert info.value.code == "no-space"
+
+    def test_garbage_reply_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_reply("banana split")

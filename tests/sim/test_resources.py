@@ -1,0 +1,219 @@
+"""Unit tests for DES resources, containers, and stores."""
+
+import pytest
+
+from repro.sim import Container, Environment, PriorityResource, Resource, Store
+from repro.sim.core import SimulationError
+
+
+class TestResource:
+    def test_capacity_one_serializes(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        log = []
+
+        def worker(name):
+            with res.request() as req:
+                yield req
+                log.append((env.now, name))
+                yield env.timeout(10)
+
+        env.process(worker("a"))
+        env.process(worker("b"))
+        env.run()
+        assert log == [(0.0, "a"), (10.0, "b")]
+
+    def test_capacity_n_parallel(self):
+        env = Environment()
+        res = Resource(env, capacity=2)
+        starts = []
+
+        def worker(name):
+            with res.request() as req:
+                yield req
+                starts.append((env.now, name))
+                yield env.timeout(5)
+
+        for n in "abc":
+            env.process(worker(n))
+        env.run()
+        assert starts == [(0.0, "a"), (0.0, "b"), (5.0, "c")]
+
+    def test_counts(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+
+        def holder():
+            with res.request() as req:
+                yield req
+                assert res.count == 1
+                yield env.timeout(1)
+
+        def observer():
+            req = res.request()
+            assert res.queue_length == 1
+            yield req
+            res.release(req)
+
+        env.process(holder())
+        env.process(observer())
+        env.run()
+        assert res.count == 0 and res.queue_length == 0
+
+    def test_cancel_waiting_request(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+
+        def holder():
+            with res.request() as req:
+                yield req
+                yield env.timeout(10)
+
+        def fickle():
+            yield env.timeout(1)
+            req = res.request()
+            req.cancel()
+            return "gave up"
+
+        env.process(holder())
+        p = env.process(fickle())
+        assert env.run(p) == "gave up"
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            Resource(Environment(), capacity=0)
+
+
+class TestPriorityResource:
+    def test_priority_order(self):
+        env = Environment()
+        res = PriorityResource(env, capacity=1)
+        order = []
+
+        def worker(name, prio):
+            with res.request(priority=prio) as req:
+                yield req
+                order.append(name)
+                yield env.timeout(1)
+
+        def spawn():
+            with res.request() as req:
+                yield req
+                env.process(worker("low", 5))
+                env.process(worker("high", 1))
+                yield env.timeout(1)
+
+        env.process(spawn())
+        env.run()
+        assert order == ["high", "low"]
+
+
+class TestContainer:
+    def test_put_get(self):
+        env = Environment()
+        tank = Container(env, capacity=100, init=50)
+
+        def consumer():
+            yield tank.get(30)
+            assert tank.level == 20
+
+        env.process(consumer())
+        env.run()
+
+    def test_get_blocks_until_available(self):
+        env = Environment()
+        tank = Container(env, capacity=100, init=0)
+        when = []
+
+        def consumer():
+            yield tank.get(10)
+            when.append(env.now)
+
+        def producer():
+            yield env.timeout(4)
+            yield tank.put(10)
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert when == [4.0]
+
+    def test_put_blocks_at_capacity(self):
+        env = Environment()
+        tank = Container(env, capacity=10, init=10)
+        when = []
+
+        def producer():
+            yield tank.put(5)
+            when.append(env.now)
+
+        def consumer():
+            yield env.timeout(3)
+            yield tank.get(5)
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert when == [3.0]
+
+    def test_bad_init_rejected(self):
+        with pytest.raises(SimulationError):
+            Container(Environment(), capacity=5, init=10)
+
+
+class TestStore:
+    def test_fifo_order(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def producer():
+            for item in ("x", "y", "z"):
+                yield store.put(item)
+
+        def consumer():
+            for _ in range(3):
+                got.append((yield store.get()))
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert got == ["x", "y", "z"]
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+        when = []
+
+        def consumer():
+            item = yield store.get()
+            when.append((env.now, item))
+
+        def producer():
+            yield env.timeout(2)
+            yield store.put("late")
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert when == [(2.0, "late")]
+
+    def test_bounded_capacity_blocks_put(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        done = []
+
+        def producer():
+            yield store.put(1)
+            yield store.put(2)
+            done.append(env.now)
+
+        def consumer():
+            yield env.timeout(5)
+            yield store.get()
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert done == [5.0]
+        assert len(store) == 1

