@@ -1,0 +1,35 @@
+"""Kernel microbenchmark: events/second through the hot dispatch loop.
+
+Unlike the figure benches, this one exercises the kernel alone --
+timeout chains (the pooled fast path), shared-event fan-out,
+already-fired yields (the direct-resume path), interrupts, and one
+fair-share link -- so its events/second is a clean signal of kernel
+speed, uncontaminated by the server stack.
+
+The default case is quick; the scaled-up case is marked ``slow_bench``
+(deselect with ``-m 'not slow_bench'``).
+"""
+
+import pytest
+
+from repro.perf.bench import run_kernel_bench
+
+
+def test_kernel_microbench(once):
+    record = once(run_kernel_bench)
+    print()
+    print(f"{record['events_per_second']:,} events/s, "
+          f"pool hit rate {record['counters']['pool_hit_rate']:.1%}")
+    counters = record["counters"]
+    # The fast paths must actually engage on this mix.
+    assert counters["timeouts_reused"] > counters["timeouts_created"]
+    assert counters["direct_resumes"] > 0
+    assert counters["heap_peak"] > 0
+
+
+@pytest.mark.slow_bench
+def test_kernel_microbench_scaled(once):
+    record = once(run_kernel_bench, n_processes=1000, steps=100)
+    print()
+    print(f"{record['events_per_second']:,} events/s at 1000 processes")
+    assert record["counters"]["pool_hit_rate"] > 0.5

@@ -1,0 +1,6 @@
+#!/bin/sh
+# Sub-second kernel perf smoke; appends one record to BENCH_kernel.json.
+# Usage: scripts/bench_smoke.sh [--label LABEL] [--path FILE]
+set -e
+cd "$(dirname "$0")/.."
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro.perf.smoke "$@"

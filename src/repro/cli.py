@@ -5,10 +5,14 @@
     python -m repro serve [--name N] [--port-base P] [--protocols ...]
     python -m repro jbos  [--port-base P]
     python -m repro bench [fig3|fig4|fig5|fig6|ablations|all]
+    python -m repro perf  [smoke|kernel|figures|counters] [--label L]
 
 ``serve`` starts a live NeST on consecutive ports (Chirp at the base)
 and prints its availability ClassAd; ``jbos`` starts the native bunch;
-``bench`` regenerates the paper's figures on the simulated testbed.
+``bench`` regenerates the paper's figures on the simulated testbed;
+``perf`` runs the wall-clock benchmarks (appending to the repo's
+``BENCH_*.json`` trajectory files) or prints the hot-path counters of a
+representative mixed run.
 """
 
 from __future__ import annotations
@@ -90,6 +94,40 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    if args.what == "smoke":
+        from repro.perf.smoke import main as smoke_main
+
+        rest = ["--label", args.label] if args.label else []
+        return smoke_main(rest)
+    if args.what == "kernel":
+        from repro.perf.bench import record_kernel
+
+        record = record_kernel(label=args.label)
+        print(f"kernel bench: {record['wall_seconds']:.3f}s wall, "
+              f"{record['events_per_second']:,} events/s "
+              f"-> appended to BENCH_kernel.json")
+        return 0
+    if args.what == "figures":
+        from repro.perf.bench import record_figures
+
+        record = record_figures(label=args.label)
+        for name, entry in record["figures"].items():
+            print(f"{name}: {entry['wall_seconds']:.3f}s")
+        print(f"total: {record['total_wall_seconds']:.3f}s "
+              f"-> appended to BENCH_figures.json")
+        return 0
+    # counters: run the traced mixed workload and print its snapshot.
+    from repro.perf.counters import collect_server
+    from repro.perf.workloads import traced_mixed_workload
+
+    result, server = traced_mixed_workload(return_server=True)
+    print(collect_server(server).render())
+    print(f"trace: {len(result.records)} chunk completions, "
+          f"sha256 {result.sha256()[:16]}...")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro command-line parser."""
     parser = argparse.ArgumentParser(
@@ -119,6 +157,13 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["fig3", "fig4", "fig5", "fig6",
                                 "ablations", "all"])
     bench.set_defaults(func=_cmd_bench)
+
+    perf = sub.add_parser("perf", help="wall-clock benchmarks and counters")
+    perf.add_argument("what", nargs="?", default="smoke",
+                      choices=["smoke", "kernel", "figures", "counters"])
+    perf.add_argument("--label", default="",
+                      help="label stored with the trajectory record")
+    perf.set_defaults(func=_cmd_perf)
     return parser
 
 

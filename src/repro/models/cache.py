@@ -29,6 +29,11 @@ class BufferCache:
         self.capacity_blocks = self.capacity_bytes // self.block_size
         # key -> dirty flag; OrderedDict keeps LRU order (MRU at end).
         self._blocks: "OrderedDict[tuple[Hashable, int], bool]" = OrderedDict()
+        # The dirty subset, kept in the same relative LRU order as
+        # ``_blocks`` (every reorder of a dirty key is mirrored), so
+        # dirty-byte counts and oldest-dirty scans need not walk the
+        # whole cache.
+        self._dirty: "OrderedDict[tuple[Hashable, int], None]" = OrderedDict()
         self.hits = 0
         self.misses = 0
 
@@ -53,7 +58,7 @@ class BufferCache:
     @property
     def dirty_bytes(self) -> int:
         """Bytes cached and not yet written back."""
-        return sum(1 for d in self._blocks.values() if d) * self.block_size
+        return len(self._dirty) * self.block_size
 
     def contains(self, file_id: Hashable, block: int) -> bool:
         """True if the block is resident (does not touch LRU order)."""
@@ -85,6 +90,8 @@ class BufferCache:
             if key in self._blocks:
                 hit_blocks += 1
                 self._blocks.move_to_end(key)
+                if key in self._dirty:
+                    self._dirty.move_to_end(key)
             else:
                 miss_blocks += 1
                 evicted.extend(self._insert(key, dirty=False))
@@ -102,6 +109,8 @@ class BufferCache:
             if key in self._blocks:
                 self._blocks[key] = True
                 self._blocks.move_to_end(key)
+                self._dirty[key] = None
+                self._dirty.move_to_end(key)
             else:
                 evicted.extend(self._insert(key, dirty=True))
         return evicted
@@ -111,15 +120,26 @@ class BufferCache:
         for key in keys:
             if key in self._blocks:
                 self._blocks[key] = False
+                self._dirty.pop(key, None)
 
     def dirty_blocks_of(self, file_id: Hashable) -> list[tuple[Hashable, int]]:
         """All dirty blocks belonging to ``file_id``."""
-        return [k for k, d in self._blocks.items() if d and k[0] == file_id]
+        return [k for k in self._dirty if k[0] == file_id]
+
+    def oldest_dirty(self, max_blocks: int) -> list[tuple[Hashable, int]]:
+        """Up to ``max_blocks`` dirty blocks, oldest (LRU) first."""
+        run: list[tuple[Hashable, int]] = []
+        for key in self._dirty:
+            run.append(key)
+            if len(run) >= max_blocks:
+                break
+        return run
 
     def invalidate_file(self, file_id: Hashable) -> None:
         """Drop every block of ``file_id`` (e.g. on delete)."""
         for key in [k for k in self._blocks if k[0] == file_id]:
             del self._blocks[key]
+            self._dirty.pop(key, None)
 
     def _insert(self, key: tuple[Hashable, int], dirty: bool) -> list[tuple[Hashable, int]]:
         evicted: list[tuple[Hashable, int]] = []
@@ -129,6 +149,9 @@ class BufferCache:
         while len(self._blocks) >= self.capacity_blocks:
             victim, was_dirty = self._blocks.popitem(last=False)
             if was_dirty:
+                del self._dirty[victim]
                 evicted.append(victim)
         self._blocks[key] = dirty
+        if dirty:
+            self._dirty[key] = None
         return evicted

@@ -56,8 +56,13 @@ class Disk:
             yield grant
             if self._head != (file_id, offset):
                 self.seeks += 1
-                yield self.env.timeout(self.seek_time)
-            yield self.env.timeout(nbytes / bw)
+                # Seek + stream as one batched timeout: the arm is held
+                # throughout, so nothing can observe the intermediate
+                # instant, and the chain lands at the bit-exact same
+                # completion time as two back-to-back yields.
+                yield self.env.timeout_chain((self.seek_time, nbytes / bw))
+            else:
+                yield self.env.timeout(nbytes / bw)
             self._head = (file_id, offset + nbytes)
             if write:
                 self.bytes_written += nbytes

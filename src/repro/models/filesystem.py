@@ -119,7 +119,8 @@ class FileSystemModel:
         hit_bytes, miss_bytes, evicted = self.cache.access_read(
             meta.file_id, offset, nbytes
         )
-        yield from self._writeback(evicted)
+        if evicted:
+            yield from self._writeback(evicted)
         if hit_bytes:
             yield self.env.timeout(hit_bytes / self.platform.mem_copy_bw)
         if miss_bytes:
@@ -145,7 +146,8 @@ class FileSystemModel:
         # Copy into the cache.
         yield self.env.timeout(nbytes / self.platform.mem_copy_bw)
         evicted = self.cache.access_write(meta.file_id, offset, nbytes)
-        yield from self._writeback(evicted, quota_user=meta.owner)
+        if evicted:
+            yield from self._writeback(evicted, quota_user=meta.owner)
         # Dirty-headroom throttle: the writer blocks until the cache is
         # back under the headroom (this is where Fig. 6's quota
         # surcharge is paid).
@@ -176,12 +178,7 @@ class FileSystemModel:
     def _oldest_dirty_run(self, max_blocks: int = 64) -> list[tuple[Hashable, int]]:
         """Up to ``max_blocks`` dirty blocks in LRU order, grouped so a
         contiguous run from one file flushes as one sequential write."""
-        run: list[tuple[Hashable, int]] = []
-        for key, dirty in self.cache._blocks.items():
-            if dirty:
-                run.append(key)
-                if len(run) >= max_blocks:
-                    break
+        run = self.cache.oldest_dirty(max_blocks)
         run.sort(key=lambda k: (str(k[0]), k[1]))
         return run
 

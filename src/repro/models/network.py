@@ -52,6 +52,15 @@ class FairShareLink:
         self.group_caps: dict[str, float] = {}
         #: Total bytes ever delivered (for utilization accounting).
         self.bytes_delivered = 0.0
+        #: Max-min allocations keyed by the *ordered* tuple of effective
+        #: per-flow caps.  The water-fill result is a pure function of
+        #: that tuple (capacity is constant), and keeping the key ordered
+        #: preserves the exact ``budget -= rate`` float sequence, so a
+        #: cached allocation is bit-identical to a recomputed one.
+        self._alloc_cache: dict[tuple, tuple] = {}
+        #: perf counters (see repro.perf): allocation runs vs cache hits.
+        self.reallocations = 0
+        self.alloc_cache_hits = 0
 
     # -- public API ---------------------------------------------------------
     def set_group_cap(self, group: str, cap: float) -> None:
@@ -91,60 +100,117 @@ class FairShareLink:
     # -- internals ----------------------------------------------------------
     def _settle(self) -> None:
         """Advance all flows to the current time at their assigned rates."""
-        elapsed = self.env.now - self._last_update
+        now = self.env.now
+        flows = self._flows
+        any_done = False
+        elapsed = now - self._last_update
         if elapsed > 0:
-            for flow in self._flows:
+            # Local accumulation with the same per-flow addition order is
+            # bit-identical to adding onto the attribute each iteration.
+            delivered = self.bytes_delivered
+            for flow in flows:
                 moved = flow.rate * elapsed
                 flow.remaining -= moved
-                self.bytes_delivered += moved
-        self._last_update = self.env.now
-        finished = [f for f in self._flows if f.remaining <= _EPSILON_BYTES]
-        if finished:
-            self._flows = [f for f in self._flows if f.remaining > _EPSILON_BYTES]
+                delivered += moved
+                if flow.remaining <= _EPSILON_BYTES:
+                    any_done = True
+            self.bytes_delivered = delivered
+        else:
+            for flow in flows:
+                if flow.remaining <= _EPSILON_BYTES:
+                    any_done = True
+                    break
+        self._last_update = now
+        if any_done:
+            finished = [f for f in flows if f.remaining <= _EPSILON_BYTES]
+            self._flows = [f for f in flows if f.remaining > _EPSILON_BYTES]
             for flow in finished:
-                flow.event.succeed(self.env.now)
+                flow.event.succeed(now)
 
     def _reallocate(self) -> None:
         """Recompute max-min fair rates and schedule the next completion."""
         self._generation += 1
-        if not self._flows:
+        flows = self._flows
+        if not flows:
             return
+        self.reallocations += 1
         # Group caps become tighter per-flow caps for symmetric members:
         # each of a group's n active flows may use at most cap/n, which
         # is exact max-min for symmetric flows (our workloads) and a
         # close bound otherwise.
-        counts: dict[str, int] = {}
-        for f in self._flows:
-            if f.group is not None and f.group in self.group_caps:
-                counts[f.group] = counts.get(f.group, 0) + 1
-        effective: dict[int, float] = {}
-        for f in self._flows:
-            cap = f.cap
-            if f.group is not None and f.group in self.group_caps:
-                cap = min(cap, self.group_caps[f.group] / counts[f.group])
-            effective[id(f)] = cap
-        # Water-filling with per-flow caps.
-        pending = list(self._flows)
-        budget = self.capacity
-        while pending:
-            fair = budget / len(pending)
-            capped = [f for f in pending if effective[id(f)] <= fair]
-            if not capped:
-                for f in pending:
-                    f.rate = fair
-                break
-            for f in capped:
-                f.rate = effective[id(f)]
-                budget -= f.rate
-            pending = [f for f in pending if effective[id(f)] > fair]
-            if budget <= 0:
-                for f in pending:
-                    f.rate = 0.0
-                break
-        # Next flow to finish decides when we wake up next.
-        horizon = min(
-            (f.remaining / f.rate) for f in self._flows if f.rate > 0
-        )
+        group_caps = self.group_caps
+        if group_caps:
+            counts: dict[str, int] = {}
+            for f in flows:
+                g = f.group
+                if g is not None and g in group_caps:
+                    counts[g] = counts.get(g, 0) + 1
+            eff = []
+            for f in flows:
+                cap = f.cap
+                g = f.group
+                if g is not None and g in group_caps:
+                    share = group_caps[g] / counts[g]
+                    if share < cap:
+                        cap = share
+                eff.append(cap)
+        else:
+            eff = [f.cap for f in flows]
+        # ``horizon`` (time to the next completion) is folded into each
+        # rate-assignment loop below: same divisions, same minimum as a
+        # separate ``min()`` pass, one traversal less.
+        horizon = float("inf")
+        if len(flows) == 1:
+            # Single flow: the water-fill reduces to min(cap, capacity),
+            # spelled with the same comparison it would perform.
+            f = flows[0]
+            e = eff[0]
+            rate = e if e <= self.capacity else self.capacity
+            f.rate = rate
+            if rate > 0:
+                horizon = f.remaining / rate
+        else:
+            key = tuple(eff)
+            cached = self._alloc_cache.get(key)
+            if cached is not None:
+                self.alloc_cache_hits += 1
+                for f, rate in zip(flows, cached):
+                    f.rate = rate
+                    if rate > 0:
+                        h = f.remaining / rate
+                        if h < horizon:
+                            horizon = h
+            else:
+                # Water-filling with per-flow caps.
+                pending = list(zip(flows, eff))
+                budget = self.capacity
+                while pending:
+                    fair = budget / len(pending)
+                    capped = [fe for fe in pending if fe[1] <= fair]
+                    if not capped:
+                        for f, _e in pending:
+                            f.rate = fair
+                        break
+                    for f, e in capped:
+                        f.rate = e
+                        budget -= e
+                    pending = [fe for fe in pending if fe[1] > fair]
+                    if budget <= 0:
+                        for f, _e in pending:
+                            f.rate = 0.0
+                        break
+                if len(self._alloc_cache) >= 512:
+                    self._alloc_cache.clear()
+                self._alloc_cache[key] = tuple(f.rate for f in flows)
+                for f in flows:
+                    rate = f.rate
+                    if rate > 0:
+                        h = f.remaining / rate
+                        if h < horizon:
+                            horizon = h
+        if horizon == float("inf"):
+            # No flow is moving: mirror the seed's empty-min() error.
+            raise SimulationError("reallocation with no positive rate")
         horizon = max(horizon, _EPSILON_TIME)
         generation = self._generation
         wake = self.env.timeout(horizon)

@@ -94,6 +94,11 @@ class AccessControl:
 
     entries: ClassAdCollection = field(default_factory=ClassAdCollection)
     groups: dict[str, set[str]] = field(default_factory=dict)
+    #: Memoized rights per subject set.  The ACL language is evaluated
+    #: per *entry change*, not per request: ``set_entry`` clears this,
+    #: and group-membership changes alter the subject-set key, so a hit
+    #: is always the same pure function of the same inputs.
+    _rights_cache: dict = field(default_factory=dict, repr=False, compare=False)
 
     # -- management ----------------------------------------------------------
     def set_entry(self, subject: str, rights: Rights | str) -> None:
@@ -107,6 +112,7 @@ class AccessControl:
         )
         if rights.letters:
             self.entries.add(_entry_ad(subject, rights))
+        self._rights_cache.clear()
 
     def drop_entry(self, subject: str) -> None:
         """Remove ``subject``'s entry entirely."""
@@ -136,10 +142,14 @@ class AccessControl:
     def rights_of(self, user: str) -> Rights:
         """The union of rights granted to ``user`` by any applicable entry."""
         subjects = self._subjects_for(user)
-        granted = NONE
-        for ad in self.entries:
-            if str(ad.eval("Subject")).lower() in subjects:
-                granted = granted.union(Rights.parse(str(ad.eval("Rights"))))
+        key = frozenset(subjects)
+        granted = self._rights_cache.get(key)
+        if granted is None:
+            granted = NONE
+            for ad in self.entries:
+                if str(ad.eval("Subject")).lower() in subjects:
+                    granted = granted.union(Rights.parse(str(ad.eval("Rights"))))
+            self._rights_cache[key] = granted
         return granted
 
     def allows(self, user: str, letter: str) -> bool:

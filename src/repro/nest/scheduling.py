@@ -213,21 +213,32 @@ class StrideScheduler(Scheduler):
         return min(j.pass_value for j in self._jobs)
 
     def select(self, now: float = 0.0) -> Optional[TransferJob]:
-        if not self._jobs:
-            return None
-        candidates = [j for j in self._jobs if j.ready and j.available > 0]
-        if not candidates:
+        # Single manual pass: same first-minimum tie-breaking as
+        # ``min(..., key=...)`` without per-job lambda frames.
+        best = None
+        best_key = None
+        for j in self._jobs:
+            if j.ready and j.available > 0:
+                key = (j.pass_value, j.arrival_seq)
+                if best is None or key < best_key:
+                    best = j
+                    best_key = key
+        if best is None:
             return None
         if not self.work_conserving:
             overall = min(self._jobs, key=lambda j: (j.pass_value, j.arrival_seq))
             if not (overall.ready and overall.available > 0):
                 return None  # idle and wait for the rightful owner
-        return min(candidates, key=lambda j: (j.pass_value, j.arrival_seq))
+        return best
 
     def charge(self, job: TransferJob, nbytes: int) -> None:
         super().charge(job, nbytes)
-        job.pass_value += nbytes * STRIDE1 / (job.tickets * STRIDE1)
-        self._global_pass = self._min_pass()
+        old = job.pass_value
+        job.pass_value = old + nbytes * STRIDE1 / (job.tickets * STRIDE1)
+        # A charge only ever *raises* one job's pass value, so the
+        # global minimum moves only if that job was at the minimum.
+        if old <= self._global_pass:
+            self._global_pass = self._min_pass()
 
     def has_ready(self) -> bool:
         return any(j.ready and j.available > 0 for j in self._jobs)

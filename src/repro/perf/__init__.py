@@ -1,0 +1,32 @@
+"""Performance instrumentation for the simulated substrate.
+
+The perf layer has three jobs:
+
+* **counters** -- cheap integer counters the kernel, link, and gate
+  maintain on their hot paths (events scheduled/pooled, heap high-water
+  mark, link reallocations, gate grants), snapshotted into plain
+  dataclasses by :mod:`repro.perf.counters`;
+* **timing** -- the :class:`~repro.perf.timer.WallClockTimer` context
+  manager used by every benchmark;
+* **trajectory** -- :mod:`repro.perf.bench` runs the kernel
+  microbenchmark and the fig3--fig6 figure benchmarks and appends the
+  results to ``BENCH_kernel.json`` / ``BENCH_figures.json``, so each PR
+  from this one onward leaves a recorded wall-clock trajectory that can
+  prove a regression or a win.
+
+Run ``repro perf --help`` (or ``python -m repro.perf.smoke``) for the
+command-line surface.
+"""
+
+from repro.perf.counters import (GateCounters, KernelCounters, LinkCounters,
+                                 PerfReport, collect)
+from repro.perf.timer import WallClockTimer
+
+__all__ = [
+    "GateCounters",
+    "KernelCounters",
+    "LinkCounters",
+    "PerfReport",
+    "WallClockTimer",
+    "collect",
+]

@@ -1,0 +1,170 @@
+"""Wall-clock benchmark trajectory: kernel microbench + figure benches.
+
+Every run appends one labelled record to a JSON history file
+(``BENCH_kernel.json`` / ``BENCH_figures.json`` at the repo root by
+default), so the repository carries its own performance trajectory:
+later PRs compare their records against earlier ones to prove a win or
+catch a regression.
+
+The figure records also store the regenerated figure numbers, which is
+how the "optimizations must not change simulated results" invariant is
+checked across history.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform as _platform
+import sys
+import time
+from typing import Any, Callable
+
+from repro.perf.counters import KernelCounters
+from repro.perf.timer import WallClockTimer
+from repro.perf.workloads import kernel_microbench_workload
+
+#: All figure benchmarks of the trajectory, in paper order.
+FIGURES = ("fig3", "fig4", "fig5", "fig6")
+
+
+def _environment_stamp() -> dict:
+    return {
+        "python": sys.version.split()[0],
+        "machine": _platform.machine(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+
+
+def append_record(path: str, record: dict) -> dict:
+    """Append ``record`` to the JSON history at ``path`` (created on
+    first use); returns the full history document."""
+    doc = {"schema": 1, "runs": []}
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                loaded = json.load(fh)
+            if isinstance(loaded, dict) and isinstance(loaded.get("runs"), list):
+                doc = loaded
+        except (OSError, ValueError):
+            pass  # unreadable history: start a fresh document
+    doc["runs"].append(record)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return doc
+
+
+# ----------------------------------------------------------------------
+# kernel microbenchmark
+# ----------------------------------------------------------------------
+def run_kernel_bench(n_processes: int = 200, steps: int = 50) -> dict:
+    """Run the pure-kernel microbenchmark once; returns its record."""
+    with WallClockTimer() as timer:
+        env = kernel_microbench_workload(n_processes=n_processes, steps=steps)
+    counters = KernelCounters.snapshot(env)
+    processed = counters.events_processed + counters.direct_resumes
+    return {
+        "bench": "kernel_microbench",
+        "n_processes": n_processes,
+        "steps": steps,
+        "wall_seconds": round(timer.elapsed, 6),
+        "events_per_second": (
+            round(processed / timer.elapsed) if timer.elapsed > 0 else None
+        ),
+        "counters": counters.__dict__ | {"pool_hit_rate": round(counters.pool_hit_rate, 4)},
+    }
+
+
+# ----------------------------------------------------------------------
+# figure benchmarks
+# ----------------------------------------------------------------------
+def _summarize_fig3(result: Any) -> dict:
+    return {
+        "single_nest": {k: round(v, 3) for k, v in result.single_nest.items()},
+        "single_native": {k: round(v, 3) for k, v in result.single_native.items()},
+        "mixed_nest": {k: round(v, 3) for k, v in result.mixed_nest.items()},
+        "mixed_jbos": {k: round(v, 3) for k, v in result.mixed_jbos.items()},
+        "mixed_nest_total": round(result.mixed_nest_total, 3),
+        "mixed_jbos_total": round(result.mixed_jbos_total, 3),
+    }
+
+
+def _summarize_fig4(result: Any) -> dict:
+    return {
+        row.label: {
+            "total": round(row.total_mbps, 3),
+            "per_protocol": {k: round(v, 3)
+                             for k, v in row.per_protocol_mbps.items()},
+            "fairness": round(row.fairness, 4) if row.fairness is not None else None,
+        }
+        for row in result.rows
+    }
+
+
+def _summarize_fig5(result: Any) -> dict:
+    return {
+        "solaris_1kb_latency_ms": {
+            k: round(m.avg_latency_ms, 4) for k, m in result.solaris_1kb.items()
+        },
+        "linux_10mb_mbps": {
+            k: round(m.bandwidth_mbps, 3) for k, m in result.linux_10mb.items()
+        },
+    }
+
+
+def _summarize_fig6(result: Any) -> dict:
+    return {
+        "disabled_mbps": {str(k): round(v, 3)
+                          for k, v in result.disabled_mbps.items()},
+        "enabled_mbps": {str(k): round(v, 3)
+                         for k, v in result.enabled_mbps.items()},
+        "worst_case_ratio": round(result.worst_case_ratio(), 4),
+    }
+
+
+_SUMMARIZERS: dict[str, Callable[[Any], dict]] = {
+    "fig3": _summarize_fig3,
+    "fig4": _summarize_fig4,
+    "fig5": _summarize_fig5,
+    "fig6": _summarize_fig6,
+}
+
+
+def run_figure_bench(figures: tuple[str, ...] = FIGURES) -> dict:
+    """Time regenerating each figure; returns the trajectory record."""
+    import importlib
+
+    record: dict = {"bench": "figures", "figures": {}}
+    total = 0.0
+    for name in figures:
+        mod = importlib.import_module(f"repro.bench.{name}")
+        with WallClockTimer() as timer:
+            result = mod.run()
+        total += timer.elapsed
+        record["figures"][name] = {
+            "wall_seconds": round(timer.elapsed, 3),
+            "numbers": _SUMMARIZERS[name](result),
+        }
+    record["total_wall_seconds"] = round(total, 3)
+    return record
+
+
+def record_kernel(path: str = "BENCH_kernel.json", label: str = "",
+                  n_processes: int = 200, steps: int = 50) -> dict:
+    """Run the kernel microbench and append it to the trajectory."""
+    record = run_kernel_bench(n_processes=n_processes, steps=steps)
+    record["label"] = label
+    record.update(_environment_stamp())
+    append_record(path, record)
+    return record
+
+
+def record_figures(path: str = "BENCH_figures.json", label: str = "",
+                   figures: tuple[str, ...] = FIGURES) -> dict:
+    """Run the figure benches and append them to the trajectory."""
+    record = run_figure_bench(figures)
+    record["label"] = label
+    record.update(_environment_stamp())
+    append_record(path, record)
+    return record

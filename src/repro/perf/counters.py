@@ -1,0 +1,132 @@
+"""Snapshots of the hot-path counters kept by kernel, link, and gate.
+
+The counted quantities live as plain integer attributes on the counted
+objects themselves (an attribute increment is the cheapest thing the
+hot path can afford); this module only *reads* them.  Every read uses
+``getattr`` with a zero default so the snapshot code also works against
+kernels that predate a given counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Iterable
+
+from repro.sim.core import Environment
+
+
+@dataclass
+class KernelCounters:
+    """Event-kernel counters for one :class:`Environment`."""
+
+    events_scheduled: int = 0
+    events_processed: int = 0
+    direct_resumes: int = 0
+    timeouts_created: int = 0
+    timeouts_reused: int = 0
+    heap_peak: int = 0
+
+    @classmethod
+    def snapshot(cls, env: Environment) -> "KernelCounters":
+        return cls(
+            events_scheduled=getattr(env, "events_scheduled", 0),
+            events_processed=getattr(env, "events_processed", 0),
+            direct_resumes=getattr(env, "direct_resumes", 0),
+            timeouts_created=getattr(env, "timeouts_created", 0),
+            timeouts_reused=getattr(env, "timeouts_reused", 0),
+            heap_peak=getattr(env, "heap_peak", 0),
+        )
+
+    @property
+    def pool_hit_rate(self) -> float:
+        """Fraction of timeouts served from the free-list pool."""
+        total = self.timeouts_created + self.timeouts_reused
+        return self.timeouts_reused / total if total else 0.0
+
+
+@dataclass
+class LinkCounters:
+    """Counters for one :class:`~repro.models.network.FairShareLink`."""
+
+    name: str = "link"
+    reallocations: int = 0
+    alloc_cache_hits: int = 0
+    active_flows: int = 0
+    bytes_delivered: float = 0.0
+
+    @classmethod
+    def snapshot(cls, link: Any) -> "LinkCounters":
+        return cls(
+            name=getattr(link, "name", "link"),
+            reallocations=getattr(link, "reallocations", 0),
+            alloc_cache_hits=getattr(link, "alloc_cache_hits", 0),
+            active_flows=getattr(link, "active_flows", 0),
+            bytes_delivered=getattr(link, "bytes_delivered", 0.0),
+        )
+
+
+@dataclass
+class GateCounters:
+    """Counters for one :class:`~repro.simnest.gate.PumpGate`."""
+
+    grants: int = 0
+    arbitrations: int = 0
+
+    @classmethod
+    def snapshot(cls, gate: Any) -> "GateCounters":
+        return cls(
+            grants=getattr(gate, "grants", 0),
+            arbitrations=getattr(gate, "arbitrations", 0),
+        )
+
+
+@dataclass
+class PerfReport:
+    """One combined counter snapshot, ready to serialize."""
+
+    kernel: KernelCounters = field(default_factory=KernelCounters)
+    links: list[LinkCounters] = field(default_factory=list)
+    gates: list[GateCounters] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def render(self) -> str:
+        """Human-readable counter table."""
+        k = self.kernel
+        lines = [
+            "kernel counters",
+            f"  events scheduled   {k.events_scheduled:>12}",
+            f"  events processed   {k.events_processed:>12}",
+            f"  direct resumes     {k.direct_resumes:>12}",
+            f"  timeouts created   {k.timeouts_created:>12}",
+            f"  timeouts reused    {k.timeouts_reused:>12}"
+            f"  ({k.pool_hit_rate:.1%} pool hit rate)",
+            f"  heap high-water    {k.heap_peak:>12}",
+        ]
+        for link in self.links:
+            lines.append(
+                f"link {link.name!r}: {link.reallocations} reallocations "
+                f"({link.alloc_cache_hits} allocation-cache hits), "
+                f"{link.bytes_delivered / 1e6:.1f} MB delivered"
+            )
+        for gate in self.gates:
+            lines.append(
+                f"gate: {gate.grants} grants, {gate.arbitrations} arbitrations"
+            )
+        return "\n".join(lines)
+
+
+def collect(env: Environment, links: Iterable[Any] = (),
+            gates: Iterable[Any] = ()) -> PerfReport:
+    """Snapshot every counter of one simulation run."""
+    return PerfReport(
+        kernel=KernelCounters.snapshot(env),
+        links=[LinkCounters.snapshot(l) for l in links],
+        gates=[GateCounters.snapshot(g) for g in gates],
+    )
+
+
+def collect_server(server: Any) -> PerfReport:
+    """Snapshot counters from a SimNest-like server (env, link, gate)."""
+    return collect(server.env, links=[server.link], gates=[server.gate])

@@ -1,0 +1,45 @@
+"""Sub-second perf smoke: ``python -m repro.perf.smoke``.
+
+Runs a deliberately small kernel microbenchmark (well under a second of
+wall clock) and appends the record to the ``BENCH_kernel.json``
+trajectory, so a quick "did I just slow the kernel down?" check is one
+command with no figure-scale waiting.  The simulated outcome is
+deterministic; only the wall-clock column varies run to run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.perf.bench import record_kernel
+
+#: Small enough to finish in well under a second on any plausible host.
+SMOKE_PROCESSES = 60
+SMOKE_STEPS = 20
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.perf.smoke",
+        description="sub-second kernel perf smoke (appends to the trajectory)",
+    )
+    parser.add_argument("--path", default="BENCH_kernel.json",
+                        help="trajectory file to append to")
+    parser.add_argument("--label", default="smoke",
+                        help="label stored with the record")
+    args = parser.parse_args(argv)
+    record = record_kernel(path=args.path, label=args.label,
+                           n_processes=SMOKE_PROCESSES, steps=SMOKE_STEPS)
+    counters = record["counters"]
+    print(
+        f"smoke: {record['wall_seconds']:.3f}s wall, "
+        f"{record['events_per_second']:,} events/s, "
+        f"pool hit rate {counters['pool_hit_rate']:.1%} "
+        f"-> appended to {args.path}"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""Wall-clock timing for benchmarks.
+
+Simulated time is free; the perf trajectory cares about how much *real*
+time the kernel burns regenerating it.  :class:`WallClockTimer` is a
+re-entrant-friendly context manager around ``time.perf_counter``.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class WallClockTimer:
+    """Measure elapsed wall-clock seconds around a block.
+
+    ::
+
+        with WallClockTimer() as t:
+            fig3.run()
+        print(t.elapsed)
+
+    The timer can be reused; each ``with`` block restarts it, and
+    ``elapsed`` reads the last completed (or still-running) interval.
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self._elapsed: float = 0.0
+
+    def __enter__(self) -> "WallClockTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._elapsed = time.perf_counter() - self._start
+        self._start = None
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds of the last completed interval (live while running)."""
+        if self._start is not None:
+            return time.perf_counter() - self._start
+        return self._elapsed

@@ -1,0 +1,175 @@
+"""Deterministic perf/regression workloads.
+
+Two users:
+
+* the **determinism regression test** replays
+  :func:`traced_mixed_workload` and asserts the event-completion order
+  and final byte counts are bit-identical to golden values captured
+  from the seed kernel (the optimized kernel must not change a single
+  simulated outcome);
+* the **kernel microbenchmark** (:func:`kernel_microbench_workload`)
+  exercises the kernel's hot machinery -- timeouts, process resumes,
+  already-fired events, the fair-share link -- without the full server
+  stack, so its events/second is a clean kernel-speed signal.
+
+Everything here is closed-form deterministic: no randomness, no wall
+clock leaks into simulated results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.models.platform import LINUX, PlatformProfile
+from repro.nest.config import NestConfig
+from repro.sim.core import Environment
+from repro.simnest.server import SimNest
+from repro.simnest.workload import _spawn_clients
+
+#: Protocols of the fig3-style mixed trace (one whole-file streamer,
+#: one capped streamer, one block protocol: every kernel path).
+TRACE_PROTOCOLS = ("chirp", "gridftp", "http", "nfs")
+
+
+@dataclass
+class TraceResult:
+    """Everything the determinism test compares against golden data."""
+
+    #: (sim_time_repr, protocol, nbytes) per chunk moved, in completion
+    #: order; ``repr`` of the float keeps the comparison bit-exact.
+    records: list[tuple[str, str, int]] = field(default_factory=list)
+    final_bytes: dict[str, int] = field(default_factory=dict)
+    requests: dict[str, int] = field(default_factory=dict)
+    latency_count: int = 0
+    latency_sum_repr: str = "0.0"
+    end_time_repr: str = "0.0"
+
+    def sha256(self) -> str:
+        """Digest of the full completion-order trace."""
+        h = hashlib.sha256()
+        for when, proto, nbytes in self.records:
+            h.update(f"{when}|{proto}|{nbytes}\n".encode())
+        return h.hexdigest()
+
+    def to_golden(self, head: int = 20) -> dict:
+        """The JSON payload stored as the golden file."""
+        return {
+            "n_records": len(self.records),
+            "trace_sha256": self.sha256(),
+            "head": [list(r) for r in self.records[:head]],
+            "final_bytes": self.final_bytes,
+            "requests": self.requests,
+            "latency_count": self.latency_count,
+            "latency_sum_repr": self.latency_sum_repr,
+            "end_time_repr": self.end_time_repr,
+        }
+
+
+def traced_mixed_workload(
+    platform: PlatformProfile = LINUX,
+    horizon: float = 0.6,
+    n_clients: int = 2,
+    file_mb: int = 1,
+    return_server: bool = False,
+):
+    """Run the fig3-style mixed workload, recording every chunk moved.
+
+    The per-chunk ``stats.moved`` stream is a faithful proxy for the
+    kernel's event-completion order: each record is emitted when one
+    scheduling unit of data finishes its service cycle, so any change
+    in event ordering, timing arithmetic, or tie-breaking shows up as a
+    diverging trace.
+    """
+    env = Environment()
+    server = SimNest(env, platform, NestConfig(scheduling="fcfs"))
+    result = TraceResult()
+
+    stats = server.stats
+    original_moved = type(stats).moved
+
+    def recording_moved(protocol: str, nbytes: int) -> None:
+        result.records.append((repr(env.now), protocol, nbytes))
+        original_moved(stats, protocol, nbytes)
+
+    stats.moved = recording_moved
+    _spawn_clients(
+        env,
+        get_server=lambda _p: server,
+        get_cap=lambda _p: None,
+        protocols=list(TRACE_PROTOCOLS),
+        n_clients=n_clients,
+        file_bytes=file_mb * 1_000_000,
+        files_per_client=10_000,
+    )
+    env.run(until=horizon)
+    result.final_bytes = dict(sorted(stats.progress_by_protocol.items()))
+    result.requests = dict(sorted(stats.requests_by_protocol.items()))
+    result.latency_count = len(stats.latencies)
+    result.latency_sum_repr = repr(sum(stats.latencies))
+    result.end_time_repr = repr(env.now)
+    if return_server:
+        return result, server
+    return result
+
+
+def kernel_microbench_workload(
+    n_processes: int = 200,
+    steps: int = 50,
+    env: Environment | None = None,
+) -> Environment:
+    """A pure-kernel stress mix: timeouts, waits on shared events,
+    already-fired events, interrupts, and a fair-share link.
+
+    Returns the finished environment so callers can read its counters.
+    """
+    from repro.models.network import FairShareLink
+
+    env = env or Environment()
+    link = FairShareLink(env, capacity=1e6, name="bench-link")
+    beat = env.event()
+    last_fired = None
+
+    def metronome():
+        nonlocal beat, last_fired
+        for _ in range(steps):
+            yield env.timeout(1.0)
+            last_fired, beat = beat, env.event()
+            last_fired.succeed()
+
+    def worker(i: int):
+        for s in range(steps):
+            # A chain of small timeouts (the pooled fast path).
+            yield env.timeout(0.1 + (i % 7) * 0.01)
+            yield env.timeout(0.05)
+            if i % 3 == 0:
+                # Wait on the shared beat event.
+                yield beat
+            elif i % 3 == 1 and last_fired is not None:
+                # Yield an event that has already fired: the kernel's
+                # direct-resume (was: bridge-event) path.
+                yield last_fired
+            if i % 5 == 0:
+                yield link.transfer(1000.0 + i, cap=5e4)
+
+    def interrupter(victim):
+        yield env.timeout(steps / 2)
+        if victim.is_alive:
+            victim.interrupt("bench")
+
+    env.process(metronome(), name="metronome")
+    victims = []
+    for i in range(n_processes):
+        def patient(i=i):
+            try:
+                yield env.timeout(10 * steps)
+            except Exception:
+                yield env.timeout(0.5)
+
+        env.process(worker(i), name=f"worker-{i}")
+        if i % 50 == 0:
+            v = env.process(patient(), name=f"patient-{i}")
+            victims.append(v)
+            env.process(interrupter(v), name=f"interrupter-{i}")
+    env.run()
+    return env

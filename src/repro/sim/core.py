@@ -4,12 +4,37 @@ The design mirrors SimPy's proven API surface (``env.process``,
 ``env.timeout``, ``yield event``) because it composes well with
 generator-based modelling code, but the implementation here is
 self-contained and deterministic.
+
+Hot-path engineering (every figure of the reproduction is regenerated
+through this kernel, so its constant factors are the whole wall-clock
+story):
+
+* :meth:`Environment.run` inlines the dispatch loop -- local aliases
+  for ``heappop``, the queue, and the resume deque instead of a
+  per-event :meth:`Environment.step` call;
+* timeouts are recycled through a free-list pool; a processed
+  :class:`Timeout` that nothing else references (checked via the
+  CPython refcount) goes back to the pool instead of the allocator;
+* a process that yields an *already processed* event is resumed
+  through a cheap pending-resume deque rather than a freshly allocated
+  bridge :class:`Event`; deque entries carry a sequence number drawn
+  from the same counter as heap entries, so the dispatch order is
+  bit-identical to scheduling a bridge event at ``(now, URGENT, seq)``;
+* following SimPy, ``event.callbacks`` becomes ``None`` once the event
+  is processed, which both drops a list allocation per event and makes
+  :meth:`Process.interrupt`'s stale-target guard actually work.
+
+The kernel also keeps integer perf counters (events scheduled and
+processed, direct resumes, timeout pool hits, heap high-water mark)
+that :mod:`repro.perf` snapshots; each is a plain attribute increment
+on the hot path.
 """
 
 from __future__ import annotations
 
 import heapq
-from itertools import count
+from collections import deque
+from sys import getrefcount
 from typing import Any, Callable, Generator, Iterable, Optional
 
 
@@ -28,20 +53,25 @@ class StopProcess(Exception):
 URGENT = 0
 NORMAL = 1
 
+#: Upper bound on the timeout free list (a runaway workload should not
+#: pin an unbounded graveyard of Timeout objects).
+_POOL_LIMIT = 4096
+
 
 class Event:
     """A one-shot occurrence in simulated time.
 
     An event begins *pending*, may be *triggered* (scheduled to fire),
     and finally *processed* once its callbacks run.  Processes wait on
-    events by yielding them.
+    events by yielding them.  Once processed, ``callbacks`` is ``None``
+    (SimPy semantics): nothing may append to a processed event.
     """
 
     __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed", "_defused")
 
     def __init__(self, env: "Environment"):
         self.env = env
-        self.callbacks: list[Callable[[Event], None]] = []
+        self.callbacks: Optional[list[Callable[[Event], None]]] = []
         self._value: Any = None
         self._ok: Optional[bool] = None
         self._triggered = False
@@ -69,6 +99,23 @@ class Event:
         """The event's value (or exception, for failed events)."""
         return self._value
 
+    def _state_repr(self) -> str:
+        if self._processed:
+            state = "processed"
+        elif self._triggered:
+            state = "triggered"
+        else:
+            state = "pending"
+        if self._ok is False:
+            state += " failed"
+        return state
+
+    def __repr__(self) -> str:
+        value = ""
+        if self._triggered and self._value is not None:
+            value = f" value={self._value!r}"
+        return f"<{type(self).__name__} {self._state_repr()}{value}>"
+
     # -- triggering -------------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
@@ -77,7 +124,8 @@ class Event:
         self._ok = True
         self._value = value
         self._triggered = True
-        self.env._schedule(self, priority=NORMAL)
+        env = self.env
+        env._push(self, env._now, NORMAL)
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -89,7 +137,8 @@ class Event:
         self._ok = False
         self._value = exc
         self._triggered = True
-        self.env._schedule(self, priority=NORMAL)
+        env = self.env
+        env._push(self, env._now, NORMAL)
         return self
 
     def defuse(self) -> None:
@@ -102,7 +151,8 @@ class Timeout(Event):
 
     __slots__ = ("delay",)
 
-    def __init__(self, env: "Environment", delay: float, value: Any = None):
+    def __init__(self, env: "Environment", delay: float, value: Any = None,
+                 _at: Optional[float] = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay!r}")
         super().__init__(env)
@@ -110,7 +160,12 @@ class Timeout(Event):
         self._ok = True
         self._value = value
         self._triggered = True
-        env._schedule(self, priority=NORMAL, delay=delay)
+        env.timeouts_created += 1
+        env._push(self, env._now + delay if _at is None else _at, NORMAL)
+
+    def __repr__(self) -> str:
+        value = f" value={self._value!r}" if self._value is not None else ""
+        return f"<Timeout delay={self.delay!r} {self._state_repr()}{value}>"
 
 
 class Initialize(Event):
@@ -122,7 +177,7 @@ class Initialize(Event):
         super().__init__(env)
         self._ok = True
         self._triggered = True
-        env._schedule(self, priority=URGENT)
+        env._push(self, env._now, URGENT)
 
 
 class Interrupt(Exception):
@@ -159,22 +214,37 @@ class Process(Event):
         """True while the underlying generator has not finished."""
         return self._ok is None
 
+    def __repr__(self) -> str:
+        if self._ok is None:
+            target = ""
+            if self._target is not None:
+                t = self._target
+                target = f" waiting-on=<{type(t).__name__} {t._state_repr()}>"
+            return f"<Process {self.name!r} alive{target}>"
+        return f"<Process {self.name!r} {self._state_repr()} value={self._value!r}>"
+
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time."""
         if not self.is_alive:
             raise SimulationError("cannot interrupt a finished process")
-        if self._target is not None and self._target.callbacks is not None:
+        target = self._target
+        if target is not None and target.callbacks is not None:
+            # Deschedule from a still-unprocessed target; a processed
+            # target has ``callbacks = None`` and its stale resume (if
+            # queued) is filtered at dispatch by the ``_target is ev``
+            # guard.
             try:
-                self._target.callbacks.remove(self._resume)
+                target.callbacks.remove(self._resume)
             except ValueError:
                 pass
+        self._target = None
         interrupt_ev = Event(self.env)
         interrupt_ev._ok = False
         interrupt_ev._value = Interrupt(cause)
         interrupt_ev._defused = True
         interrupt_ev._triggered = True
         interrupt_ev.callbacks.append(self._resume)
-        self.env._schedule(interrupt_ev, priority=URGENT)
+        self.env._push(interrupt_ev, self.env._now, URGENT)
 
     def _resume(self, event: Event) -> None:
         self._target = None
@@ -202,19 +272,19 @@ class Process(Event):
             except BaseException as inner:
                 self._finish(False, inner)
             return
-        if next_event.env is not self.env:
+        env = self.env
+        if next_event.env is not env:
             self._finish(False, SimulationError("event from a different environment"))
             return
         self._target = next_event
         if next_event._processed:
-            # Already fired: resume immediately (via urgent null event).
-            bridge = Event(self.env)
-            bridge._ok = next_event._ok
-            bridge._value = next_event._value
-            bridge._defused = True
-            bridge._triggered = True
-            bridge.callbacks.append(self._resume)
-            self.env._schedule(bridge, priority=URGENT)
+            # Already fired: queue a direct resume.  The entry draws a
+            # sequence number from the same counter as heap pushes, so
+            # it dispatches exactly where a bridge event scheduled at
+            # (now, URGENT, seq) would have.
+            env._seqno = seq = env._seqno + 1
+            env._pending.append((seq, self, next_event))
+            env.direct_resumes += 1
         else:
             next_event.callbacks.append(self._resume)
 
@@ -222,7 +292,8 @@ class Process(Event):
         self._ok = ok
         self._value = value
         self._triggered = True
-        self.env._schedule(self, priority=NORMAL)
+        env = self.env
+        env._push(self, env._now, NORMAL)
 
 
 class Condition(Event):
@@ -242,6 +313,10 @@ class Condition(Event):
                 self._check(ev)
             else:
                 ev.callbacks.append(self._check)
+
+    def __repr__(self) -> str:
+        return (f"<{type(self).__name__} {self._count}/{len(self._events)}"
+                f" {self._state_repr()}>")
 
     def _check(self, event: Event) -> None:
         if self._triggered:
@@ -280,17 +355,45 @@ class AnyOf(Condition):
 
 
 class Environment:
-    """The simulation environment: clock plus event queue."""
+    """The simulation environment: clock plus event queue.
+
+    Perf counters (plain integers; see :mod:`repro.perf.counters`):
+
+    ``events_processed``
+        heap events dispatched (direct resumes counted separately);
+    ``direct_resumes``
+        already-processed-event resumes served from the deque;
+    ``timeouts_created`` / ``timeouts_reused``
+        Timeout allocations vs free-list pool hits;
+    ``heap_peak``
+        high-water mark of the event heap;
+    ``events_scheduled``
+        total scheduling operations (heap pushes + direct resumes).
+    """
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
-        self._seq = count()
+        self._seqno = 0
+        #: direct resumes waiting to dispatch: (seq, process, event).
+        self._pending: deque[tuple[int, Process, Event]] = deque()
+        self._timeout_pool: list[Timeout] = []
+        # perf counters
+        self.events_processed = 0
+        self.direct_resumes = 0
+        self.timeouts_created = 0
+        self.timeouts_reused = 0
+        self.heap_peak = 0
 
     @property
     def now(self) -> float:
         """Current simulated time."""
         return self._now
+
+    @property
+    def events_scheduled(self) -> int:
+        """Total scheduling operations (heap pushes + direct resumes)."""
+        return self._seqno
 
     # -- factories --------------------------------------------------------
     def event(self) -> Event:
@@ -299,7 +402,52 @@ class Environment:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """An event firing ``delay`` time units from now."""
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise SimulationError(f"negative timeout delay {delay!r}")
+            ev = pool.pop()
+            ev.callbacks = []
+            ev._value = value
+            ev._ok = True
+            ev._triggered = True
+            ev._processed = False
+            ev._defused = False
+            ev.delay = delay
+            self.timeouts_reused += 1
+            self._push(ev, self._now + delay, NORMAL)
+            return ev
         return Timeout(self, delay, value)
+
+    def timeout_chain(self, delays: Iterable[float], value: Any = None) -> Timeout:
+        """One event standing in for several back-to-back timeouts.
+
+        The wake-up time is accumulated with the *same float additions*
+        a chain of ``yield env.timeout(d)`` steps would perform, so
+        replacing such a chain with ``yield env.timeout_chain(delays)``
+        is bit-identical in simulated time while scheduling a single
+        event instead of ``len(delays)`` (the transfer fast path's
+        per-chunk CPU/dispatch coalescing relies on this).
+        """
+        when = self._now
+        for d in delays:
+            if d < 0:
+                raise SimulationError(f"negative timeout delay {d!r}")
+            when += d
+        pool = self._timeout_pool
+        if pool:
+            ev = pool.pop()
+            ev.callbacks = []
+            ev._value = value
+            ev._ok = True
+            ev._triggered = True
+            ev._processed = False
+            ev._defused = False
+            ev.delay = when - self._now
+            self.timeouts_reused += 1
+            self._push(ev, when, NORMAL)
+            return ev
+        return Timeout(self, when - self._now, value, _at=when)
 
     def process(self, generator: Generator, name: str | None = None) -> Process:
         """Start a new process from ``generator``."""
@@ -310,7 +458,7 @@ class Environment:
         return AllOf(self, events)
 
     def any_of(self, events: Iterable[Event]) -> AnyOf:
-        """Composite event: any of ``events``."""
+        """Composite event: any one of ``events``."""
         return AnyOf(self, events)
 
     def exit(self, value: Any = None) -> None:
@@ -318,25 +466,60 @@ class Environment:
         raise StopProcess(value)
 
     # -- scheduling ---------------------------------------------------------
+    def _push(self, event: Event, when: float, priority: int) -> None:
+        """Schedule ``event`` at absolute time ``when``."""
+        self._seqno = seq = self._seqno + 1
+        heapq.heappush(self._queue, (when, priority, seq, event))
+
     def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
-        heapq.heappush(self._queue, (self._now + delay, priority, next(self._seq), event))
+        """Back-compat alias for :meth:`_push` with a relative delay."""
+        self._push(event, self._now + delay, priority)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf if none."""
+        if self._pending:
+            return self._now
         return self._queue[0][0] if self._queue else float("inf")
 
+    def _next_is_pending(self) -> bool:
+        """True if the pending-resume deque dispatches before the heap."""
+        if not self._pending:
+            return False
+        if not self._queue:
+            return True
+        when, priority, seq, _ev = self._queue[0]
+        now = self._now
+        # A pending resume dispatches at (now, URGENT, its seq).
+        return when > now or (when == now and (priority == NORMAL
+                                               or seq > self._pending[0][0]))
+
     def step(self) -> None:
-        """Process the single next event."""
+        """Process the single next event (slow path; :meth:`run` inlines
+        this loop)."""
+        if self._next_is_pending():
+            _seq, proc, ev = self._pending.popleft()
+            if proc._target is ev:
+                proc._resume(ev)
+            return
         if not self._queue:
             raise SimulationError("no more events")
         when, _prio, _seq, event = heapq.heappop(self._queue)
+        qlen = len(self._queue) + 1
+        if qlen > self.heap_peak:
+            self.heap_peak = qlen
         self._now = when
-        callbacks, event.callbacks = event.callbacks, []
+        callbacks = event.callbacks
+        event.callbacks = None
         event._processed = True
         for cb in callbacks:
             cb(event)
+        self.events_processed += 1
         if event._ok is False and not event._defused:
             raise event._value
+        if type(event) is Timeout and getrefcount(event) == 2 \
+                and len(self._timeout_pool) < _POOL_LIMIT:
+            event._value = None
+            self._timeout_pool.append(event)
 
     def run(self, until: float | Event | None = None) -> Any:
         """Run until the queue drains, a time is reached, or an event fires.
@@ -346,15 +529,13 @@ class Environment:
         * an :class:`Event` -- run until it fires, returning its value.
         """
         if until is None:
-            while self._queue:
-                self.step()
+            self._dispatch(None)
             return None
         if isinstance(until, Event):
             target = until
-            while not target._processed:
-                if not self._queue:
-                    raise SimulationError("event never fired; queue exhausted")
-                self.step()
+            self._dispatch(target)
+            if not target._processed:
+                raise SimulationError("event never fired; queue exhausted")
             if target._ok:
                 return target._value
             target._defused = True
@@ -362,7 +543,74 @@ class Environment:
         horizon = float(until)
         if horizon < self._now:
             raise SimulationError("cannot run backwards in time")
-        while self._queue and self._queue[0][0] <= horizon:
-            self.step()
+        self._dispatch(horizon)
         self._now = horizon
         return None
+
+    def _dispatch(self, until: Optional[float | Event]) -> None:
+        """The inlined hot dispatch loop behind every :meth:`run` mode.
+
+        ``until`` is ``None`` (exhaust), a float horizon, or a target
+        event; the stop checks are arranged so the common per-event
+        work touches only local aliases.
+        """
+        queue = self._queue
+        pending = self._pending
+        pool = self._timeout_pool
+        heappop_ = heapq.heappop
+        refcount_ = getrefcount
+        timeout_type = Timeout
+        horizon = until if type(until) is float else None
+        target = until if isinstance(until, Event) else None
+        now = self._now
+        processed = self.events_processed
+        peak = self.heap_peak
+        try:
+            while True:
+                if target is not None and target._processed:
+                    return
+                if pending:
+                    # A pending resume dispatches at (now, URGENT, seq):
+                    # before anything later-or-NORMAL, after earlier
+                    # URGENT heap entries -- exactly where the seed
+                    # kernel's bridge event would have fired.
+                    if queue:
+                        head = queue[0]
+                        head_when = head[0]
+                        run_pending = head_when > now or (
+                            head_when == now
+                            and (head[1] == NORMAL or head[2] > pending[0][0])
+                        )
+                    else:
+                        run_pending = True
+                    if run_pending:
+                        _seq, proc, ev = pending.popleft()
+                        if proc._target is ev:
+                            proc._resume(ev)
+                        continue
+                elif not queue:
+                    return  # exhausted (run() reports a never-fired target)
+                if horizon is not None and queue[0][0] > horizon:
+                    return
+                qlen = len(queue)
+                if qlen > peak:
+                    peak = qlen
+                when, _prio, _seq, event = heappop_(queue)
+                now = self._now = when
+                callbacks = event.callbacks
+                event.callbacks = None
+                event._processed = True
+                for cb in callbacks:
+                    cb(event)
+                processed += 1
+                if event._ok is False and not event._defused:
+                    raise event._value
+                # Recycle a dead timeout nothing else references: the
+                # only live refs are our local and getrefcount's arg.
+                if type(event) is timeout_type and refcount_(event) == 2 \
+                        and len(pool) < _POOL_LIMIT:
+                    event._value = None
+                    pool.append(event)
+        finally:
+            self.events_processed = processed
+            self.heap_peak = peak

@@ -56,8 +56,9 @@ class PumpGate:
         self._idle_timer_pending = False
         #: serialized-arbitration bookkeeping: when the arbiter frees up.
         self._arbiter_free_at = 0.0
-        #: arbitration counter (experiment introspection)
+        #: perf counters (experiment and perf-layer introspection)
         self.grants = 0
+        self.arbitrations = 0
 
     # -- transfer side -------------------------------------------------------
     def acquire(self, job: TransferJob, nbytes: int) -> Generator:
@@ -123,12 +124,17 @@ class PumpGate:
 
     # -- arbitration -----------------------------------------------------------
     def _try_grant(self) -> None:
-        while self._active < self.workers and self._waiters:
-            choice = self.scheduler.select(self.env.now)
-            if choice is None or choice.job_id not in self._waiters:
+        waiters = self._waiters
+        workers = self.workers
+        select = self.scheduler.select
+        now = self.env.now
+        while self._active < workers and waiters:
+            self.arbitrations += 1
+            choice = select(now)
+            if choice is None or choice.job_id not in waiters:
                 # Non-work-conserving idling: the rightful job is not
                 # ready; re-arbitrate shortly.
-                if self._waiters and not self._idle_timer_pending:
+                if waiters and not self._idle_timer_pending:
                     self._idle_timer_pending = True
                     timer = self.env.timeout(self.idle_wait)
                     timer.callbacks.append(self._idle_expired)

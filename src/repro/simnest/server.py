@@ -220,8 +220,10 @@ class SimNest:
         Returns a :class:`Connection` via the generator's value.
         """
         spec = self.specs[protocol]
-        for _ in range(spec.setup_rtts):
-            yield self.env.timeout(self.rtt())
+        if spec.setup_rtts:
+            # One batched timeout for the whole control dialogue
+            # (bit-identical end time to yielding each RTT in turn).
+            yield self.env.timeout_chain([self.rtt()] * spec.setup_rtts)
         conn = Connection(protocol, user)
         return conn
 
@@ -237,9 +239,12 @@ class SimNest:
         """
         spec = self.specs[conn.protocol]
         cap = self._cap_for(spec, client_cap or self.platform.client_nic_bw)
-        yield self.env.timeout(self.platform.net_latency)  # request travel
-        start = self.env.now
-        yield self.env.timeout(self._parse_cost(spec))
+        env = self.env
+        # Request travel + parse as one batched timeout; ``start`` is
+        # the post-travel instant, computed with the same float add the
+        # kernel would use (bit-identical to yielding each in turn).
+        start = env.now + self.platform.net_latency
+        yield env.timeout_chain((self.platform.net_latency, self._parse_cost(spec)))
         try:
             ticket = self.storage.approve_get(conn.user, path)
             ticket.stream.close()
@@ -267,9 +272,9 @@ class SimNest:
         """Process step: receive one whole file from the client."""
         spec = self.specs[conn.protocol]
         cap = self._cap_for(spec, client_cap or self.platform.client_nic_bw)
-        yield self.env.timeout(self.platform.net_latency)
-        start = self.env.now
-        yield self.env.timeout(self._parse_cost(spec))
+        env = self.env
+        start = env.now + self.platform.net_latency
+        yield env.timeout_chain((self.platform.net_latency, self._parse_cost(spec)))
         try:
             ticket = self.storage.approve_put(conn.user, path, size)
         except StorageError as exc:
@@ -301,15 +306,19 @@ class SimNest:
         """Process step: one NFS READ rpc."""
         spec = self.specs[conn.protocol]
         cap = self._cap_for(spec, client_cap or self.platform.client_nic_bw)
-        yield self.env.timeout(self.platform.net_latency)
-        start = self.env.now
-        yield self.env.timeout(self._parse_cost(spec))
+        env = self.env
+        start = env.now + self.platform.net_latency
+        yield env.timeout_chain((self.platform.net_latency, self._parse_cost(spec)))
         job = self._block_job(conn, path)
         yield from self.gate.acquire(job, nbytes)
         try:
             model = self._fixed_model()
-            yield from self._concurrency_overhead(model, job, first=job.bytes_moved == 0)
-            yield self.env.timeout(spec.per_chunk_cpu)
+            # Concurrency overhead + protocol per-chunk CPU as one
+            # batched timeout (bit-identical end time, fewer events).
+            yield self.env.timeout_chain(
+                self._overhead_delays(model, first=job.bytes_moved == 0)
+                + (spec.per_chunk_cpu,)
+            )
             yield from self._read_data(model, path, offset, nbytes)
             yield self.link.transfer(nbytes, cap=cap, group=conn.protocol)
         finally:
@@ -331,9 +340,9 @@ class SimNest:
         """Process step: one NFS WRITE rpc."""
         spec = self.specs[conn.protocol]
         cap = self._cap_for(spec, client_cap or self.platform.client_nic_bw)
-        yield self.env.timeout(self.platform.net_latency)
-        start = self.env.now
-        yield self.env.timeout(self._parse_cost(spec))
+        env = self.env
+        start = env.now + self.platform.net_latency
+        yield env.timeout_chain((self.platform.net_latency, self._parse_cost(spec)))
         try:
             ticket = self.storage.approve_write(conn.user, path, offset, nbytes)
             ticket.settle(nbytes)
@@ -394,24 +403,33 @@ class SimNest:
             return min(base, self.config.quantum_bytes)
         return base
 
-    def _concurrency_overhead(self, model: str, job: TransferJob,
-                              first: bool) -> Generator:
+    def _overhead_delays(self, model: str, first: bool) -> tuple[float, ...]:
+        """Per-chunk concurrency-model CPU delays, in the order the
+        model pays them.  Returned as a tuple so the hot loops can
+        coalesce them (plus the protocol's per-chunk CPU) into a single
+        batched timeout via ``env.timeout_chain`` -- same simulated
+        end time, one kernel event instead of up to three."""
         p = self.platform
         if model == THREADS:
             factor = self._thread_overload_factor()
             if first:
-                yield self.env.timeout(p.thread_create_cost * factor)
-            yield self.env.timeout(p.thread_switch_cost * factor)
-        elif model == PROCESSES:
+                return (p.thread_create_cost * factor,
+                        p.thread_switch_cost * factor)
+            return (p.thread_switch_cost * factor,)
+        if model == PROCESSES:
             if first:
-                yield self.env.timeout(p.process_create_cost)
-            yield self.env.timeout(p.process_switch_cost)
-        elif model == SEDA:
+                return (p.process_create_cost, p.process_switch_cost)
+            return (p.process_switch_cost,)
+        if model == SEDA:
             # Two stage handoffs per chunk (enqueue + dispatch), each
             # about as cheap as an event-loop dispatch.
-            yield self.env.timeout(2 * p.event_dispatch_cost)
-        else:  # events
-            yield self.env.timeout(p.event_dispatch_cost)
+            return (2 * p.event_dispatch_cost,)
+        return (p.event_dispatch_cost,)  # events
+
+    def _concurrency_overhead(self, model: str, job: TransferJob,
+                              first: bool) -> Generator:
+        """Process step: spend the model's per-chunk CPU (batched)."""
+        yield self.env.timeout_chain(self._overhead_delays(model, first))
 
     def _read_data(self, model: str, path: str, offset: int, nbytes: int) -> Generator:
         """Read from the fs under the model's blocking semantics."""
@@ -452,7 +470,9 @@ class SimNest:
 
     def _pump_out_inner(self, job: TransferJob, spec: ProtocolSpec, path: str,
                         size: int, cap: float, model: str) -> Generator:
+        env = self.env
         chunk = self._chunk_size(model)
+        per_chunk_cpu = spec.per_chunk_cpu
         offset = 0
         first = True
         pending_send = None
@@ -460,8 +480,9 @@ class SimNest:
             n = min(chunk, size - offset)
             yield from self.gate.acquire(job, n)
             try:
-                yield from self._concurrency_overhead(model, job, first)
-                yield self.env.timeout(spec.per_chunk_cpu)
+                yield env.timeout_chain(
+                    self._overhead_delays(model, first) + (per_chunk_cpu,)
+                )
                 yield from self._read_data(model, path, offset, n)
                 if model == EVENTS:
                     # Async sends: overlap this chunk's send with the
@@ -483,6 +504,7 @@ class SimNest:
     def _pump_in(self, job: TransferJob, spec: ProtocolSpec, path: str,
                  size: int, cap: float, model: str) -> Generator:
         """Move ``size`` bytes client -> server."""
+        env = self.env
         chunk = self._chunk_size(model)
         offset = 0
         first = True
@@ -490,9 +512,9 @@ class SimNest:
             n = min(chunk, size - offset)
             yield from self.gate.acquire(job, n)
             try:
-                yield from self._concurrency_overhead(model, job, first)
+                yield env.timeout_chain(self._overhead_delays(model, first))
                 yield self.link.transfer(n, cap=cap, group=job.protocol)
-                yield self.env.timeout(spec.per_chunk_cpu)
+                yield env.timeout(spec.per_chunk_cpu)
                 yield from self.fs.write(path, offset, n)
             finally:
                 self.gate.release(job, n)

@@ -1,0 +1,50 @@
+"""Determinism regression: the optimized kernel must not change a
+single simulated outcome.
+
+``tests/sim/golden_mixed_trace.json`` was captured from the *seed*
+kernel (pre-optimization) by running the fig3-style mixed workload and
+recording every chunk completion ``(sim_time_repr, protocol, nbytes)``
+in order.  Any change to event ordering, timing arithmetic, heap
+tie-breaking, timeout pooling, or the fair-share allocation shows up
+here as a diverging trace -- ``repr`` of the float times keeps the
+comparison bit-exact.
+
+To re-capture the golden file (ONLY when a semantic change is intended
+and reviewed):
+
+    PYTHONPATH=src python -c "
+    import json
+    from repro.perf.workloads import traced_mixed_workload
+    json.dump(traced_mixed_workload().to_golden(),
+              open('tests/sim/golden_mixed_trace.json', 'w'), indent=2)"
+"""
+
+import json
+import os
+
+from repro.perf.workloads import traced_mixed_workload
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden_mixed_trace.json")
+
+
+def test_mixed_trace_matches_seed_golden():
+    with open(GOLDEN_PATH, encoding="utf-8") as fh:
+        golden = json.load(fh)
+    got = traced_mixed_workload().to_golden()
+    # Compare the cheap fields first for a readable diff on failure...
+    assert got["n_records"] == golden["n_records"]
+    assert got["final_bytes"] == golden["final_bytes"]
+    assert got["requests"] == golden["requests"]
+    assert got["latency_count"] == golden["latency_count"]
+    assert got["latency_sum_repr"] == golden["latency_sum_repr"]
+    assert got["end_time_repr"] == golden["end_time_repr"]
+    assert got["head"] == golden["head"]
+    # ...then the digest of the full completion-order trace.
+    assert got["trace_sha256"] == golden["trace_sha256"]
+
+
+def test_trace_is_reproducible_within_session():
+    first = traced_mixed_workload(horizon=0.05)
+    second = traced_mixed_workload(horizon=0.05)
+    assert first.sha256() == second.sha256()
+    assert first.final_bytes == second.final_bytes
