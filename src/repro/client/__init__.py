@@ -7,22 +7,47 @@ approaches complementary).
 
 All clients speak to any compliant server -- the live
 :class:`repro.nest.server.NestServer`, or the native JBOS servers in
-:mod:`repro.jbos`.
+:mod:`repro.jbos` -- and share one hardening substrate: a typed error
+taxonomy (:mod:`repro.client.errors`), a retry policy with exponential
+backoff, jitter, deadline and idempotency awareness
+(:mod:`repro.client.retry`), and an optional fault-injection hook
+(:mod:`repro.faults`).
 """
 
-from repro.client.chirp import ChirpClient
-from repro.client.http import HttpClient
-from repro.client.ftp import FtpClient
+from repro.client.chirp import ChirpClient, ChirpError
+from repro.client.errors import (
+    ClientError,
+    FatalError,
+    RetryExhaustedError,
+    TransferError,
+    TransientError,
+)
+from repro.client.ftp import FtpClient, FtpError
 from repro.client.gridftp import GridFtpClient, third_party_transfer
-from repro.client.nfs import NfsClient
 from repro.client.highlevel import NestClient
+from repro.client.http import HttpClient, HttpError
+from repro.client.ibp import IbpClient
+from repro.client.nfs import NfsClient, NfsError
+from repro.client.retry import NO_RETRY, RetryPolicy
 
 __all__ = [
     "ChirpClient",
-    "HttpClient",
+    "ChirpError",
+    "ClientError",
+    "FatalError",
     "FtpClient",
+    "FtpError",
     "GridFtpClient",
-    "third_party_transfer",
-    "NfsClient",
+    "HttpClient",
+    "HttpError",
+    "IbpClient",
     "NestClient",
+    "NfsClient",
+    "NfsError",
+    "NO_RETRY",
+    "RetryExhaustedError",
+    "RetryPolicy",
+    "TransferError",
+    "TransientError",
+    "third_party_transfer",
 ]

@@ -1,12 +1,20 @@
-"""Chirp client: NeST's native protocol, the full feature set."""
+"""Chirp client: NeST's native protocol, the full feature set.
+
+All public operations run under the client's retry policy: a transient
+wire failure (reset, timeout, short read) reconnects -- replaying the
+GSI handshake when the session was authenticated -- and retries.
+Server refusals surface immediately as :class:`ChirpError`, a
+:class:`~repro.client.errors.FatalError`.
+"""
 
 from __future__ import annotations
 
 import base64
 import json
-import socket
 from typing import Any
 
+from repro.client.base import SessionClient
+from repro.client.errors import FatalError
 from repro.nest.auth import Credential, GSIContext
 from repro.protocols import chirp
 from repro.protocols.common import (
@@ -20,7 +28,7 @@ from repro.protocols.common import (
 )
 
 
-class ChirpError(Exception):
+class ChirpError(FatalError):
     """A Chirp request failed; carries the server's status."""
 
     def __init__(self, status: Status, message: str = ""):
@@ -28,34 +36,27 @@ class ChirpError(Exception):
         self.status = status
 
 
-class ChirpClient:
+class ChirpClient(SessionClient):
     """A connected Chirp session."""
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0):
-        self.sock = socket.create_connection((host, port), timeout=timeout)
-        self.rfile = self.sock.makefile("rb")
-        self.wfile = self.sock.makefile("wb")
+    protocol = "chirp"
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0,
+                 retry=None, faults=None):
         self.subject: str | None = None
+        self._credential: Credential | None = None
+        super().__init__(host, port, timeout=timeout, retry=retry,
+                         faults=faults)
 
-    def close(self) -> None:
-        """Send quit and tear the connection down."""
-        try:
-            write_line(self.wfile, "quit")
-            read_line(self.rfile)
-        except (ProtocolError, OSError):
-            pass
-        for stream in (self.wfile, self.rfile):
-            try:
-                stream.close()
-            except OSError:
-                pass
-        self.sock.close()
+    # -- session -----------------------------------------------------------
+    def _setup_session(self) -> None:
+        self.subject = None
+        if self._credential is not None:
+            self._auth_handshake(self._credential)
 
-    def __enter__(self) -> "ChirpClient":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.close()
+    def _goodbye(self) -> None:
+        write_line(self.wfile, "quit")
+        read_line(self.rfile)
 
     # -- plumbing ----------------------------------------------------------
     def _round_trip(self, request: Request) -> list[str]:
@@ -70,8 +71,7 @@ class ChirpClient:
         return read_exact(self.rfile, nbytes)
 
     # -- authentication ---------------------------------------------------
-    def authenticate(self, credential: Credential) -> str:
-        """GSI handshake; returns the server-assigned user name."""
+    def _auth_handshake(self, credential: Credential) -> str:
         write_line(self.wfile, chirp.encode_request(
             Request(rtype=RequestType.AUTH, params={"mechanism": "gsi"})))
         response, _ = chirp.decode_response(read_line(self.rfile))
@@ -89,65 +89,108 @@ class ChirpClient:
         self.subject = args[0] if args else credential.subject
         return self.subject
 
+    def authenticate(self, credential: Credential) -> str:
+        """GSI handshake; returns the server-assigned user name.
+
+        The credential is remembered: any reconnect performed by the
+        retry layer re-authenticates before replaying the operation.
+        """
+        self._credential = credential
+
+        def do() -> str:
+            if self.subject is None:
+                return self._auth_handshake(credential)
+            return self.subject
+
+        return self._op("authenticate", do)
+
     # -- file operations ----------------------------------------------------
     def get(self, path: str) -> bytes:
         """Retrieve a whole file."""
-        args = self._round_trip(Request(rtype=RequestType.GET, path=path))
-        size = int(args[0])
-        return read_exact(self.rfile, size)
+
+        def do() -> bytes:
+            args = self._round_trip(Request(rtype=RequestType.GET, path=path))
+            return read_exact(self.rfile, int(args[0]))
+
+        return self._op(f"get {path}", do)
 
     def put(self, path: str, data: bytes) -> None:
-        """Store a whole file."""
-        self._round_trip(Request(rtype=RequestType.PUT, path=path,
-                                 length=len(data)))
-        self.wfile.write(data)
-        self.wfile.flush()
-        response, _ = chirp.decode_response(read_line(self.rfile))
-        if not response.ok:
-            raise ChirpError(response.status, response.message)
+        """Store a whole file (idempotent: a replay overwrites)."""
+
+        def do() -> None:
+            self._round_trip(Request(rtype=RequestType.PUT, path=path,
+                                     length=len(data)))
+            self.wfile.write(data)
+            self.wfile.flush()
+            response, _ = chirp.decode_response(read_line(self.rfile))
+            if not response.ok:
+                raise ChirpError(response.status, response.message)
+
+        self._op(f"put {path}", do)
 
     def stat(self, path: str) -> dict[str, Any]:
         """File/directory metadata."""
-        args = self._round_trip(Request(rtype=RequestType.STAT, path=path))
-        return chirp.decode_stat(args)
+
+        def do() -> dict[str, Any]:
+            args = self._round_trip(Request(rtype=RequestType.STAT, path=path))
+            return chirp.decode_stat(args)
+
+        return self._op(f"stat {path}", do)
 
     def unlink(self, path: str) -> None:
         """Delete a file."""
-        self._round_trip(Request(rtype=RequestType.DELETE, path=path))
+        self._op(f"unlink {path}", lambda: self._round_trip(
+            Request(rtype=RequestType.DELETE, path=path)))
 
     def mkdir(self, path: str) -> None:
         """Create a directory."""
-        self._round_trip(Request(rtype=RequestType.MKDIR, path=path))
+        self._op(f"mkdir {path}", lambda: self._round_trip(
+            Request(rtype=RequestType.MKDIR, path=path)))
 
     def rmdir(self, path: str) -> None:
         """Remove an empty directory."""
-        self._round_trip(Request(rtype=RequestType.RMDIR, path=path))
+        self._op(f"rmdir {path}", lambda: self._round_trip(
+            Request(rtype=RequestType.RMDIR, path=path)))
 
     def listdir(self, path: str) -> list[dict[str, Any]]:
         """Directory entries."""
-        args = self._round_trip(Request(rtype=RequestType.LIST, path=path))
-        return json.loads(self._read_payload(args))
+
+        def do() -> list[dict[str, Any]]:
+            args = self._round_trip(Request(rtype=RequestType.LIST, path=path))
+            return json.loads(self._read_payload(args))
+
+        return self._op(f"listdir {path}", do)
 
     def rename(self, path: str, new_path: str) -> None:
         """Rename/move within the server."""
-        self._round_trip(Request(rtype=RequestType.RENAME, path=path,
-                                 params={"new_path": new_path}))
+        self._op(f"rename {path}", lambda: self._round_trip(
+            Request(rtype=RequestType.RENAME, path=path,
+                    params={"new_path": new_path})))
 
     def pread(self, path: str, offset: int, length: int) -> bytes:
         """Block read at an offset (Chirp's ``read`` verb)."""
-        args = self._round_trip(Request(rtype=RequestType.READ, path=path,
-                                        offset=offset, length=length))
-        return read_exact(self.rfile, int(args[0]))
+
+        def do() -> bytes:
+            args = self._round_trip(Request(rtype=RequestType.READ, path=path,
+                                            offset=offset, length=length))
+            return read_exact(self.rfile, int(args[0]))
+
+        return self._op(f"pread {path}", do)
 
     def pwrite(self, path: str, offset: int, data: bytes) -> None:
-        """Block write at an offset (Chirp's ``write`` verb)."""
-        self._round_trip(Request(rtype=RequestType.WRITE, path=path,
-                                 offset=offset, length=len(data)))
-        self.wfile.write(data)
-        self.wfile.flush()
-        response, _ = chirp.decode_response(read_line(self.rfile))
-        if not response.ok:
-            raise ChirpError(response.status, response.message)
+        """Block write at an offset (idempotent: same bytes, same
+        offset)."""
+
+        def do() -> None:
+            self._round_trip(Request(rtype=RequestType.WRITE, path=path,
+                                     offset=offset, length=len(data)))
+            self.wfile.write(data)
+            self.wfile.flush()
+            response, _ = chirp.decode_response(read_line(self.rfile))
+            if not response.ok:
+                raise ChirpError(response.status, response.message)
+
+        self._op(f"pwrite {path}", do)
 
     # -- lots (Chirp is the only protocol with lot management) -------------
     def lot_create(self, capacity: int, duration: float,
@@ -155,56 +198,85 @@ class ChirpClient:
         """Reserve storage space; returns the lot description.
 
         ``owner`` creates a default lot for another user (including
-        ``"anonymous"``) -- an administrator operation.
+        ``"anonymous"``) -- an administrator operation.  Not idempotent
+        (a replay would reserve a second lot), so it is never retried
+        unless the policy opts in.
         """
         params: dict[str, Any] = {"capacity": capacity, "duration": duration}
         if owner:
             params["owner"] = owner
-        args = self._round_trip(Request(
-            rtype=RequestType.LOT_CREATE, params=params))
-        return {"lot_id": args[0], "capacity": int(args[1]),
-                "expires_at": float(args[2])}
+
+        def do() -> dict[str, Any]:
+            args = self._round_trip(Request(
+                rtype=RequestType.LOT_CREATE, params=params))
+            return {"lot_id": args[0], "capacity": int(args[1]),
+                    "expires_at": float(args[2])}
+
+        return self._op("lot_create", do, idempotent=False)
 
     def lot_renew(self, lot_id: str, duration: float) -> dict[str, Any]:
         """Extend a lot's duration."""
-        args = self._round_trip(Request(
-            rtype=RequestType.LOT_RENEW,
-            params={"lot_id": lot_id, "duration": duration}))
-        return {"lot_id": args[0], "capacity": int(args[1]),
-                "expires_at": float(args[2])}
+
+        def do() -> dict[str, Any]:
+            args = self._round_trip(Request(
+                rtype=RequestType.LOT_RENEW,
+                params={"lot_id": lot_id, "duration": duration}))
+            return {"lot_id": args[0], "capacity": int(args[1]),
+                    "expires_at": float(args[2])}
+
+        return self._op("lot_renew", do)
 
     def lot_delete(self, lot_id: str) -> dict[str, Any]:
         """Terminate a lot; returns orphaned paths."""
-        args = self._round_trip(Request(rtype=RequestType.LOT_DELETE,
-                                        params={"lot_id": lot_id}))
-        return json.loads(self._read_payload(args))
+
+        def do() -> dict[str, Any]:
+            args = self._round_trip(Request(rtype=RequestType.LOT_DELETE,
+                                            params={"lot_id": lot_id}))
+            return json.loads(self._read_payload(args))
+
+        return self._op("lot_delete", do, idempotent=False)
 
     def lot_attach(self, lot_id: str, prefix: str) -> None:
         """Bind a path prefix to a lot: writes under it charge there."""
-        self._round_trip(Request(rtype=RequestType.LOT_ATTACH, path=prefix,
-                                 params={"lot_id": lot_id}))
+        self._op("lot_attach", lambda: self._round_trip(
+            Request(rtype=RequestType.LOT_ATTACH, path=prefix,
+                    params={"lot_id": lot_id})))
 
     def lot_stat(self, lot_id: str) -> dict[str, Any]:
         """Describe one lot."""
-        args = self._round_trip(Request(rtype=RequestType.LOT_STAT,
-                                        params={"lot_id": lot_id}))
-        return json.loads(self._read_payload(args))
+
+        def do() -> dict[str, Any]:
+            args = self._round_trip(Request(rtype=RequestType.LOT_STAT,
+                                            params={"lot_id": lot_id}))
+            return json.loads(self._read_payload(args))
+
+        return self._op("lot_stat", do)
 
     def lot_list(self) -> list[dict[str, Any]]:
         """All of this user's lots."""
-        args = self._round_trip(Request(rtype=RequestType.LOT_LIST))
-        return json.loads(self._read_payload(args))
+
+        def do() -> list[dict[str, Any]]:
+            args = self._round_trip(Request(rtype=RequestType.LOT_LIST))
+            return json.loads(self._read_payload(args))
+
+        return self._op("lot_list", do)
 
     # -- ACLs ----------------------------------------------------------------
     def acl_set(self, path: str, subject: str, rights: str) -> None:
         """Grant/replace rights on a directory."""
-        self._round_trip(Request(rtype=RequestType.ACL_SET, path=path,
-                                 params={"subject": subject, "rights": rights}))
+        self._op("acl_set", lambda: self._round_trip(
+            Request(rtype=RequestType.ACL_SET, path=path,
+                    params={"subject": subject, "rights": rights})))
 
     def acl_get(self, path: str) -> list[list[str]]:
         """Read a directory's ACL entries."""
-        args = self._round_trip(Request(rtype=RequestType.ACL_GET, path=path))
-        return json.loads(self._read_payload(args))
+
+        def do() -> list[list[str]]:
+            args = self._round_trip(Request(rtype=RequestType.ACL_GET,
+                                            path=path))
+            return json.loads(self._read_payload(args))
+
+        return self._op("acl_get", do)
 
     # -- third-party movement ---------------------------------------------
     def thirdput(self, path: str, host: str, port: int,
@@ -213,13 +285,22 @@ class ChirpClient:
 
         Data flows server-to-server; returns bytes moved.
         """
-        args = self._round_trip(Request(
-            rtype=RequestType.THIRDPUT, path=path,
-            params={"host": host, "port": port, "remote_path": remote_path}))
-        return int(args[0])
+
+        def do() -> int:
+            args = self._round_trip(Request(
+                rtype=RequestType.THIRDPUT, path=path,
+                params={"host": host, "port": port,
+                        "remote_path": remote_path}))
+            return int(args[0])
+
+        return self._op(f"thirdput {path}", do)
 
     # -- discovery ------------------------------------------------------------
     def query(self) -> str:
         """The server's availability ClassAd (text form)."""
-        args = self._round_trip(Request(rtype=RequestType.QUERY))
-        return self._read_payload(args).decode()
+
+        def do() -> str:
+            args = self._round_trip(Request(rtype=RequestType.QUERY))
+            return self._read_payload(args).decode()
+
+        return self._op("query", do)

@@ -1,0 +1,94 @@
+"""Typed client error taxonomy: transient vs fatal.
+
+Before this layer existed the protocol clients leaked whatever the
+socket layer threw -- bare ``OSError``, ``ConnectionResetError``,
+``ValueError`` -- which made "should I retry?" a string-matching
+exercise for callers.  Now every public client operation raises either
+
+* :class:`TransientError` -- the operation *might* succeed if repeated
+  (connection reset, timeout, short read, wire corruption).  The retry
+  layer (:mod:`repro.client.retry`) consumes these internally and only
+  lets one escape as :class:`RetryExhaustedError` once the policy's
+  attempts or deadline run out; or
+* :class:`FatalError` -- the server answered and said no (not found,
+  permission denied, out of space...).  Retrying is pointless and the
+  error surfaces immediately.
+
+The per-protocol error classes (``ChirpError``, ``HttpError``...)
+subclass :class:`FatalError` so existing ``except ChirpError`` call
+sites keep working while new code can catch the taxonomy roots.
+:func:`is_transient` is the single classification point.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from repro.protocols.common import ProtocolError
+
+__all__ = [
+    "ClientError",
+    "TransientError",
+    "FatalError",
+    "RetryExhaustedError",
+    "TransferError",
+    "is_transient",
+]
+
+
+class ClientError(Exception):
+    """Root of the client-side error taxonomy."""
+
+
+class TransientError(ClientError):
+    """Network-level failure; the operation may succeed if retried."""
+
+
+class FatalError(ClientError):
+    """The server processed the request and refused it; do not retry."""
+
+
+class RetryExhaustedError(TransientError):
+    """A retryable operation failed on every attempt (or ran out of
+    deadline); ``__cause__`` carries the final underlying error and
+    :attr:`attempts` how many were made."""
+
+    def __init__(self, message: str, attempts: int = 0,
+                 last: BaseException | None = None):
+        super().__init__(message)
+        self.attempts = attempts
+        self.last = last
+
+
+class TransferError(TransientError):
+    """A data transfer failed or was truncated mid-flight (hung
+    parallel stream, short stripe, mismatched byte count)."""
+
+
+#: Exception types that always mean "the wire failed, not the server".
+_TRANSIENT_TYPES = (
+    ConnectionError,  # reset / refused / aborted / broken pipe
+    socket.timeout,  # alias of TimeoutError on 3.10+, kept for clarity
+    TimeoutError,
+    EOFError,
+    ProtocolError,  # truncated or garbled wire data
+)
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Classify an exception: True = worth retrying on a fresh
+    connection, False = surface to the caller immediately."""
+    if isinstance(exc, TransientError):
+        return True
+    if isinstance(exc, FatalError):
+        return False
+    # FTP distinguishes 4xx (transient) from 5xx (permanent) by
+    # protocol definition; honour that before the generic buckets.
+    code = getattr(exc, "code", None)
+    if isinstance(code, int) and 100 <= code <= 599:
+        return 400 <= code < 500
+    if isinstance(exc, _TRANSIENT_TYPES):
+        return True
+    if isinstance(exc, OSError):
+        return True  # unreachable host, EPIPE, EBADF after peer close...
+    return False

@@ -1,15 +1,27 @@
-"""FTP client: anonymous login, passive-mode transfers."""
+"""FTP client: anonymous login, passive-mode transfers.
+
+Transfers run under the client's retry policy: a reset or timeout on
+either the control or the data connection tears the session down,
+reconnects (replaying the login), and retries.  RETR/STOR are
+idempotent here (whole-file, overwrite semantics).  Server refusals
+surface as :class:`FtpError`; 4xx replies are classified transient per
+the FTP definition, 5xx permanent.
+"""
 
 from __future__ import annotations
 
-import socket
-
+from repro.client.base import SessionClient
+from repro.client.errors import ClientError
 from repro.protocols import ftp
-from repro.protocols.common import ProtocolError, read_line, write_line
+from repro.protocols.common import read_line, write_line
 
 
-class FtpError(Exception):
-    """An FTP command drew a failure reply."""
+class FtpError(ClientError):
+    """An FTP command drew a failure reply.
+
+    4xx codes mean "transient negative" on the wire and are retried by
+    the policy; 5xx are permanent and surface immediately.
+    """
 
     def __init__(self, code: int, text: str):
         super().__init__(f"{code} {text}")
@@ -17,36 +29,41 @@ class FtpError(Exception):
         self.text = text
 
 
-class FtpClient:
+class FtpClient(SessionClient):
     """A logged-in anonymous FTP session."""
 
+    protocol = "ftp"
+
     def __init__(self, host: str, port: int, timeout: float = 30.0,
-                 login: bool = True):
-        self.host = host
-        self.sock = socket.create_connection((host, port), timeout=timeout)
-        self.rfile = self.sock.makefile("rb")
-        self.wfile = self.sock.makefile("wb")
+                 login: bool = True, retry=None, faults=None):
+        self._auto_login = login
+        self._cwd: str | None = None
+        super().__init__(host, port, timeout=timeout, retry=retry,
+                         faults=faults)
+
+    # -- session -----------------------------------------------------------
+    def _setup_session(self) -> None:
         self._expect(ftp.READY)
-        if login:
-            self.login()
+        if self._auto_login:
+            self._do_login()
+        if self._cwd:
+            # Restore the working directory a reconnect would reset.
+            self.command(f"CWD {self._cwd}", expect=ftp.ACTION_OK)
 
-    def close(self) -> None:
-        try:
-            self.command("QUIT", expect=ftp.GOODBYE)
-        except (FtpError, ProtocolError, OSError):
-            pass
-        for stream in (self.wfile, self.rfile):
-            try:
-                stream.close()
-            except OSError:
-                pass
-        self.sock.close()
+    def _goodbye(self) -> None:
+        self.command("QUIT", expect=ftp.GOODBYE)
 
-    def __enter__(self) -> "FtpClient":
-        return self
+    def _do_login(self) -> None:
+        self.command("USER anonymous", expect=ftp.NEED_PASSWORD)
+        self.command("PASS user@example.org", expect=ftp.LOGGED_IN)
+        self.command("TYPE I", expect=200)
 
-    def __exit__(self, *exc) -> None:
-        self.close()
+    def login(self) -> None:
+        """Anonymous login (the only kind FTP supports on NeST); also
+        arms auto-re-login on any reconnect."""
+        if not self._auto_login:
+            self._auto_login = True
+            self._op("login", self._do_login)
 
     # -- control channel ----------------------------------------------------
     def _read_reply(self) -> tuple[int, str]:
@@ -78,71 +95,102 @@ class FtpClient:
         codes = (expect,) if isinstance(expect, int) else tuple(expect)
         return self._expect(*codes)
 
-    def login(self) -> None:
-        """Anonymous login (the only kind FTP supports on NeST)."""
-        self.command("USER anonymous", expect=ftp.NEED_PASSWORD)
-        self.command("PASS user@example.org", expect=ftp.LOGGED_IN)
-        self.command("TYPE I", expect=200)
-
     # -- data channel ----------------------------------------------------------
-    def _open_passive(self) -> socket.socket:
+    def _open_passive(self):
+        """PASV + dial the data port, honouring the configured timeout
+        and the fault plan (the hardcoded ``timeout=30`` that ignored
+        the constructor's setting is gone)."""
         _, text = self.command("PASV", expect=ftp.PASSIVE)
         host, port = ftp.parse_pasv_reply(text)
-        return socket.create_connection((host, port), timeout=30)
+        return self._dial(host, port)
+
+    def _drain(self, data_sock) -> bytes:
+        chunks = []
+        while True:
+            chunk = data_sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+        return b"".join(chunks)
 
     def retr(self, path: str) -> bytes:
         """Download a file (passive, stream mode)."""
-        data_sock = self._open_passive()
-        self.command(f"RETR {path}", expect=ftp.OPENING_DATA)
-        chunks = []
-        with data_sock:
-            while True:
-                chunk = data_sock.recv(65536)
-                if not chunk:
-                    break
-                chunks.append(chunk)
-        self._expect(ftp.TRANSFER_OK)
-        return b"".join(chunks)
+
+        def do() -> bytes:
+            data_sock = self._open_passive()
+            try:
+                self.command(f"RETR {path}", expect=ftp.OPENING_DATA)
+                with data_sock:
+                    data = self._drain(data_sock)
+            except BaseException:
+                data_sock.close()
+                raise
+            self._expect(ftp.TRANSFER_OK)
+            return data
+
+        return self._op(f"retr {path}", do)
 
     def stor(self, path: str, data: bytes) -> None:
-        """Upload a file (passive, stream mode)."""
-        data_sock = self._open_passive()
-        self.command(f"STOR {path}", expect=ftp.OPENING_DATA)
-        with data_sock:
-            data_sock.sendall(data)
-        self._expect(ftp.TRANSFER_OK)
+        """Upload a file (passive, stream mode; replay overwrites)."""
+
+        def do() -> None:
+            data_sock = self._open_passive()
+            try:
+                self.command(f"STOR {path}", expect=ftp.OPENING_DATA)
+                with data_sock:
+                    data_sock.sendall(data)
+            except BaseException:
+                data_sock.close()
+                raise
+            self._expect(ftp.TRANSFER_OK)
+
+        self._op(f"stor {path}", do)
 
     def list(self, path: str = "") -> str:
         """Directory listing text."""
-        data_sock = self._open_passive()
-        self.command(f"LIST {path}".strip(), expect=ftp.OPENING_DATA)
-        chunks = []
-        with data_sock:
-            while True:
-                chunk = data_sock.recv(65536)
-                if not chunk:
-                    break
-                chunks.append(chunk)
-        self._expect(ftp.TRANSFER_OK)
-        return b"".join(chunks).decode()
+
+        def do() -> str:
+            data_sock = self._open_passive()
+            try:
+                self.command(f"LIST {path}".strip(), expect=ftp.OPENING_DATA)
+                with data_sock:
+                    listing = self._drain(data_sock)
+            except BaseException:
+                data_sock.close()
+                raise
+            self._expect(ftp.TRANSFER_OK)
+            return listing.decode()
+
+        return self._op("list", do)
 
     # -- metadata -----------------------------------------------------------
     def mkd(self, path: str) -> None:
-        self.command(f"MKD {path}", expect=ftp.PATH_CREATED)
+        self._op(f"mkd {path}", lambda: self.command(
+            f"MKD {path}", expect=ftp.PATH_CREATED))
 
     def rmd(self, path: str) -> None:
-        self.command(f"RMD {path}", expect=ftp.ACTION_OK)
+        self._op(f"rmd {path}", lambda: self.command(
+            f"RMD {path}", expect=ftp.ACTION_OK))
 
     def dele(self, path: str) -> None:
-        self.command(f"DELE {path}", expect=ftp.ACTION_OK)
+        self._op(f"dele {path}", lambda: self.command(
+            f"DELE {path}", expect=ftp.ACTION_OK))
 
     def size(self, path: str) -> int:
-        _, text = self.command(f"SIZE {path}", expect=213)
-        return int(text)
+        def do() -> int:
+            _, text = self.command(f"SIZE {path}", expect=213)
+            return int(text)
+
+        return self._op(f"size {path}", do)
 
     def cwd(self, path: str) -> None:
-        self.command(f"CWD {path}", expect=ftp.ACTION_OK)
+        self._op(f"cwd {path}", lambda: self.command(
+            f"CWD {path}", expect=ftp.ACTION_OK))
+        self._cwd = path
 
     def pwd(self) -> str:
-        _, text = self.command("PWD", expect=ftp.PATH_CREATED)
-        return text.strip().strip('"')
+        def do() -> str:
+            _, text = self.command("PWD", expect=ftp.PATH_CREATED)
+            return text.strip().strip('"')
+
+        return self._op("pwd", do)

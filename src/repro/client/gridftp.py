@@ -1,12 +1,21 @@
 """GridFTP client: GSI auth, parallel extended-block transfers, and
-third-party transfers between two servers (paper, section 6 step 3)."""
+third-party transfers between two servers (paper, section 6 step 3).
+
+Hardening notes (PR 2): parallel-stream workers are joined against the
+client's configured timeout and any lane that fails to finish raises
+:class:`~repro.client.errors.TransferError` -- previously a hung stream
+was silently dropped and the assembled file truncated with success
+status.  Data connections honour the constructor timeout instead of a
+hardcoded 30s, and the whole session (AUTH + login + MODE E +
+parallelism) is replayed on retry reconnects.
+"""
 
 from __future__ import annotations
 
 import base64
-import socket
 import threading
 
+from repro.client.errors import TransferError
 from repro.client.ftp import FtpClient, FtpError
 from repro.nest.auth import Credential, GSIContext
 from repro.protocols import ftp, gridftp
@@ -15,17 +24,30 @@ from repro.protocols import ftp, gridftp
 class GridFtpClient(FtpClient):
     """An FTP session with the GridFTP extensions."""
 
+    protocol = "gridftp"
+
     def __init__(self, host: str, port: int, timeout: float = 30.0,
-                 credential: Credential | None = None):
-        super().__init__(host, port, timeout=timeout, login=False)
-        if credential is not None:
-            self.authenticate(credential)
-        self.login()
+                 credential: Credential | None = None, retry=None,
+                 faults=None):
+        self.credential = credential
         self.parallelism = 1
+        self._mode_e = False
+        super().__init__(host, port, timeout=timeout, login=True,
+                         retry=retry, faults=faults)
+
+    # -- session -----------------------------------------------------------
+    def _setup_session(self) -> None:
+        self._expect(ftp.READY)
+        if self.credential is not None:
+            self._do_auth(self.credential)
+        self._do_login()
+        if self._cwd:
+            self.command(f"CWD {self._cwd}", expect=ftp.ACTION_OK)
+        if self._mode_e:
+            self._negotiate_mode_e(self.parallelism)
 
     # -- GSI ------------------------------------------------------------------
-    def authenticate(self, credential: Credential) -> None:
-        """AUTH GSSAPI + two ADAT exchanges (toy-GSI handshake)."""
+    def _do_auth(self, credential: Credential) -> None:
         self.command("AUTH GSSAPI", expect=334)
         cert = base64.b64encode(GSIContext.initiate(credential)).decode()
         code, text = self.command(f"ADAT {cert}", expect=ftp.AUTH_CONTINUE)
@@ -35,12 +57,23 @@ class GridFtpClient(FtpClient):
             GSIContext.respond(credential, challenge)).decode()
         self.command(f"ADAT {response}", expect=ftp.AUTH_OK)
 
+    def authenticate(self, credential: Credential) -> None:
+        """AUTH GSSAPI + two ADAT exchanges (toy-GSI handshake); the
+        credential is replayed on reconnect."""
+        self.credential = credential
+        self._op("authenticate", lambda: self._do_auth(credential))
+
     # -- parallel extended-block transfers ------------------------------------
-    def set_parallelism(self, streams: int) -> None:
-        """Negotiate MODE E with N parallel data streams."""
+    def _negotiate_mode_e(self, streams: int) -> None:
         self.command("MODE E", expect=200)
         self.command(f"OPTS {gridftp.format_opts_retr(streams)}", expect=200)
+
+    def set_parallelism(self, streams: int) -> None:
+        """Negotiate MODE E with N parallel data streams."""
+        self._op("set_parallelism",
+                 lambda: self._negotiate_mode_e(streams))
         self.parallelism = streams
+        self._mode_e = True
 
     def _spas_endpoints(self) -> list[tuple[str, int]]:
         _, text = self.command("SPAS", expect=229)
@@ -53,80 +86,115 @@ class GridFtpClient(FtpClient):
                                   nums[4] * 256 + nums[5]))
         return endpoints
 
+    def _join_lanes(self, threads: list[threading.Thread],
+                    conns: list, errors: list[BaseException]) -> None:
+        """Join the lane workers against the configured timeout.
+
+        A lane that has not finished when the timeout expires is a hung
+        stream: close every lane socket (unblocking the worker) and
+        raise :class:`TransferError` instead of silently returning a
+        truncated byte range with success status.
+        """
+        deadline = self.timeout
+        for t in threads:
+            t.join(timeout=deadline)
+        hung = [t for t in threads if t.is_alive()]
+        if hung:
+            for conn in conns:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+            raise TransferError(
+                f"{len(hung)} of {len(threads)} parallel stream(s) hung "
+                f"past {deadline:.1f}s; transfer would be truncated")
+        if errors:
+            raise TransferError(f"parallel stream failed: {errors[0]}")
+
     def retr_parallel(self, path: str) -> bytes:
         """Download over ``parallelism`` striped streams."""
-        endpoints = self._spas_endpoints()
-        self.command(f"RETR {path}", expect=ftp.OPENING_DATA)
-        blocks: dict[int, bytes] = {}
-        lock = threading.Lock()
-        errors: list[BaseException] = []
 
-        def lane(endpoint: tuple[str, int]) -> None:
-            try:
-                conn = socket.create_connection(endpoint, timeout=30)
-                stream = conn.makefile("rb")
+        def do() -> bytes:
+            endpoints = self._spas_endpoints()
+            self.command(f"RETR {path}", expect=ftp.OPENING_DATA)
+            blocks: dict[int, bytes] = {}
+            lock = threading.Lock()
+            errors: list[BaseException] = []
+            conns: list = []
+
+            def lane(endpoint: tuple[str, int]) -> None:
                 try:
-                    for offset, payload in gridftp.iter_blocks(stream):
-                        with lock:
-                            blocks[offset] = payload
-                finally:
-                    stream.close()
-                    conn.close()
-            except BaseException as exc:  # noqa: BLE001
-                errors.append(exc)
+                    conn = self._dial(*endpoint)
+                    with lock:
+                        conns.append(conn)
+                    stream = conn.makefile("rb")
+                    try:
+                        for offset, payload in gridftp.iter_blocks(stream):
+                            with lock:
+                                blocks[offset] = payload
+                    finally:
+                        stream.close()
+                        conn.close()
+                except BaseException as exc:  # noqa: BLE001 - checked in join
+                    errors.append(exc)
 
-        threads = [threading.Thread(target=lane, args=(ep,), daemon=True)
-                   for ep in endpoints]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join(timeout=60)
-        self._expect(ftp.TRANSFER_OK)
-        if errors:
-            raise FtpError(ftp.ACTION_FAILED, str(errors[0]))
-        out = bytearray()
-        for offset in sorted(blocks):
-            payload = blocks[offset]
-            if offset + len(payload) > len(out):
-                out.extend(b"\x00" * (offset + len(payload) - len(out)))
-            out[offset:offset + len(payload)] = payload
-        return bytes(out)
+            threads = [threading.Thread(target=lane, args=(ep,), daemon=True)
+                       for ep in endpoints]
+            for t in threads:
+                t.start()
+            self._join_lanes(threads, conns, errors)
+            self._expect(ftp.TRANSFER_OK)
+            out = bytearray()
+            for offset in sorted(blocks):
+                payload = blocks[offset]
+                if offset + len(payload) > len(out):
+                    out.extend(b"\x00" * (offset + len(payload) - len(out)))
+                out[offset:offset + len(payload)] = payload
+            return bytes(out)
+
+        return self._op(f"retr_parallel {path}", do)
 
     def stor_parallel(self, path: str, data: bytes) -> None:
         """Upload over ``parallelism`` striped streams."""
-        endpoints = self._spas_endpoints()
-        self.command(f"STOR {path}", expect=ftp.OPENING_DATA)
-        lanes = gridftp.stripe_ranges(len(data), len(endpoints), 256 * 1024)
-        errors: list[BaseException] = []
 
-        def lane(endpoint: tuple[str, int], extents, last: bool) -> None:
-            try:
-                conn = socket.create_connection(endpoint, timeout=30)
-                out = conn.makefile("wb")
+        def do() -> None:
+            endpoints = self._spas_endpoints()
+            self.command(f"STOR {path}", expect=ftp.OPENING_DATA)
+            lanes = gridftp.stripe_ranges(len(data), len(endpoints),
+                                          256 * 1024)
+            errors: list[BaseException] = []
+            conns: list = []
+            lock = threading.Lock()
+
+            def lane(endpoint: tuple[str, int], extents, last: bool) -> None:
                 try:
-                    for offset, length in extents:
-                        gridftp.write_block(out, offset,
-                                            data[offset:offset + length])
-                    gridftp.write_eod(out, eof=last)
-                    out.flush()
-                finally:
-                    out.close()
-                    conn.close()
-            except BaseException as exc:  # noqa: BLE001
-                errors.append(exc)
+                    conn = self._dial(*endpoint)
+                    with lock:
+                        conns.append(conn)
+                    out = conn.makefile("wb")
+                    try:
+                        for offset, length in extents:
+                            gridftp.write_block(out, offset,
+                                                data[offset:offset + length])
+                        gridftp.write_eod(out, eof=last)
+                        out.flush()
+                    finally:
+                        out.close()
+                        conn.close()
+                except BaseException as exc:  # noqa: BLE001 - checked in join
+                    errors.append(exc)
 
-        threads = [
-            threading.Thread(target=lane, args=(ep, lanes[i], i == 0),
-                             daemon=True)
-            for i, ep in enumerate(endpoints)
-        ]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join(timeout=60)
-        self._expect(ftp.TRANSFER_OK)
-        if errors:
-            raise FtpError(ftp.ACTION_FAILED, str(errors[0]))
+            threads = [
+                threading.Thread(target=lane, args=(ep, lanes[i], i == 0),
+                                 daemon=True)
+                for i, ep in enumerate(endpoints)
+            ]
+            for t in threads:
+                t.start()
+            self._join_lanes(threads, conns, errors)
+            self._expect(ftp.TRANSFER_OK)
+
+        self._op(f"stor_parallel {path}", do)
 
 
 def third_party_transfer(

@@ -18,11 +18,17 @@ from repro.client.ftp import FtpClient
 from repro.client.gridftp import GridFtpClient
 from repro.client.http import HttpClient
 from repro.client.nfs import NfsClient
+from repro.client.retry import RetryPolicy
+from repro.faults import FaultPlan
 from repro.nest.auth import Credential
 
 
 class NestClient:
-    """Management via Chirp + data via a chosen transfer protocol."""
+    """Management via Chirp + data via a chosen transfer protocol.
+
+    ``retry`` and ``faults`` are threaded through to both underlying
+    sessions, so one policy governs the facade end to end.
+    """
 
     def __init__(
         self,
@@ -30,6 +36,8 @@ class NestClient:
         ports: dict[str, int],
         data_protocol: str = "chirp",
         credential: Credential | None = None,
+        retry: RetryPolicy | None = None,
+        faults: FaultPlan | None = None,
     ):
         if data_protocol not in ("chirp", "http", "ftp", "gridftp", "nfs"):
             raise ValueError(f"unknown data protocol {data_protocol!r}")
@@ -37,7 +45,10 @@ class NestClient:
         self.ports = dict(ports)
         self.data_protocol = data_protocol
         self.credential = credential
-        self.chirp = ChirpClient(host, self.ports["chirp"])
+        self.retry = retry
+        self.faults = faults
+        self.chirp = ChirpClient(host, self.ports["chirp"], retry=retry,
+                                 faults=faults)
         if credential is not None:
             self.chirp.authenticate(credential)
         self._data = self._open_data_client()
@@ -45,15 +56,17 @@ class NestClient:
     def _open_data_client(self):
         proto = self.data_protocol
         port = self.ports[proto]
+        kwargs = {"retry": self.retry, "faults": self.faults}
         if proto == "chirp":
             return self.chirp
         if proto == "http":
-            return HttpClient(self.host, port)
+            return HttpClient(self.host, port, **kwargs)
         if proto == "ftp":
-            return FtpClient(self.host, port)
+            return FtpClient(self.host, port, **kwargs)
         if proto == "gridftp":
-            return GridFtpClient(self.host, port, credential=self.credential)
-        return NfsClient(self.host, port)
+            return GridFtpClient(self.host, port, credential=self.credential,
+                                 **kwargs)
+        return NfsClient(self.host, port, **kwargs)
 
     def close(self) -> None:
         if self._data is not self.chirp:

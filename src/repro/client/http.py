@@ -1,10 +1,16 @@
-"""HTTP client (GET/PUT/HEAD/DELETE with keep-alive)."""
+"""HTTP client (GET/PUT/HEAD/DELETE with keep-alive).
+
+Stateless protocol, so retries are simple: any transient wire failure
+reconnects and replays the request under the retry policy.  Non-2xx
+responses raise :class:`HttpError`, a fatal (non-retried) error.
+"""
 
 from __future__ import annotations
 
-import socket
 from typing import Any
 
+from repro.client.base import SessionClient
+from repro.client.errors import FatalError
 from repro.protocols import http
 from repro.protocols.common import (
     Request,
@@ -14,7 +20,7 @@ from repro.protocols.common import (
 )
 
 
-class HttpError(Exception):
+class HttpError(FatalError):
     """Non-2xx response."""
 
     def __init__(self, status: Status, message: str = ""):
@@ -22,27 +28,10 @@ class HttpError(Exception):
         self.status = status
 
 
-class HttpClient:
+class HttpClient(SessionClient):
     """A keep-alive HTTP session against one server."""
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0):
-        self.sock = socket.create_connection((host, port), timeout=timeout)
-        self.rfile = self.sock.makefile("rb")
-        self.wfile = self.sock.makefile("wb")
-
-    def close(self) -> None:
-        for stream in (self.wfile, self.rfile):
-            try:
-                stream.close()
-            except OSError:
-                pass
-        self.sock.close()
-
-    def __enter__(self) -> "HttpClient":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.close()
+    protocol = "http"
 
     def _check(self, resp) -> None:
         if not resp.ok:
@@ -50,32 +39,52 @@ class HttpClient:
 
     def get(self, path: str) -> bytes:
         """GET a whole file."""
-        http.write_request(self.wfile, Request(rtype=RequestType.GET, path=path))
-        resp, headers = http.read_response_head(self.rfile)
-        self._check(resp)
-        return read_exact(self.rfile, int(headers.get("content-length", "0")))
+
+        def do() -> bytes:
+            http.write_request(self.wfile,
+                               Request(rtype=RequestType.GET, path=path))
+            resp, headers = http.read_response_head(self.rfile)
+            self._check(resp)
+            return read_exact(self.rfile,
+                              int(headers.get("content-length", "0")))
+
+        return self._op(f"get {path}", do)
 
     def put(self, path: str, data: bytes) -> None:
-        """PUT a whole file."""
-        http.write_request(self.wfile, Request(rtype=RequestType.PUT, path=path,
-                                               length=len(data)))
-        self.wfile.write(data)
-        self.wfile.flush()
-        resp, headers = http.read_response_head(self.rfile)
-        self._check(resp)
-        read_exact(self.rfile, int(headers.get("content-length", "0")))
+        """PUT a whole file (idempotent: a replay overwrites)."""
+
+        def do() -> None:
+            http.write_request(self.wfile,
+                               Request(rtype=RequestType.PUT, path=path,
+                                       length=len(data)))
+            self.wfile.write(data)
+            self.wfile.flush()
+            resp, headers = http.read_response_head(self.rfile)
+            self._check(resp)
+            read_exact(self.rfile, int(headers.get("content-length", "0")))
+
+        self._op(f"put {path}", do)
 
     def head(self, path: str) -> dict[str, Any]:
         """HEAD: size without the body."""
-        http.write_request(self.wfile, Request(rtype=RequestType.STAT, path=path))
-        resp, headers = http.read_response_head(self.rfile)
-        self._check(resp)
-        return {"size": int(headers.get("content-length", "0"))}
+
+        def do() -> dict[str, Any]:
+            http.write_request(self.wfile,
+                               Request(rtype=RequestType.STAT, path=path))
+            resp, headers = http.read_response_head(self.rfile)
+            self._check(resp)
+            return {"size": int(headers.get("content-length", "0"))}
+
+        return self._op(f"head {path}", do)
 
     def delete(self, path: str) -> None:
         """DELETE a file."""
-        http.write_request(self.wfile, Request(rtype=RequestType.DELETE,
-                                               path=path))
-        resp, headers = http.read_response_head(self.rfile)
-        self._check(resp)
-        read_exact(self.rfile, int(headers.get("content-length", "0")))
+
+        def do() -> None:
+            http.write_request(self.wfile,
+                               Request(rtype=RequestType.DELETE, path=path))
+            resp, headers = http.read_response_head(self.rfile)
+            self._check(resp)
+            read_exact(self.rfile, int(headers.get("content-length", "0")))
+
+        self._op(f"delete {path}", do)

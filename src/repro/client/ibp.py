@@ -1,41 +1,30 @@
-"""IBP client: allocate, store, load, manage via capabilities."""
+"""IBP client: allocate, store, load, manage via capabilities.
+
+Retry semantics respect IBP's model: ``load``/``probe``/``status`` are
+idempotent and retried; ``allocate``, ``store`` (append-only!),
+``increment`` and ``decrement`` are **not** -- a replay would double
+their effect, so a transient failure mid-operation surfaces as a typed
+:class:`~repro.client.errors.TransientError` instead of being retried.
+"""
 
 from __future__ import annotations
 
-import socket
 from typing import Any
 
+from repro.client.base import SessionClient
 from repro.protocols import ibp
-from repro.protocols.common import ProtocolError, read_exact, read_line, write_line
+from repro.protocols.common import read_exact, read_line, write_line
 from repro.protocols.ibp import IbpError  # re-exported for callers
 
 
-class IbpClient:
+class IbpClient(SessionClient):
     """A connection to an IBP depot (a NeST serving the IBP dialect)."""
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0):
-        self.sock = socket.create_connection((host, port), timeout=timeout)
-        self.rfile = self.sock.makefile("rb")
-        self.wfile = self.sock.makefile("wb")
+    protocol = "ibp"
 
-    def close(self) -> None:
-        try:
-            write_line(self.wfile, "quit")
-            read_line(self.rfile)
-        except (ProtocolError, OSError):
-            pass
-        for stream in (self.wfile, self.rfile):
-            try:
-                stream.close()
-            except OSError:
-                pass
-        self.sock.close()
-
-    def __enter__(self) -> "IbpClient":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.close()
+    def _goodbye(self) -> None:
+        write_line(self.wfile, "quit")
+        read_line(self.rfile)
 
     def _round_trip(self, line: str) -> list[str]:
         write_line(self.wfile, line)
@@ -44,49 +33,87 @@ class IbpClient:
     # -- operations ----------------------------------------------------------
     def allocate(self, size: int, duration: float,
                  atype: str = ibp.STABLE) -> dict[str, str]:
-        """Allocate a byte array; returns the three capabilities."""
-        args = self._round_trip(f"allocate {size} {duration} {atype}")
-        return {"read": args[0], "write": args[1], "manage": args[2]}
+        """Allocate a byte array; returns the three capabilities.
+
+        Not retried: a replayed allocate would leak a second
+        allocation the caller never learns about.
+        """
+
+        def do() -> dict[str, str]:
+            args = self._round_trip(f"allocate {size} {duration} {atype}")
+            return {"read": args[0], "write": args[1], "manage": args[2]}
+
+        return self._op("allocate", do, idempotent=False)
 
     def store(self, write_cap: str, data: bytes) -> int:
-        """Append ``data``; returns the allocation's new used count."""
-        write_line(self.wfile, f"store {write_cap} {len(data)}")
-        self.wfile.write(data)
-        self.wfile.flush()
-        args = ibp.parse_reply(read_line(self.rfile))
-        return int(args[0])
+        """Append ``data``; returns the allocation's new used count.
+
+        Append-only, hence never replayed automatically.
+        """
+
+        def do() -> int:
+            write_line(self.wfile, f"store {write_cap} {len(data)}")
+            self.wfile.write(data)
+            self.wfile.flush()
+            args = ibp.parse_reply(read_line(self.rfile))
+            return int(args[0])
+
+        return self._op("store", do, idempotent=False)
 
     def load(self, read_cap: str, offset: int = 0, nbytes: int = 1 << 30) -> bytes:
         """Read a range of the allocation."""
-        args = self._round_trip(f"load {read_cap} {offset} {nbytes}")
-        return read_exact(self.rfile, int(args[0]))
+
+        def do() -> bytes:
+            args = self._round_trip(f"load {read_cap} {offset} {nbytes}")
+            return read_exact(self.rfile, int(args[0]))
+
+        return self._op("load", do)
 
     def probe(self, manage_cap: str) -> dict[str, Any]:
         """Allocation status."""
-        args = self._round_trip(f"probe {manage_cap}")
-        return {
-            "size": int(args[0]),
-            "used": int(args[1]),
-            "expires_at": float(args[2]),
-            "type": args[3],
-            "refcount": int(args[4]),
-        }
+
+        def do() -> dict[str, Any]:
+            args = self._round_trip(f"probe {manage_cap}")
+            return {
+                "size": int(args[0]),
+                "used": int(args[1]),
+                "expires_at": float(args[2]),
+                "type": args[3],
+                "refcount": int(args[4]),
+            }
+
+        return self._op("probe", do)
 
     def extend(self, manage_cap: str, duration: float) -> float:
         """Extend a stable allocation; returns the new expiry."""
-        args = self._round_trip(f"extend {manage_cap} {duration}")
-        return float(args[0])
+
+        def do() -> float:
+            args = self._round_trip(f"extend {manage_cap} {duration}")
+            return float(args[0])
+
+        return self._op("extend", do)
 
     def increment(self, manage_cap: str) -> int:
-        """Add a reference; returns the refcount."""
-        return int(self._round_trip(f"increment {manage_cap}")[0])
+        """Add a reference; returns the refcount (not replayed)."""
+        return self._op(
+            "increment",
+            lambda: int(self._round_trip(f"increment {manage_cap}")[0]),
+            idempotent=False)
 
     def decrement(self, manage_cap: str) -> int:
-        """Drop a reference; at zero the allocation is freed."""
-        return int(self._round_trip(f"decrement {manage_cap}")[0])
+        """Drop a reference; at zero the allocation is freed (not
+        replayed)."""
+        return self._op(
+            "decrement",
+            lambda: int(self._round_trip(f"decrement {manage_cap}")[0]),
+            idempotent=False)
 
     def status(self) -> dict[str, int]:
         """Depot-wide capacity numbers."""
-        args = self._round_trip("status")
-        return {"total": int(args[0]), "used": int(args[1]),
-                "volatile": int(args[2])}
+
+        def do() -> dict[str, int]:
+            args = self._round_trip("status")
+            return {"total": int(args[0]), "used": int(args[1]),
+                    "volatile": int(args[2])}
+
+        return self._op("status", do)

@@ -1,0 +1,133 @@
+"""Client retry policy: exponential backoff + jitter + deadline.
+
+The policy is deliberately dumb and deterministic-when-seeded: a
+geometric backoff schedule, full-jitter within each step, a wall-clock
+deadline, and **idempotency awareness** -- a non-idempotent operation
+(e.g. IBP's append-only ``store``) is never replayed unless the caller
+opts in, because the first attempt may have partially applied.
+
+The policy itself knows nothing about sockets; the session clients
+(:mod:`repro.client.base`) feed it an ``attempt`` callable plus a
+``reset`` callable that tears down and re-dials the connection between
+attempts.  Classification of failures is delegated to
+:func:`repro.client.errors.is_transient`.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, TypeVar
+
+from repro.client.errors import (
+    FatalError,
+    RetryExhaustedError,
+    TransientError,
+    is_transient,
+)
+
+__all__ = ["RetryPolicy", "NO_RETRY"]
+
+T = TypeVar("T")
+
+
+@dataclass
+class RetryPolicy:
+    """How a client handles transient failures.
+
+    ``max_attempts`` counts the first try: 3 means "one try plus two
+    retries".  ``deadline`` bounds the whole operation (connect +
+    attempts + backoff sleeps) in seconds; ``None`` disables it.
+    ``jitter`` is the full-jitter fraction: each sleep is drawn
+    uniformly from ``[delay * (1 - jitter), delay]`` using the seeded
+    RNG, so tests are reproducible.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    deadline: Optional[float] = 30.0
+    #: replay operations whose first attempt may have partially applied
+    #: (appends, allocations).  Off by default -- correctness first.
+    retry_non_idempotent: bool = False
+    seed: int = 0
+    _rng: random.Random = field(init=False, repr=False, compare=False,
+                                default=None)  # type: ignore[assignment]
+    clock: Callable[[], float] = field(default=time.monotonic, repr=False,
+                                       compare=False)
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False,
+                                           compare=False)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self._rng = random.Random(self.seed)
+
+    # -- schedule ----------------------------------------------------------
+    def backoff(self, attempt: int) -> float:
+        """Sleep before retry number ``attempt`` (1-based), jittered."""
+        delay = min(self.base_delay * (self.multiplier ** (attempt - 1)),
+                    self.max_delay)
+        if self.jitter > 0:
+            delay *= 1.0 - self.jitter * self._rng.random()
+        return delay
+
+    # -- execution ---------------------------------------------------------
+    def call(
+        self,
+        attempt: Callable[[], T],
+        *,
+        idempotent: bool = True,
+        reset: Callable[[], None] | None = None,
+        classify: Callable[[BaseException], bool] = is_transient,
+        label: str = "operation",
+    ) -> T:
+        """Run ``attempt`` under this policy.
+
+        Transient failures tear the session down (``reset``), back off,
+        and retry while attempts and deadline allow.  Fatal failures --
+        and transient ones on non-idempotent operations, unless
+        ``retry_non_idempotent`` -- re-raise immediately.  When the
+        budget runs out, :class:`RetryExhaustedError` chains the last
+        underlying failure.
+        """
+        start = self.clock()
+        last: BaseException | None = None
+        attempts = 0
+        while attempts < self.max_attempts:
+            attempts += 1
+            try:
+                return attempt()
+            except BaseException as exc:  # noqa: BLE001 - reclassified below
+                if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                    raise
+                if not classify(exc):
+                    raise
+                last = exc
+                if reset is not None:
+                    reset()
+                if not idempotent and not self.retry_non_idempotent:
+                    raise TransientError(
+                        f"{label} failed and is not idempotent "
+                        f"(not retried): {exc}") from exc
+                if attempts >= self.max_attempts:
+                    break
+                delay = self.backoff(attempts)
+                if self.deadline is not None and (
+                        self.clock() - start + delay > self.deadline):
+                    raise RetryExhaustedError(
+                        f"{label}: deadline of {self.deadline:.3f}s exhausted "
+                        f"after {attempts} attempt(s): {exc}",
+                        attempts=attempts, last=exc) from exc
+                self.sleep(delay)
+        raise RetryExhaustedError(
+            f"{label}: all {attempts} attempt(s) failed: {last}",
+            attempts=attempts, last=last) from last
+
+
+#: A policy that never retries but still applies the typed-error
+#: conversion (attempt once, classify, surface).
+NO_RETRY = RetryPolicy(max_attempts=1, deadline=None)

@@ -1,0 +1,31 @@
+"""Fault injection for the live NeST stack (chaos substrate).
+
+See :mod:`repro.faults.plan` for the model.  Quick use::
+
+    plan = FaultPlan.reset_once(after_bytes=1024)
+    server = NestServer(config, faults=plan)          # server-side
+    client = ChirpClient(host, port, faults=plan)     # or client-side
+
+Every future chaos / soak scenario plugs in here rather than
+monkeypatching sockets.
+"""
+
+from repro.faults.plan import (
+    FaultAction,
+    FaultEvent,
+    FaultInjected,
+    FaultPlan,
+    FaultRule,
+    FaultySocket,
+    FaultyStream,
+)
+
+__all__ = [
+    "FaultAction",
+    "FaultEvent",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultRule",
+    "FaultySocket",
+    "FaultyStream",
+]

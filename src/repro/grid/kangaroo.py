@@ -22,7 +22,9 @@ import threading
 import time
 from dataclasses import dataclass, field
 
-from repro.client.chirp import ChirpClient, ChirpError
+from repro.client.chirp import ChirpClient
+from repro.client.errors import ClientError
+from repro.client.retry import NO_RETRY
 from repro.nest.auth import Credential
 
 
@@ -113,7 +115,10 @@ class KangarooMover:
         while entry.attempts < self.max_attempts:
             entry.attempts += 1
             try:
-                client = ChirpClient(self.host, self.chirp_port, timeout=5.0)
+                # NO_RETRY: the spool loop *is* the retry policy here,
+                # with its own attempt budget and backoff.
+                client = ChirpClient(self.host, self.chirp_port, timeout=5.0,
+                                     retry=NO_RETRY)
                 try:
                     if self.credential is not None:
                         client.authenticate(self.credential)
@@ -122,7 +127,7 @@ class KangarooMover:
                     return
                 finally:
                     client.close()
-            except (ChirpError, OSError):
+            except (ClientError, OSError):
                 # The destination is down or refused: back off and
                 # retry -- the whole point of spooling.
                 self.stats.retries += 1

@@ -3,16 +3,21 @@
 Each native server owns a listener and spawns a thread per connection,
 pumping bytes *directly* -- no transfer manager, no scheduler, exactly
 one protocol.  This base class is intentionally thin: the servers are
-meant to be independent daemons, not a framework.
+meant to be independent daemons, not a framework -- but like the NeST
+dispatcher it tracks its live connections, accepts an optional
+:class:`~repro.faults.FaultPlan`, and drains gracefully on ``stop``.
 """
 
 from __future__ import annotations
 
 import socket
 import threading
+import time
 
+from repro.faults import FaultPlan
 from repro.jbos.store import SimpleStore
 from repro.jbos.throttle import Throttle, Unthrottled
+from repro.protocols.common import ProtocolError
 
 
 class NativeServer:
@@ -26,15 +31,20 @@ class NativeServer:
         host: str = "127.0.0.1",
         port: int = 0,
         throttle: Throttle | None = None,
+        faults: FaultPlan | None = None,
     ):
         self.store = store if store is not None else SimpleStore()
         self.host = host
         self._requested_port = port
         self.port: int | None = None
         self.throttle = throttle if throttle is not None else Unthrottled()
+        self.faults = faults
         self._listener: socket.socket | None = None
         self._thread: threading.Thread | None = None
         self._running = False
+        #: live connections: socket -> its handler thread.
+        self._conn_lock = threading.Lock()
+        self._connections: dict[socket.socket, threading.Thread] = {}
 
     # -- lifecycle ----------------------------------------------------------
     def start(self) -> "NativeServer":
@@ -52,12 +62,45 @@ class NativeServer:
         self._thread.start()
         return self
 
-    def stop(self) -> None:
+    def stop(self, drain_timeout: float = 5.0) -> dict[str, int]:
+        """Stop accepting, give live connections ``drain_timeout``
+        seconds to finish, then force-close the rest.  Returns
+        ``{"drained": 0|1, "forced": n}`` like ``NestServer.stop``.
+        """
         self._running = False
         if self._listener is not None:
             self._listener.close()
         if self._thread is not None:
             self._thread.join(timeout=2)
+
+        deadline = time.monotonic() + max(drain_timeout, 0.0)
+        while time.monotonic() < deadline:
+            with self._conn_lock:
+                if not self._connections:
+                    break
+            time.sleep(0.01)
+
+        with self._conn_lock:
+            stragglers = list(self._connections.items())
+        for conn, _thread in stragglers:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for conn, thread in stragglers:
+            thread.join(timeout=2)
+            with self._conn_lock:
+                self._connections.pop(conn, None)
+        return {"drained": int(not stragglers), "forced": len(stragglers)}
+
+    def active_connections(self) -> int:
+        """How many connections are currently being served."""
+        with self._conn_lock:
+            return len(self._connections)
 
     def __enter__(self) -> "NativeServer":
         return self.start()
@@ -74,21 +117,40 @@ class NativeServer:
                 continue
             except OSError:
                 return
-            threading.Thread(
+            if self.faults is not None:
+                wrapped = self.faults.wrap_accept(
+                    conn, label=f"jbos-{self.protocol}")
+                if wrapped is None:
+                    continue  # accept fault: connection already closed
+                conn = wrapped
+            if not self._running:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+                return
+            thread = threading.Thread(
                 target=self._safe_handle, args=(conn, addr),
                 name=f"jbos-{self.protocol}-conn", daemon=True,
-            ).start()
+            )
+            with self._conn_lock:
+                self._connections[conn] = thread
+            thread.start()
 
     def _safe_handle(self, conn: socket.socket, addr) -> None:
         try:
             self.handle(conn, addr)
-        except (OSError, ValueError):
+        except (OSError, ValueError, ProtocolError):
+            # A torn-down or misbehaving connection ends its handler
+            # quietly; anything else is a real bug and should surface.
             pass
         finally:
             try:
                 conn.close()
             except OSError:
                 pass
+            with self._conn_lock:
+                self._connections.pop(conn, None)
 
     def handle(self, conn: socket.socket, addr) -> None:  # pragma: no cover
         raise NotImplementedError

@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, BinaryIO
 
 from repro.nest.auth import AuthError, GSIContext
 from repro.nest.storage import StorageError
+from repro.nest.transfer import TransferError
 from repro.protocols import chirp, ftp, gridftp, http, nfs
 from repro.protocols.common import (
     ProtocolError,
@@ -39,7 +40,13 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class ConnectionHandler:
-    """Base: owns sockets/streams and the authenticated identity."""
+    """Base: owns sockets/streams and the authenticated identity.
+
+    ``busy`` is True while the handler is processing one request (as
+    opposed to parked on a blocking read between requests); the
+    server's graceful drain closes idle connections immediately and
+    only waits for busy ones.
+    """
 
     protocol = "base"
 
@@ -50,23 +57,44 @@ class ConnectionHandler:
         self.rfile: BinaryIO = sock.makefile("rb")
         self.wfile: BinaryIO = sock.makefile("wb")
         self.user = "anonymous"
+        self.busy = False
 
     def run(self) -> None:
         """Serve the connection until EOF or error, then clean up."""
         try:
             self.serve()
-        except (ProtocolError, ConnectionError, OSError, ValueError):
+        except (ProtocolError, ConnectionError, OSError, ValueError,
+                TransferError):
+            # A failed transfer closes the connection like any wire
+            # error; its cause is recorded in ``transfers.failures()``.
             pass
         finally:
-            for stream in (self.wfile, self.rfile):
-                try:
-                    stream.close()
-                except OSError:
-                    pass
+            self.force_close()
+
+    def force_close(self) -> None:
+        """Tear the connection down (idempotent; any thread may call).
+
+        Shuts the socket down first so a handler thread blocked in a
+        read wakes immediately -- this is what the server's drain uses
+        on stragglers.
+        """
+        try:
+            self.wfile.flush()
+        except (OSError, ValueError):
+            pass
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        for stream in (self.wfile, self.rfile):
             try:
-                self.sock.close()
-            except OSError:
+                stream.close()
+            except (OSError, ValueError):
                 pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
 
     def serve(self) -> None:  # pragma: no cover - interface
         raise NotImplementedError
@@ -123,8 +151,12 @@ class ChirpHandler(ConnectionHandler):
                     Response(Status.BAD_REQUEST, message=str(exc))))
                 continue
             request.user = self.user
-            if not self._handle(request):
-                return
+            self.busy = True
+            try:
+                if not self._handle(request):
+                    return
+            finally:
+                self.busy = False
 
     def _handle(self, request: Request) -> bool:
         if request.rtype is RequestType.QUIT:
@@ -264,7 +296,9 @@ class ChirpHandler(ConnectionHandler):
         server, data flowing server-to-server (paper, §2.1: the
         transfer manager allows "transparent three- and four-party
         transfers")."""
-        from repro.client.chirp import ChirpClient, ChirpError
+        from repro.client.chirp import ChirpClient
+        from repro.client.errors import ClientError
+        from repro.client.retry import NO_RETRY
 
         try:
             ticket = self.server.storage.approve_get(self.user, request.path)
@@ -277,13 +311,16 @@ class ChirpHandler(ConnectionHandler):
         finally:
             ticket.settle(ticket.size)
         try:
+            # Fail fast: the requesting client owns the retry decision,
+            # not a handler thread holding the control connection.
             remote = ChirpClient(request.params["host"],
-                                 int(request.params["port"]), timeout=10.0)
+                                 int(request.params["port"]), timeout=10.0,
+                                 retry=NO_RETRY)
             try:
                 remote.put(request.params["remote_path"], data)
             finally:
                 remote.close()
-        except (ChirpError, OSError, ProtocolError) as exc:
+        except (ClientError, OSError, ProtocolError) as exc:
             write_line(self.wfile, chirp.encode_response(
                 Response(Status.SERVER_ERROR, message=str(exc))))
             return
@@ -335,6 +372,7 @@ class HttpHandler(ConnectionHandler):
                 return
             request.user = self.user
             keep_alive = request.params.get("keep_alive", False)
+            self.busy = True
             try:
                 self._handle(request, keep_alive)
             except StorageError as exc:
@@ -342,6 +380,8 @@ class HttpHandler(ConnectionHandler):
                     self.wfile, Response(exc.status, message=exc.message),
                     keep_alive=keep_alive,
                 )
+            finally:
+                self.busy = False
             if not keep_alive:
                 return
 
@@ -410,8 +450,12 @@ class FtpHandler(ConnectionHandler):
             except ProtocolError:
                 self.reply(ftp.SYNTAX_ERROR, "bad command")
                 continue
-            if not self.dispatch(verb, arg):
-                return
+            self.busy = True
+            try:
+                if not self.dispatch(verb, arg):
+                    return
+            finally:
+                self.busy = False
 
     def dispatch(self, verb: str, arg: str) -> bool:
         handler = getattr(self, f"cmd_{verb.lower()}", None)
@@ -523,10 +567,14 @@ class FtpHandler(ConnectionHandler):
         if self._pasv_listener is not None:
             self._pasv_listener.settimeout(10)
             conn, _ = self._pasv_listener.accept()
-            return conn
-        if self._port_target is not None:
-            return socket.create_connection(self._port_target, timeout=10)
-        raise ProtocolError("no data connection configured")
+        elif self._port_target is not None:
+            conn = socket.create_connection(self._port_target, timeout=10)
+        else:
+            raise ProtocolError("no data connection configured")
+        if self.server.faults is not None:
+            conn = self.server.faults.wrap_socket(
+                conn, label=f"{self.protocol}-data")
+        return conn
 
     def close_data_state(self) -> None:
         if self._pasv_listener is not None:
@@ -692,6 +740,9 @@ class GridFtpHandler(FtpHandler):
             for listener in self._spas_listeners:
                 listener.settimeout(10)
                 conn, _ = listener.accept()
+                if self.server.faults is not None:
+                    conn = self.server.faults.wrap_socket(
+                        conn, label="gridftp-stripe")
                 conns.append(conn)
             return conns
         return [self.open_data_connection()]
@@ -741,6 +792,8 @@ class GridFtpHandler(FtpHandler):
             t.start()
         for t in threads:
             t.join(timeout=30)
+        if any(t.is_alive() for t in threads):
+            errors.append(TimeoutError("parallel send lane hung"))
         self._close_spas()
         self.close_data_state()
         self.server.graybox.observe_read(path, 0, len(data))
@@ -779,6 +832,10 @@ class GridFtpHandler(FtpHandler):
             t.start()
         for t in threads:
             t.join(timeout=30)
+        if any(t.is_alive() for t in threads):
+            # A hung receive lane means missing stripes: fail the STOR
+            # rather than commit a silently truncated file.
+            errors.append(TimeoutError("parallel receive lane hung"))
         self._close_spas()
         self.close_data_state()
         moved = 0
@@ -828,8 +885,12 @@ class NfsHandler(ConnectionHandler):
                 xid, prog, proc, args = nfs.unpack_call(record)
             except ProtocolError:
                 return
-            results = self._dispatch(prog, proc, args)
-            nfs.write_record(self.wfile, nfs.pack_reply(xid, results))
+            self.busy = True
+            try:
+                results = self._dispatch(prog, proc, args)
+                nfs.write_record(self.wfile, nfs.pack_reply(xid, results))
+            finally:
+                self.busy = False
 
     def _dispatch(self, prog: int, proc: int, args: Unpacker) -> bytes:
         try:
@@ -1036,12 +1097,15 @@ class IbpHandler(ConnectionHandler):
             if verb == "quit":
                 write_line(self.wfile, ibp.format_ok())
                 return
+            self.busy = True
             try:
                 self._dispatch(depot, verb, args)
             except ibp.IbpError as exc:
                 write_line(self.wfile, ibp.format_err(exc.code, str(exc)))
             except (ProtocolError, ValueError, IndexError) as exc:
                 write_line(self.wfile, ibp.format_err("bad-arguments", str(exc)))
+            finally:
+                self.busy = False
 
     def _dispatch(self, depot, verb: str, args: list[str]) -> None:
         from repro.protocols import ibp

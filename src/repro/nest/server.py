@@ -21,6 +21,7 @@ import threading
 import time
 
 from repro.classads import ClassAd
+from repro.faults import FaultPlan
 from repro.nest.advertise import build_advertisement
 from repro.nest.auth import CertificateAuthority, GSIContext
 from repro.nest.backends import DataStore
@@ -56,11 +57,21 @@ class FileHandleRegistry:
             return self._by_token.get(token)
 
     def forget(self, path: str) -> None:
-        """Invalidate a path's handle (delete/rename)."""
+        """Invalidate a path's handle (delete/rename/rmdir).
+
+        Also drops every handle *under* the path, so removing or
+        renaming a directory invalidates its whole subtree -- a token
+        must never resolve to a file that re-appears at the same path
+        later with different contents.
+        """
+        if path == "/":
+            return
+        prefix = path.rstrip("/") + "/"
         with self._lock:
-            token = self._by_path.pop(path, None)
-            if token is not None:
-                del self._by_token[token]
+            stale = [p for p in self._by_path
+                     if p == path or p.startswith(prefix)]
+            for p in stale:
+                del self._by_token[self._by_path.pop(p)]
 
 
 class NestServer:
@@ -74,10 +85,13 @@ class NestServer:
         host: str = "127.0.0.1",
         ports: dict[str, int] | None = None,
         subject_map: dict[str, str] | None = None,
+        faults: FaultPlan | None = None,
     ):
         self.config = config or NestConfig()
         self.config.validate()
         self.host = host
+        self.faults = faults
+        self.fhandles = FileHandleRegistry()
         self.storage = StorageManager(
             store=store,
             capacity_bytes=self.config.capacity_bytes,
@@ -86,6 +100,7 @@ class NestServer:
             lot_enforcement=self.config.lot_enforcement,
             reclaim_policy=self.config.reclaim_policy,
             anonymous_rights=self.config.anonymous_rights,
+            invalidate=self.fhandles.forget,
         )
         self.graybox = GrayBoxCacheModel(self.config.graybox_cache_bytes)
         self.transfers = TransferManager(
@@ -98,7 +113,6 @@ class NestServer:
             )
         self.ca = ca or CertificateAuthority()
         self.gsi = GSIContext(self.ca)
-        self.fhandles = FileHandleRegistry()
         if "ibp" in self.config.protocols:
             from repro.nest.ibp import IbpDepot
 
@@ -113,6 +127,9 @@ class NestServer:
         self._listeners: dict[str, socket.socket] = {}
         self._threads: list[threading.Thread] = []
         self._running = False
+        #: live handler connections: handler -> its thread.
+        self._conn_lock = threading.Lock()
+        self._connections: dict[object, threading.Thread] = {}
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -138,8 +155,18 @@ class NestServer:
             self._threads.append(thread)
         return self
 
-    def stop(self) -> None:
-        """Stop accepting and shut the transfer manager down."""
+    def stop(self, drain_timeout: float = 5.0) -> dict[str, int]:
+        """Graceful shutdown: stop accepting, drain, then force-close.
+
+        The sequence is (1) close every listener and join the accept
+        threads, so no new connection arrives; (2) immediately close
+        connections idle between requests, and give in-flight handlers
+        up to ``drain_timeout`` seconds to finish their current
+        transfer; (3) force-close whatever is left; (4) join every
+        handler thread and shut the transfer manager down.  Returns
+        ``{"drained": n, "forced": m}`` so operators (and tests) can
+        see whether the drain was clean.
+        """
         self._running = False
         for listener in self._listeners.values():
             try:
@@ -148,7 +175,41 @@ class NestServer:
                 pass
         for thread in self._threads:
             thread.join(timeout=2)
+
+        # Idle connections are parked on a blocking read between
+        # requests; closing them now is invisible to correctness and
+        # keeps the drain window for handlers doing real work.
+        forced = 0
+        with self._conn_lock:
+            for handler in list(self._connections):
+                if not getattr(handler, "busy", False):
+                    handler.force_close()
+
+        deadline = time.monotonic() + max(drain_timeout, 0.0)
+        while time.monotonic() < deadline:
+            with self._conn_lock:
+                if not self._connections:
+                    break
+            time.sleep(0.01)
+
+        with self._conn_lock:
+            stragglers = list(self._connections.items())
+        for handler, _thread in stragglers:
+            forced += 1
+            handler.force_close()
+        for handler, thread in stragglers:
+            thread.join(timeout=2)
+            with self._conn_lock:
+                self._connections.pop(handler, None)
+
         self.transfers.shutdown()
+        drained = len(stragglers) == 0
+        return {"drained": int(drained), "forced": forced}
+
+    def active_connections(self) -> int:
+        """How many handler connections are currently live."""
+        with self._conn_lock:
+            return len(self._connections)
 
     def __enter__(self) -> "NestServer":
         return self.start()
@@ -168,11 +229,32 @@ class NestServer:
                 continue
             except OSError:
                 return
+            if self.faults is not None:
+                wrapped = self.faults.wrap_accept(conn, label=f"nest-{proto}")
+                if wrapped is None:
+                    continue  # accept fault: connection already closed
+                conn = wrapped
+            if not self._running:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+                return
             handler = handler_cls(self, conn, addr)
             thread = threading.Thread(
-                target=handler.run, name=f"nest-{proto}-conn", daemon=True
+                target=self._run_handler, args=(handler,),
+                name=f"nest-{proto}-conn", daemon=True,
             )
+            with self._conn_lock:
+                self._connections[handler] = thread
             thread.start()
+
+    def _run_handler(self, handler) -> None:
+        try:
+            handler.run()
+        finally:
+            with self._conn_lock:
+                self._connections.pop(handler, None)
 
     # ------------------------------------------------------------------
     # identity and advertisement

@@ -89,9 +89,14 @@ class StorageManager:
         lot_enforcement: str = "quota",
         reclaim_policy: str = "expired-first",
         anonymous_rights: str = "rl",
+        invalidate: Callable[[str], None] | None = None,
     ):
         self.store = store if store is not None else MemoryStore()
         self.clock = clock
+        #: Called with every path whose identity dies (delete, rename
+        #: source, rmdir, lot reclaim) so path-keyed caches -- the NFS
+        #: file-handle registry above all -- can drop stale entries.
+        self.invalidate = invalidate or (lambda path: None)
         #: When True (the paper's deployment), writes require an active
         #: lot; when False, writes are charged only against raw space.
         self.require_lots = require_lots
@@ -166,6 +171,7 @@ class StorageManager:
         except StorageError:
             pass
         self.store.delete(path)
+        self.invalidate(path)
 
     # ------------------------------------------------------------------
     # metadata operations (synchronous; paper section 2.1)
@@ -194,6 +200,7 @@ class StorageManager:
             if node.children:
                 raise StorageError(Status.NOT_EMPTY, path)
             del parent.children[name]
+            self.invalidate(path)
 
     def listdir(self, user: str, path: str) -> list[dict[str, Any]]:
         """Directory listing; requires lookup."""
@@ -234,6 +241,7 @@ class StorageManager:
             self.lots.release(path)
             del parent.children[name]
             self.store.delete(path)
+            self.invalidate(path)
 
     def rename(self, user: str, path: str, new_path: str) -> None:
         """Rename within the namespace; requires modify on both parents."""
@@ -264,6 +272,9 @@ class StorageManager:
                     src.close()
                     dst.close()
                 self.store.delete(path)
+            # The old name no longer resolves (and for directories the
+            # whole old subtree died): stale handles must not survive.
+            self.invalidate(path)
 
     def exists(self, path: str) -> bool:
         """True if the path names a file or directory."""

@@ -20,10 +20,14 @@ goodput, exactly as in :mod:`repro.simnest`.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
-from typing import BinaryIO, Callable, Optional
+from typing import Any, BinaryIO, Callable, Optional
+
+logger = logging.getLogger(__name__)
 
 from repro.nest.concurrency import EVENTS, THREADS, Selector, make_selector
 from repro.nest.config import NestConfig
@@ -54,6 +58,9 @@ class Transfer:
         self.on_done = on_done
         self.moved = 0
         self.error: Optional[BaseException] = None
+        #: error raised by the ``on_done`` callback itself, if any --
+        #: kept separate so it never masks the transfer's own outcome.
+        self.callback_error: Optional[BaseException] = None
         self.started_at = time.monotonic()
         self._finished = threading.Event()
 
@@ -97,12 +104,24 @@ class Transfer:
     def _finish(self, error: BaseException | None = None) -> None:
         if error is not None:
             self.error = error
-        self._finished.set()
+        # Run the completion callback before releasing waiters, so a
+        # waiter that returns from wait() observes its side effects
+        # (including callback_error).
         if self.on_done:
             try:
                 self.on_done(self)
-            except Exception:
-                pass
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:
+                # A broken completion callback must not kill the
+                # scheduler worker, but it must not vanish either: the
+                # waiter can inspect it, and it goes to the log.
+                self.callback_error = exc
+                logger.warning(
+                    "transfer on_done callback failed for %s: %r",
+                    self.job.path or self.job.protocol, exc,
+                )
+        self._finished.set()
 
     @property
     def elapsed(self) -> float:
@@ -140,6 +159,8 @@ class TransferManager:
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
         self._pending: dict[int, Transfer] = {}
+        #: ring of recent per-transfer failure causes (newest last).
+        self._failures: deque[dict[str, Any]] = deque(maxlen=64)
         self._in_flight = 0
         self._enqueue_seq = 0
         self._running = True
@@ -178,6 +199,18 @@ class TransferManager:
     def transfer_sync(self, *args, timeout: float | None = 60.0, **kwargs) -> int:
         """Submit and wait; returns bytes moved (handler convenience)."""
         return self.submit(*args, **kwargs).wait(timeout)
+
+    def failures(self) -> list[dict[str, Any]]:
+        """Recent transfer failures, oldest first.
+
+        Each entry records protocol, user, path, bytes moved vs.
+        expected, and the error -- the manageability counterpart of the
+        paper's "storage appliances must be observable": a failed
+        transfer leaves a cause an operator can read, not just a closed
+        socket.
+        """
+        with self._lock:
+            return list(self._failures)
 
     def shutdown(self) -> None:
         """Stop the scheduler thread and executors."""
@@ -243,6 +276,16 @@ class TransferManager:
             if finished:
                 self.scheduler.remove(job)
                 self._pending.pop(job.job_id, None)
+                if error is not None:
+                    self._failures.append({
+                        "protocol": job.protocol,
+                        "user": job.user,
+                        "path": job.path,
+                        "moved": transfer.moved,
+                        "total": transfer.total,
+                        "error": error,
+                        "at": time.time(),
+                    })
             else:
                 self._enqueue_seq += 1
                 job.enqueue_seq = self._enqueue_seq

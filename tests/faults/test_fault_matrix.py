@@ -1,0 +1,182 @@
+"""The fault matrix: every protocol client x injected connection fault.
+
+Contract under test (the hardening acceptance criteria): under any of
+the plan's faults a client either **retries to success** (byte-identical
+round trip) or **surfaces a typed error** -- it never hangs and never
+silently returns partial data.  The conftest's hard timeout enforces
+the "never hangs" half; the assertions here enforce the rest.
+
+Per-protocol notes baked into the tables below:
+
+* IBP ``store`` is append-only, hence non-idempotent: when a fault
+  lands after the command was sent, the client must *not* replay it and
+  instead surfaces a typed :class:`TransientError`.
+* FTP/GridFTP perform a login handshake at connect time, so the initial
+  connect itself runs under the retry policy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client.chirp import ChirpClient
+from repro.client.errors import TransientError
+from repro.client.ftp import FtpClient
+from repro.client.gridftp import GridFtpClient
+from repro.client.http import HttpClient
+from repro.client.ibp import IbpClient
+from repro.client.nfs import NfsClient
+from repro.client.retry import RetryPolicy
+from repro.faults import FaultAction, FaultPlan
+
+PAYLOAD = bytes(range(256)) * 256  # 64 KiB, deterministic
+
+
+def fast_retry(**overrides) -> RetryPolicy:
+    kwargs = dict(max_attempts=4, base_delay=0.01, max_delay=0.05,
+                  deadline=15.0)
+    kwargs.update(overrides)
+    return RetryPolicy(**kwargs)
+
+
+#: Extra server configuration per protocol (IBP needs its own listener
+#: and lot-backed allocations, like a real depot).
+SERVER_KW = {
+    "ibp": dict(protocols=("chirp", "ibp"), require_lots=True,
+                lot_enforcement="nest", capacity_bytes=10_000_000),
+}
+
+
+def run_chirp(server, retry, faults=None, timeout=30.0) -> bytes:
+    with ChirpClient(*server.endpoint("chirp"), timeout=timeout,
+                     retry=retry, faults=faults) as c:
+        c.put("/data/f", PAYLOAD)
+        return c.get("/data/f")
+
+
+def run_http(server, retry, faults=None, timeout=30.0) -> bytes:
+    with HttpClient(*server.endpoint("http"), timeout=timeout,
+                    retry=retry, faults=faults) as c:
+        c.put("/data/f", PAYLOAD)
+        return c.get("/data/f")
+
+
+def run_ftp(server, retry, faults=None, timeout=30.0) -> bytes:
+    with FtpClient(*server.endpoint("ftp"), timeout=timeout,
+                   retry=retry, faults=faults) as c:
+        c.stor("/data/f", PAYLOAD)
+        return c.retr("/data/f")
+
+
+def run_gridftp(server, retry, faults=None, timeout=30.0) -> bytes:
+    with GridFtpClient(*server.endpoint("gridftp"), timeout=timeout,
+                       retry=retry, faults=faults) as c:
+        c.set_parallelism(2)
+        c.stor_parallel("/data/f", PAYLOAD)
+        return c.retr_parallel("/data/f")
+
+
+def run_nfs(server, retry, faults=None, timeout=30.0) -> bytes:
+    with NfsClient(*server.endpoint("nfs"), timeout=timeout,
+                   retry=retry, faults=faults) as c:
+        c.write_file("/data/f", PAYLOAD)
+        return c.read_file("/data/f")
+
+
+def run_ibp(server, retry, faults=None, timeout=30.0) -> bytes:
+    with IbpClient(*server.endpoint("ibp"), timeout=timeout,
+                   retry=retry, faults=faults) as c:
+        # An idempotent probe leads, so a first-connection fault lands
+        # on an operation the policy is allowed to replay.
+        c.status()
+        caps = c.allocate(len(PAYLOAD) + 4096, 600)
+        c.store(caps["write"], PAYLOAD)
+        return c.load(caps["read"])
+
+
+ROUND_TRIPS = {
+    "chirp": run_chirp,
+    "http": run_http,
+    "ftp": run_ftp,
+    "gridftp": run_gridftp,
+    "nfs": run_nfs,
+    "ibp": run_ibp,
+}
+PROTOS = sorted(ROUND_TRIPS)
+
+
+# ---------------------------------------------------------------------------
+# fault: connection reset
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("proto", PROTOS)
+def test_server_side_reset_is_retried(server_factory, proto):
+    """The first accepted connection dies on its first I/O; the client
+    reconnects, replays its handshake, and completes byte-identically."""
+    plan = FaultPlan.reset_each_first_attempt(count=1)
+    srv = server_factory(faults=plan, **SERVER_KW.get(proto, {}))
+    assert ROUND_TRIPS[proto](srv, fast_retry()) == PAYLOAD
+    assert plan.fired(FaultAction.RESET) >= 1
+
+
+@pytest.mark.parametrize("proto", PROTOS)
+def test_client_side_reset_once_per_connection_roundtrip(server_factory,
+                                                         proto):
+    """Acceptance criterion: under a reset-once-per-connection plan on
+    the *client's* own sockets, every protocol completes PUT+GET via
+    retry, byte-identical."""
+    plan = FaultPlan.reset_each_first_attempt(count=1)
+    srv = server_factory(**SERVER_KW.get(proto, {}))
+    assert ROUND_TRIPS[proto](srv, fast_retry(), faults=plan) == PAYLOAD
+    assert plan.fired(FaultAction.RESET) >= 1
+
+
+# ---------------------------------------------------------------------------
+# fault: short read (stream ends early)
+# ---------------------------------------------------------------------------
+#: Byte threshold tuned per wire format so the short lands mid-payload
+#: (or, for IBP, on the store acknowledgement).
+SHORT_AFTER = {"chirp": 20000, "http": 20000, "ftp": 20000,
+               "gridftp": 20000, "nfs": 20000, "ibp": 30}
+#: IBP's shorted store ack leaves the append's fate unknown -- the
+#: client must surface a typed error rather than replay.
+SHORT_EXPECTS_ERROR = {"ibp"}
+
+
+@pytest.mark.parametrize("proto", PROTOS)
+def test_short_stream_never_silently_truncates(server_factory, proto):
+    plan = FaultPlan.short_read(after_bytes=SHORT_AFTER[proto],
+                                connection=None)
+    srv = server_factory(faults=plan, **SERVER_KW.get(proto, {}))
+    if proto in SHORT_EXPECTS_ERROR:
+        with pytest.raises(TransientError):
+            ROUND_TRIPS[proto](srv, fast_retry())
+    else:
+        assert ROUND_TRIPS[proto](srv, fast_retry()) == PAYLOAD
+    assert plan.fired(FaultAction.SHORT) == 1
+
+
+# ---------------------------------------------------------------------------
+# fault: accept-time failure
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("proto", PROTOS)
+def test_accept_failure_is_retried(server_factory, proto):
+    plan = FaultPlan.fail_accept(count=1)
+    srv = server_factory(faults=plan, **SERVER_KW.get(proto, {}))
+    assert ROUND_TRIPS[proto](srv, fast_retry()) == PAYLOAD
+    assert plan.fired(FaultAction.DROP) == 1
+
+
+# ---------------------------------------------------------------------------
+# fault: stall past the retry deadline
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("proto", PROTOS)
+def test_stall_past_deadline_surfaces_typed_error(server_factory, proto):
+    """Every connection freezes before serving; the client's socket
+    timeout trips each attempt and the budget runs out as a typed
+    RetryExhaustedError -- never a hang."""
+    plan = FaultPlan.stall(seconds=1.5, op="read", times=None)
+    srv = server_factory(faults=plan, **SERVER_KW.get(proto, {}))
+    with pytest.raises(TransientError):
+        ROUND_TRIPS[proto](srv, fast_retry(max_attempts=2, deadline=5.0),
+                           timeout=0.3)
+    assert plan.fired(FaultAction.STALL) >= 1
