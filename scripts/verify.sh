@@ -1,10 +1,12 @@
 #!/bin/sh
-# Tier-1 verification gate: the full suite (fail-fast), then the
-# fault-injection lane by itself so matrix failures are easy to spot.
-# Each faults-marked test runs under a hard per-test timeout
-# (pytest-timeout when installed; SIGALRM backstop otherwise).
+# Tier-1 verification gate: the observability lint, the full suite
+# (fail-fast), then the fault-injection lane by itself so matrix
+# failures are easy to spot.  Each faults-marked test runs under a
+# hard per-test timeout (pytest-timeout when installed; SIGALRM
+# backstop otherwise).
 # Usage: scripts/verify.sh [extra pytest args]
 set -e
 cd "$(dirname "$0")/.."
+python scripts/lint_obs.py
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q "$@"
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -q -m faults "$@"

@@ -401,4 +401,6 @@ def report_all() -> str:  # pragma: no cover - convenience entry point
 
 
 if __name__ == "__main__":  # pragma: no cover
-    print(report_all())
+    from repro.obs.log import console
+
+    console(report_all())

@@ -89,7 +89,9 @@ def report(result: Fig3Result) -> str:
 
 
 def main() -> None:  # pragma: no cover - convenience entry point
-    print(report(run()))
+    from repro.obs.log import console
+
+    console(report(run()))
 
 
 if __name__ == "__main__":  # pragma: no cover

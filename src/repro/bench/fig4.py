@@ -116,7 +116,9 @@ def report(result: Fig4Result) -> str:
 
 
 def main() -> None:  # pragma: no cover
-    print(report(run()))
+    from repro.obs.log import console
+
+    console(report(run()))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -120,7 +120,9 @@ def report(result: Fig5Result) -> str:
 
 
 def main() -> None:  # pragma: no cover
-    print(report(run()))
+    from repro.obs.log import console
+
+    console(report(run()))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -6,13 +6,18 @@
     python -m repro jbos  [--port-base P]
     python -m repro bench [fig3|fig4|fig5|fig6|ablations|all]
     python -m repro perf  [smoke|kernel|figures|counters] [--label L]
+    python -m repro stats [host:port] [--path /metrics|/healthz|/trace|/ad]
 
 ``serve`` starts a live NeST on consecutive ports (Chirp at the base)
 and prints its availability ClassAd; ``jbos`` starts the native bunch;
 ``bench`` regenerates the paper's figures on the simulated testbed;
 ``perf`` runs the wall-clock benchmarks (appending to the repo's
 ``BENCH_*.json`` trajectory files) or prints the hot-path counters of a
-representative mixed run.
+representative mixed run.  ``stats`` scrapes a running appliance's
+management endpoint (the ``mgmt`` port ``serve`` prints), or -- with no
+target -- runs a small self-contained workload and prints the resulting
+telemetry, which is the quickest way to see the observability layer
+end to end.
 """
 
 from __future__ import annotations
@@ -122,9 +127,76 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     from repro.perf.workloads import traced_mixed_workload
 
     result, server = traced_mixed_workload(return_server=True)
-    print(collect_server(server).render())
+    report = collect_server(server)
+    report.publish()  # also visible via ``repro stats``
+    print(report.render())
     print(f"trace: {len(result.records)} chunk completions, "
           f"sha256 {result.sha256()[:16]}...")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    if args.target:
+        return _scrape(args.target, args.path)
+    return _stats_demo()
+
+
+def _scrape(target: str, path: str) -> int:
+    """Fetch one management-endpoint document from a live appliance."""
+    import socket
+
+    host, _, port = target.rpartition(":")
+    try:
+        portno = int(port)
+    except ValueError:
+        print(f"stats: target must be host:port, got {target!r}",
+              file=sys.stderr)
+        return 2
+    with socket.create_connection((host or "127.0.0.1", portno),
+                                  timeout=5.0) as conn:
+        conn.sendall(f"GET {path} HTTP/1.0\r\n\r\n".encode())
+        chunks = []
+        while True:
+            data = conn.recv(65536)
+            if not data:
+                break
+            chunks.append(data)
+    response = b"".join(chunks)
+    head, _, body = response.partition(b"\r\n\r\n")
+    status = head.split(b"\r\n", 1)[0].decode("latin-1", "replace")
+    if " 200 " not in f" {status} ":
+        print(f"stats: scrape failed: {status}", file=sys.stderr)
+        return 1
+    sys.stdout.write(body.decode("utf-8", "replace"))
+    return 0
+
+
+def _stats_demo() -> int:
+    """Run a tiny live workload and print the telemetry it produced."""
+    import json
+
+    from repro.client.chirp import ChirpClient
+    from repro.nest.server import NestServer
+
+    with NestServer() as server:
+        host, port = server.endpoint("chirp")
+        client = ChirpClient(host, port)
+        try:
+            client.put("/stats-demo.dat", b"x" * 262144)
+            client.get("/stats-demo.dat")
+        finally:
+            client.close()
+        print("# one Chirp put + get against an ephemeral NeST;")
+        print(f"# live scrape surface: {server.host}:{server.ports['mgmt']}"
+              " (/metrics /healthz /trace /ad)")
+        print()
+        print(server.obs.render_prometheus())
+        print("# live-health ClassAd attributes")
+        print(json.dumps(server.obs.health_attributes(), indent=2,
+                         sort_keys=True))
+        trace = server.obs.chrome_trace()
+        print(f"# chrome trace: {len(trace['traceEvents'])} events "
+              "(serve + scrape /trace to load in chrome://tracing)")
     return 0
 
 
@@ -164,6 +236,16 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--label", default="",
                       help="label stored with the trajectory record")
     perf.set_defaults(func=_cmd_perf)
+
+    stats = sub.add_parser(
+        "stats", help="scrape a live appliance's telemetry (or demo it)")
+    stats.add_argument("target", nargs="?", default="",
+                       help="host:port of the management endpoint "
+                            "(empty: run a self-contained demo workload)")
+    stats.add_argument("--path", default="/metrics",
+                       choices=["/metrics", "/healthz", "/trace", "/ad"],
+                       help="which management document to fetch")
+    stats.set_defaults(func=_cmd_stats)
     return parser
 
 

@@ -26,10 +26,32 @@ from repro.client.errors import (
     TransientError,
     is_transient,
 )
+from repro.obs import spans as _spans
+from repro.obs.metrics import global_registry
 
 __all__ = ["RetryPolicy", "NO_RETRY"]
 
 T = TypeVar("T")
+
+
+def _observe_retry(label: str) -> None:
+    """One retry attempt about to happen: process-wide counter (the
+    retry layer has no server context) + an annotation on the active
+    request span, if the caller is being traced."""
+    global_registry().counter(
+        "repro_client_retries_total",
+        "Client retry attempts after transient failures.",
+        labelnames=("op",),
+    ).inc(op=label)
+    _spans.annotate("retries", 1)
+
+
+def _observe_exhausted(label: str) -> None:
+    global_registry().counter(
+        "repro_client_retry_exhausted_total",
+        "Operations that failed after exhausting their retry budget.",
+        labelnames=("op",),
+    ).inc(op=label)
 
 
 @dataclass
@@ -118,11 +140,14 @@ class RetryPolicy:
                 delay = self.backoff(attempts)
                 if self.deadline is not None and (
                         self.clock() - start + delay > self.deadline):
+                    _observe_exhausted(label)
                     raise RetryExhaustedError(
                         f"{label}: deadline of {self.deadline:.3f}s exhausted "
                         f"after {attempts} attempt(s): {exc}",
                         attempts=attempts, last=exc) from exc
+                _observe_retry(label)
                 self.sleep(delay)
+        _observe_exhausted(label)
         raise RetryExhaustedError(
             f"{label}: all {attempts} attempt(s) failed: {last}",
             attempts=attempts, last=last) from last

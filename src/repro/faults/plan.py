@@ -37,6 +37,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Optional
 
+from repro.obs import spans as _spans
+from repro.obs.metrics import global_registry
+
 __all__ = [
     "FaultAction",
     "FaultEvent",
@@ -61,6 +64,18 @@ class FaultAction:
     SHORT = SHORT
     STALL = STALL
     DROP = DROP
+
+
+def _observe_fault(op: str, action: str) -> None:
+    """Publish one fired fault: a process-wide counter (fault plans
+    have no server context) plus an annotation on whatever request
+    span the victim I/O is running under."""
+    global_registry().counter(
+        "repro_faults_injected_total",
+        "Faults fired by fault plans, by I/O op and action.",
+        labelnames=("op", "action"),
+    ).inc(op=op, action=action)
+    _spans.annotate("faults", 1)
 
 
 class FaultInjected(ConnectionResetError):
@@ -250,6 +265,7 @@ class FaultPlan:
                 if rule.wants(conn, op, 0) and self._roll(rule):
                     rule.mark_fired(conn)
                     self.events.append(FaultEvent(conn, op, rule.action, 0))
+                    _observe_fault(op, rule.action)
                     return True
         return False
 
@@ -272,6 +288,7 @@ class FaultPlan:
                     break
             else:
                 return None
+        _observe_fault(op, action)
         if action == STALL:
             self._sleep(stall)
             return None

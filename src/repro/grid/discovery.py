@@ -69,3 +69,13 @@ class Collector:
         """The single best match, or None."""
         matches = self.query(request)
         return matches[0] if matches else None
+
+    def fastest(self, requested_space: int,
+                protocol: str | None = None) -> ClassAd | None:
+        """The matching storage ad with the highest *measured*
+        throughput, using the live-health ``ThroughputMBps`` attribute
+        the appliances advertise (observed performance, not free
+        space, as the selection signal)."""
+        from repro.nest.advertise import throughput_request_ad
+
+        return self.locate(throughput_request_ad(requested_space, protocol))

@@ -17,6 +17,7 @@ import time
 from repro.faults import FaultPlan
 from repro.jbos.store import SimpleStore
 from repro.jbos.throttle import Throttle, Unthrottled
+from repro.obs.metrics import global_registry
 from repro.protocols.common import ProtocolError
 
 
@@ -45,6 +46,17 @@ class NativeServer:
         #: live connections: socket -> its handler thread.
         self._conn_lock = threading.Lock()
         self._connections: dict[socket.socket, threading.Thread] = {}
+        # Native servers are independent daemons with no appliance
+        # context, so their counters land on the process registry.
+        reg = global_registry()
+        self._m_connections = reg.counter(
+            "repro_jbos_connections_total",
+            "Connections accepted by native single-protocol servers.",
+            labelnames=("protocol",))
+        self._m_bytes = reg.counter(
+            "repro_jbos_bytes_sent_total",
+            "Bytes pumped by native servers (direct, unscheduled).",
+            labelnames=("protocol",))
 
     # -- lifecycle ----------------------------------------------------------
     def start(self) -> "NativeServer":
@@ -129,6 +141,7 @@ class NativeServer:
                 except OSError:
                     pass
                 return
+            self._m_connections.inc(protocol=self.protocol)
             thread = threading.Thread(
                 target=self._safe_handle, args=(conn, addr),
                 name=f"jbos-{self.protocol}-conn", daemon=True,
@@ -163,3 +176,4 @@ class NativeServer:
             self.throttle.consume(len(piece))
             wfile.write(piece)
         wfile.flush()
+        self._m_bytes.inc(len(data), protocol=self.protocol)

@@ -156,7 +156,21 @@ class AccessControl:
         """True iff ``user`` holds the right ``letter`` here."""
         if letter not in ALL_RIGHTS:
             raise AclError(f"unknown right {letter!r}")
-        return letter in self.rights_of(user)
+        allowed = letter in self.rights_of(user)
+        _count_check(allowed)
+        return allowed
+
+
+def _count_check(allowed: bool) -> None:
+    """Process-wide ACL check/denial tally (ACL objects are per
+    directory and carry no registry reference)."""
+    from repro.obs.metrics import global_registry
+
+    global_registry().counter(
+        "repro_acl_checks_total",
+        "ACL checks evaluated, by outcome.",
+        labelnames=("outcome",),
+    ).inc(outcome="allowed" if allowed else "denied")
 
 
 def default_acl(owner: str, groups: dict[str, set[str]] | None = None,

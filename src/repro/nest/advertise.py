@@ -10,7 +10,7 @@ matchmaking request ads against these advertisements
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from repro.classads import ClassAd
 from repro.classads.parser import parse_expression
@@ -25,13 +25,19 @@ def build_advertisement(
     protocols: list[str] | tuple[str, ...],
     host: str = "localhost",
     ports: dict[str, int] | None = None,
+    health: dict[str, Any] | None = None,
 ) -> ClassAd:
     """Consolidate one NeST's state into its availability ClassAd.
 
     The ad carries the attributes a global scheduler needs: total and
     free space, space grantable as a new lot (free + reclaimable
     best-effort), the protocol list, and a standard Requirements
-    expression accepting storage requests that fit.
+    expression accepting storage requests that fit.  ``health`` merges
+    the live measured-performance block
+    (:meth:`repro.obs.health.HealthMonitor.ad_attributes`) -- rolling
+    throughput, queue depth, per-protocol error rates -- so
+    matchmakers can rank NeSTs by what they are *doing*, not just what
+    they could hold.
     """
     lots = storage.lots
     free_for_lot = lots.available_for_new_lot() + lots.reclaimable_bytes()
@@ -54,6 +60,9 @@ def build_advertisement(
     if ports:
         for proto, port in ports.items():
             ad[f"{proto.capitalize()}Port"] = port
+    if health:
+        for attr, value in health.items():
+            ad[attr] = value
     ad["Requirements"] = parse_expression(
         "other.Type == \"Request\" && other.RequestedSpace <= my.GrantableSpace"
     )
@@ -73,6 +82,22 @@ def storage_request_ad(
     ad["Requirements"] = parse_expression(requirements)
     ad["Rank"] = parse_expression(rank)
     return ad
+
+
+def throughput_request_ad(
+    requested_space: int,
+    protocol: str | None = None,
+) -> ClassAd:
+    """A request ad ranking candidates by *measured* throughput.
+
+    Uses the live-health ``ThroughputMBps`` attribute the appliance
+    advertises, so the matchmaker prefers the NeST that is actually
+    moving data fastest right now over the one with the most free
+    space -- observed performance as the selection signal.
+    """
+    return storage_request_ad(
+        requested_space, protocol=protocol, rank="other.ThroughputMBps"
+    )
 
 
 def _count_files(storage: "StorageManager") -> int:

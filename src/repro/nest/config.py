@@ -82,6 +82,21 @@ class NestConfig:
     #: Seconds between ClassAd advertisements to the collector.
     advertise_interval: float = 30.0
 
+    #: Serve the observability management endpoint (/metrics, /healthz,
+    #: /trace, /ad) next to the protocol listeners.
+    management: bool = True
+
+    #: How many recent per-transfer failure causes the transfer manager
+    #: retains (each is timestamped; see TransferManager.failures()).
+    failure_history: int = 64
+
+    #: Ring size for finished request spans kept for /trace export.
+    span_limit: int = 4096
+
+    #: Rolling window (seconds) for the measured-throughput estimate
+    #: advertised in the live-health ClassAd.
+    health_window: float = 30.0
+
     def validate(self) -> None:
         """Raise ValueError on inconsistent settings."""
         if self.scheduling not in ("fcfs", "stride", "cache-aware"):
@@ -98,3 +113,9 @@ class NestConfig:
             raise ValueError("transfer_workers must be >= 1")
         if self.quantum_bytes < 1:
             raise ValueError("quantum_bytes must be >= 1")
+        if self.failure_history < 1:
+            raise ValueError("failure_history must be >= 1")
+        if self.span_limit < 1:
+            raise ValueError("span_limit must be >= 1")
+        if self.health_window <= 0:
+            raise ValueError("health_window must be > 0")

@@ -17,11 +17,14 @@ import io
 import json
 import socket
 import threading
+import time
+from contextlib import contextmanager
 from typing import TYPE_CHECKING, BinaryIO
 
 from repro.nest.auth import AuthError, GSIContext
 from repro.nest.storage import StorageError
 from repro.nest.transfer import TransferError
+from repro.obs import spans as _spans
 from repro.protocols import chirp, ftp, gridftp, http, nfs
 from repro.protocols.common import (
     ProtocolError,
@@ -58,6 +61,10 @@ class ConnectionHandler:
         self.wfile: BinaryIO = sock.makefile("wb")
         self.user = "anonymous"
         self.busy = False
+        #: root span of this connection's trace, opened at accept;
+        #: every request on the connection is a child.
+        self.conn_span = server.obs.tracer.start_trace(
+            "accept", protocol=self.protocol, peer=str(addr))
 
     def run(self) -> None:
         """Serve the connection until EOF or error, then clean up."""
@@ -67,9 +74,42 @@ class ConnectionHandler:
                 TransferError):
             # A failed transfer closes the connection like any wire
             # error; its cause is recorded in ``transfers.failures()``.
-            pass
+            self.conn_span.set(wire_error=True)
         finally:
             self.force_close()
+            self.conn_span.set(user=self.user).end()
+
+    @contextmanager
+    def request_scope(self, op: str, path: str = ""):
+        """Wrap one request: the busy flag, a ``request`` child span
+        pushed onto this thread's trace stack (so storage/ACL/transfer
+        layers attach their own children), and request metrics plus the
+        health feed on the way out."""
+        span = self.conn_span.child(
+            "request", op=op, protocol=self.protocol,
+            user_class=("anonymous" if self.user == "anonymous"
+                        else "authenticated"))
+        if path:
+            span.set(path=path)
+        self.busy = True
+        started = time.perf_counter()
+        ok = False
+        try:
+            with span:
+                yield span
+            ok = span.status == "ok"
+        finally:
+            self.busy = False
+            self.server.observe_request(
+                self.protocol, op, ok, time.perf_counter() - started)
+
+    def mark_request_error(self) -> None:
+        """Flag the active request span (and its metric outcome) as an
+        error, for handlers that report failures as in-band protocol
+        replies rather than exceptions."""
+        span = _spans.current_span()
+        if span is not None:
+            span.end(status="error")
 
     def force_close(self) -> None:
         """Tear the connection down (idempotent; any thread may call).
@@ -144,19 +184,22 @@ class ChirpHandler(ConnectionHandler):
                 line = read_line(self.rfile)
             except ProtocolError:
                 return
+            parse = self.conn_span.child("parse", protocol=self.protocol)
             try:
                 request = chirp.decode_request(line)
             except ProtocolError as exc:
+                parse.end(status="error")
+                self.server.observe_request(self.protocol, "parse",
+                                            False, 0.0)
                 write_line(self.wfile, chirp.encode_response(
                     Response(Status.BAD_REQUEST, message=str(exc))))
                 continue
+            parse.end()
             request.user = self.user
-            self.busy = True
-            try:
-                if not self._handle(request):
-                    return
-            finally:
-                self.busy = False
+            with self.request_scope(request.rtype.value, request.path):
+                keep = self._handle(request)
+            if not keep:
+                return
 
     def _handle(self, request: Request) -> bool:
         if request.rtype is RequestType.QUIT:
@@ -194,6 +237,7 @@ class ChirpHandler(ConnectionHandler):
                 Response(Status.BAD_REQUEST, message="only gsi supported")))
             return
         write_line(self.wfile, "ok")
+        auth_span = _spans.maybe_span("auth", mechanism=mechanism)
         try:
             cert = base64.b64decode(read_line(self.rfile))
             challenge = self.server.gsi.challenge()
@@ -201,10 +245,13 @@ class ChirpHandler(ConnectionHandler):
             response = base64.b64decode(read_line(self.rfile))
             subject = self.server.gsi.accept(cert, challenge, response)
         except (AuthError, ProtocolError, ValueError) as exc:
+            auth_span.end(status="error")
+            self.mark_request_error()
             write_line(self.wfile, chirp.encode_response(
                 Response(Status.NOT_AUTHENTICATED, message=str(exc))))
             return
         self.user = self.server.map_subject(subject)
+        auth_span.set(user=self.user).end()
         write_line(self.wfile, chirp.encode_response(
             Response(Status.OK), [self.user]))
 
@@ -213,6 +260,7 @@ class ChirpHandler(ConnectionHandler):
             # Approve (permissions + existence) before promising data.
             ticket = self.server.storage.approve_get(self.user, request.path)
         except StorageError as exc:
+            self.mark_request_error()
             write_line(self.wfile, chirp.encode_response(
                 Response(exc.status, message=exc.message)))
             return True
@@ -228,6 +276,7 @@ class ChirpHandler(ConnectionHandler):
                 self.user, request.path, request.length
             )
         except StorageError as exc:
+            self.mark_request_error()
             write_line(self.wfile, chirp.encode_response(
                 Response(exc.status, message=exc.message)))
             return True
@@ -251,6 +300,7 @@ class ChirpHandler(ConnectionHandler):
                 self.user, request.path, request.offset, request.length
             )
         except StorageError as exc:
+            self.mark_request_error()
             write_line(self.wfile, chirp.encode_response(
                 Response(exc.status, message=exc.message)))
             return True
@@ -275,6 +325,7 @@ class ChirpHandler(ConnectionHandler):
                 self.user, request.path, request.offset, request.length
             )
         except StorageError as exc:
+            self.mark_request_error()
             write_line(self.wfile, chirp.encode_response(
                 Response(exc.status, message=exc.message)))
             return True
@@ -303,6 +354,7 @@ class ChirpHandler(ConnectionHandler):
         try:
             ticket = self.server.storage.approve_get(self.user, request.path)
         except StorageError as exc:
+            self.mark_request_error()
             write_line(self.wfile, chirp.encode_response(
                 Response(exc.status, message=exc.message)))
             return
@@ -321,6 +373,7 @@ class ChirpHandler(ConnectionHandler):
             finally:
                 remote.close()
         except (ClientError, OSError, ProtocolError) as exc:
+            self.mark_request_error()
             write_line(self.wfile, chirp.encode_response(
                 Response(Status.SERVER_ERROR, message=str(exc))))
             return
@@ -330,6 +383,7 @@ class ChirpHandler(ConnectionHandler):
 
     def _reply(self, request: Request, response: Response) -> None:
         if not response.ok:
+            self.mark_request_error()
             write_line(self.wfile, chirp.encode_response(response))
             return
         if request.rtype is RequestType.STAT:
@@ -372,16 +426,15 @@ class HttpHandler(ConnectionHandler):
                 return
             request.user = self.user
             keep_alive = request.params.get("keep_alive", False)
-            self.busy = True
-            try:
-                self._handle(request, keep_alive)
-            except StorageError as exc:
-                http.write_response_head(
-                    self.wfile, Response(exc.status, message=exc.message),
-                    keep_alive=keep_alive,
-                )
-            finally:
-                self.busy = False
+            with self.request_scope(request.rtype.value, request.path) as sp:
+                try:
+                    self._handle(request, keep_alive)
+                except StorageError as exc:
+                    sp.end(status="error")
+                    http.write_response_head(
+                        self.wfile, Response(exc.status, message=exc.message),
+                        keep_alive=keep_alive,
+                    )
             if not keep_alive:
                 return
 
@@ -450,12 +503,10 @@ class FtpHandler(ConnectionHandler):
             except ProtocolError:
                 self.reply(ftp.SYNTAX_ERROR, "bad command")
                 continue
-            self.busy = True
-            try:
-                if not self.dispatch(verb, arg):
-                    return
-            finally:
-                self.busy = False
+            with self.request_scope(verb.lower()):
+                keep = self.dispatch(verb, arg)
+            if not keep:
+                return
 
     def dispatch(self, verb: str, arg: str) -> bool:
         handler = getattr(self, f"cmd_{verb.lower()}", None)
@@ -465,6 +516,7 @@ class FtpHandler(ConnectionHandler):
         try:
             return handler(arg)
         except StorageError as exc:
+            self.mark_request_error()
             self.reply(ftp.STATUS_TO_REPLY.get(exc.status, ftp.ACTION_FAILED),
                        exc.message or exc.status.value)
             return True
@@ -885,12 +937,11 @@ class NfsHandler(ConnectionHandler):
                 xid, prog, proc, args = nfs.unpack_call(record)
             except ProtocolError:
                 return
-            self.busy = True
-            try:
+            op = ("mount" if prog == nfs.PROG_MOUNT
+                  else _NFS_OPS.get(proc, "other"))
+            with self.request_scope(op):
                 results = self._dispatch(prog, proc, args)
                 nfs.write_record(self.wfile, nfs.pack_reply(xid, results))
-            finally:
-                self.busy = False
 
     def _dispatch(self, prog: int, proc: int, args: Unpacker) -> bytes:
         try:
@@ -917,9 +968,11 @@ class NfsHandler(ConnectionHandler):
                 return self._status_only(nfs.NFSERR_IO)
             return handler(args)
         except StorageError as exc:
+            self.mark_request_error()
             return self._status_only(_STATUS_TO_NFS.get(exc.status,
                                                         nfs.NFSERR_IO))
         except ProtocolError:
+            self.mark_request_error()
             return self._status_only(nfs.NFSERR_IO)
 
     # -- helpers ----------------------------------------------------------
@@ -1097,15 +1150,16 @@ class IbpHandler(ConnectionHandler):
             if verb == "quit":
                 write_line(self.wfile, ibp.format_ok())
                 return
-            self.busy = True
-            try:
-                self._dispatch(depot, verb, args)
-            except ibp.IbpError as exc:
-                write_line(self.wfile, ibp.format_err(exc.code, str(exc)))
-            except (ProtocolError, ValueError, IndexError) as exc:
-                write_line(self.wfile, ibp.format_err("bad-arguments", str(exc)))
-            finally:
-                self.busy = False
+            with self.request_scope(verb) as sp:
+                try:
+                    self._dispatch(depot, verb, args)
+                except ibp.IbpError as exc:
+                    sp.end(status="error")
+                    write_line(self.wfile, ibp.format_err(exc.code, str(exc)))
+                except (ProtocolError, ValueError, IndexError) as exc:
+                    sp.end(status="error")
+                    write_line(self.wfile,
+                               ibp.format_err("bad-arguments", str(exc)))
 
     def _dispatch(self, depot, verb: str, args: list[str]) -> None:
         from repro.protocols import ibp
@@ -1154,6 +1208,15 @@ class IbpHandler(ConnectionHandler):
         else:
             write_line(self.wfile, ibp.format_err("bad-command", verb))
 
+
+#: NFS procedure number -> request-op label (bounded by construction).
+_NFS_OPS = {
+    nfs.PROC_NULL: "null", nfs.PROC_GETATTR: "getattr",
+    nfs.PROC_LOOKUP: "lookup", nfs.PROC_READ: "read",
+    nfs.PROC_WRITE: "write", nfs.PROC_CREATE: "create",
+    nfs.PROC_REMOVE: "remove", nfs.PROC_MKDIR: "mkdir",
+    nfs.PROC_RMDIR: "rmdir", nfs.PROC_READDIR: "readdir",
+}
 
 _STATUS_TO_NFS = {
     Status.NOT_FOUND: nfs.NFSERR_NOENT,

@@ -118,6 +118,30 @@ class LotManager:
         #: to the attached lot first (Chirp's ``lot_attach``).
         self.attachments: dict[str, str] = {}
         self._ids = itertools.count(1)
+        self._m_expired = None
+        self._m_reclaimed_files = None
+        self._m_reclaimed_bytes = None
+
+    def register_metrics(self, registry) -> None:
+        """Publish lot lifecycle counters + live gauges on ``registry``
+        (a :class:`repro.obs.metrics.MetricsRegistry`)."""
+        self._m_expired = registry.counter(
+            "nest_lots_expired_total",
+            "Lots whose guarantee lapsed to best-effort.")
+        self._m_reclaimed_files = registry.counter(
+            "nest_lot_reclaimed_files_total",
+            "Files deleted by best-effort reclamation.")
+        self._m_reclaimed_bytes = registry.counter(
+            "nest_lot_reclaimed_bytes_total",
+            "Bytes freed by best-effort reclamation.")
+        registry.gauge_callback(
+            "nest_lots_active",
+            lambda: sum(1 for l in self.lots.values()
+                        if l.state is LotState.ACTIVE),
+            "Lots currently holding a guarantee.")
+        registry.gauge_callback(
+            "nest_lot_used_bytes", self.total_used,
+            "Bytes charged across all lots.")
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -134,6 +158,8 @@ class LotManager:
             if lot.state is LotState.ACTIVE and now >= lot.expires_at:
                 lot.state = LotState.BEST_EFFORT
                 flipped.append(lot)
+        if flipped and self._m_expired is not None:
+            self._m_expired.inc(len(flipped))
         return flipped
 
     def _guaranteed_bytes(self) -> int:
@@ -364,18 +390,23 @@ class LotManager:
 
     def _reclaim(self, needed: int) -> None:
         freed = 0
+        reclaimed_files = 0
         for lot in self._victim_order():
             if freed >= needed:
                 break
             for path in list(lot.charges):
                 nbytes = lot.charges.pop(path)
                 freed += nbytes
+                reclaimed_files += 1
                 if not any(path in other.charges for other in self.lots.values()):
                     self.on_reclaim(path)
                 if freed >= needed:
                     break
             if not lot.charges:
                 del self.lots[lot.lot_id]
+        if reclaimed_files and self._m_reclaimed_files is not None:
+            self._m_reclaimed_files.inc(reclaimed_files)
+            self._m_reclaimed_bytes.inc(freed)
 
     def total_used(self) -> int:
         """Bytes charged across all lots."""

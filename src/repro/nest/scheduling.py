@@ -102,6 +102,11 @@ class Scheduler:
         """True if any registered job is ready."""
         raise NotImplementedError
 
+    def depth(self) -> int:
+        """Number of registered jobs (the scheduler's queue depth)."""
+        jobs = getattr(self, "_jobs", None)
+        return len(jobs) if jobs is not None else 0
+
 
 class FCFSScheduler(Scheduler):
     """First-come first-served over the transfer manager's run queue.

@@ -30,6 +30,12 @@ from repro.nest.graybox import GrayBoxCacheModel
 from repro.nest.handlers import HANDLERS
 from repro.nest.storage import StorageManager
 from repro.nest.transfer import TransferManager
+from repro.obs import Observability
+from repro.obs.log import get_logger
+from repro.obs.metrics import global_registry
+from repro.obs.mgmt import ManagementEndpoint
+
+logger = get_logger(__name__)
 
 
 class FileHandleRegistry:
@@ -91,6 +97,14 @@ class NestServer:
         self.config.validate()
         self.host = host
         self.faults = faults
+        #: this appliance's telemetry: metrics registry, tracer, span
+        #: recorder, and live-health consolidation, private per server
+        #: so side-by-side instances stay isolated.
+        self.obs = Observability(
+            service=self.config.name,
+            span_limit=self.config.span_limit,
+            health_window=self.config.health_window,
+        )
         self.fhandles = FileHandleRegistry()
         self.storage = StorageManager(
             store=store,
@@ -101,11 +115,35 @@ class NestServer:
             reclaim_policy=self.config.reclaim_policy,
             anonymous_rights=self.config.anonymous_rights,
             invalidate=self.fhandles.forget,
+            registry=self.obs.registry,
         )
         self.graybox = GrayBoxCacheModel(self.config.graybox_cache_bytes)
         self.transfers = TransferManager(
-            self.config, residency=self.graybox.predict_residency
+            self.config, residency=self.graybox.predict_residency,
+            obs=self.obs,
         )
+        reg = self.obs.registry
+        self._m_connections = reg.counter(
+            "nest_connections_total", "Accepted client connections.",
+            labelnames=("protocol",))
+        self._m_requests = reg.counter(
+            "nest_requests_total",
+            "Requests served, by protocol, operation, and outcome.",
+            labelnames=("protocol", "op", "outcome"), max_series=256)
+        self._m_request_seconds = reg.histogram(
+            "nest_request_seconds", "End-to-end request latency.",
+            labelnames=("protocol",))
+        reg.gauge_callback("nest_active_connections",
+                           self.active_connections,
+                           "Live handler connections.")
+        health = self.obs.health
+        health.add_probe("queue_depth", self.transfers.queue_depth)
+        health.add_probe("transfer_failures",
+                         lambda: len(self.transfers.failures()))
+        if self.faults is not None:
+            health.add_probe("faults_injected", self.faults.fired)
+        health.add_probe("retries", _client_retries_observed)
+        self.mgmt: ManagementEndpoint | None = None
         if self.config.require_lots and self.config.default_anonymous_lot_bytes:
             self.storage.lots.create_lot(
                 "anonymous", self.config.default_anonymous_lot_bytes,
@@ -153,6 +191,16 @@ class NestServer:
             )
             thread.start()
             self._threads.append(thread)
+        if self.config.management:
+            self.mgmt = ManagementEndpoint(
+                self.obs.registry, health=self.obs.health,
+                recorder=self.obs.recorder, host=self.host,
+                port=self._requested_ports.get("mgmt", 0),
+                service=self.config.name,
+                ad_attributes=self.obs.health_attributes,
+            ).start()
+            self.ports["mgmt"] = self.mgmt.port
+        logger.info("%s listening: %s", self.config.name, self.ports)
         return self
 
     def stop(self, drain_timeout: float = 5.0) -> dict[str, int]:
@@ -203,7 +251,14 @@ class NestServer:
                 self._connections.pop(handler, None)
 
         self.transfers.shutdown()
+        # The management endpoint outlives the data path so operators
+        # can scrape a draining server; it goes down last.
+        if self.mgmt is not None:
+            self.mgmt.stop()
+            self.mgmt = None
         drained = len(stragglers) == 0
+        logger.info("%s stopped (drained=%s forced=%d)",
+                    self.config.name, drained, forced)
         return {"drained": int(drained), "forced": forced}
 
     def active_connections(self) -> int:
@@ -240,6 +295,7 @@ class NestServer:
                 except OSError:
                     pass
                 return
+            self._m_connections.inc(protocol=proto)
             handler = handler_cls(self, conn, addr)
             thread = threading.Thread(
                 target=self._run_handler, args=(handler,),
@@ -263,13 +319,31 @@ class NestServer:
         """Map an authenticated GSI subject to a local user."""
         return self.subject_map.get(subject, subject)
 
+    def observe_request(self, protocol: str, op: str, ok: bool,
+                        seconds: float) -> None:
+        """Handler callback: one finished request's metrics + health."""
+        self._m_requests.inc(protocol=protocol, op=op,
+                             outcome="ok" if ok else "error")
+        self._m_request_seconds.observe(seconds, protocol=protocol)
+        self.obs.health.record_request(protocol, ok)
+
     def advertisement(self) -> ClassAd:
-        """Current resource/data availability as a ClassAd (§2.1)."""
+        """Current resource/data availability as a ClassAd (§2.1),
+        merged with the live measured-performance health block."""
         return build_advertisement(
             self.config.name, self.storage, list(self.config.protocols),
             host=self.host, ports=self.ports,
+            health=self.obs.health_attributes(),
         )
 
     def endpoint(self, proto: str) -> tuple[str, int]:
         """(host, port) of a protocol's listener."""
         return self.host, self.ports[proto]
+
+
+def _client_retries_observed() -> float:
+    """Retries recorded process-wide by the client retry layer (the
+    health feed surfaces them so an operator sees "clients are having
+    to retry against this appliance")."""
+    metric = global_registry().get("repro_client_retries_total")
+    return metric.total() if metric is not None else 0.0

@@ -21,12 +21,15 @@ from __future__ import annotations
 
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, BinaryIO, Callable
 
 from repro.nest.acl import AccessControl, AclError, Rights, default_acl
 from repro.nest.backends import DataStore, MemoryStore
 from repro.nest.lots import LotError, LotManager
+from repro.obs import spans as _spans
+from repro.obs.metrics import MetricsRegistry
 from repro.protocols.common import Request, RequestType, Response, Status
 
 
@@ -90,6 +93,7 @@ class StorageManager:
         reclaim_policy: str = "expired-first",
         anonymous_rights: str = "rl",
         invalidate: Callable[[str], None] | None = None,
+        registry: MetricsRegistry | None = None,
     ):
         self.store = store if store is not None else MemoryStore()
         self.clock = clock
@@ -118,6 +122,34 @@ class StorageManager:
         self.capacity_bytes = capacity_bytes
         self.used_bytes = 0
         self._lock = threading.RLock()
+        self._m_ops = None
+        self._m_denied = None
+        if registry is not None:
+            self._m_ops = registry.counter(
+                "nest_storage_ops_total",
+                "Storage-manager operations, by op and outcome.",
+                labelnames=("op", "outcome"), max_series=128)
+            self._m_denied = registry.counter(
+                "nest_acl_denials_total",
+                "Requests refused by an ACL check, by missing right.",
+                labelnames=("right",))
+            self.lots.register_metrics(registry)
+
+    @contextmanager
+    def _op(self, op: str, path: str = ""):
+        """One storage operation: a ``storage`` child span under
+        whatever request is being traced, plus op/outcome counts."""
+        span = _spans.maybe_span("storage", op=op, path=path)
+        try:
+            with span:
+                yield
+        except StorageError as exc:
+            if self._m_ops is not None:
+                self._m_ops.inc(op=op, outcome=exc.status.value)
+            raise
+        else:
+            if self._m_ops is not None:
+                self._m_ops.inc(op=op, outcome="ok")
 
     # ------------------------------------------------------------------
     # namespace internals
@@ -151,6 +183,9 @@ class StorageManager:
 
     def _check(self, acl: AccessControl, user: str, letter: str) -> None:
         if not acl.allows(user, letter):
+            if self._m_denied is not None:
+                self._m_denied.inc(right=letter)
+            _spans.annotate("acl_denied", 1)
             raise StorageError(Status.DENIED, f"{user} lacks {letter!r}")
 
     def _dir_acl_of(self, path: str) -> AccessControl:
@@ -320,7 +355,7 @@ class StorageManager:
     # ------------------------------------------------------------------
     def approve_get(self, user: str, path: str) -> TransferTicket:
         """Authorize a whole-file read; returns the source ticket."""
-        with self._lock:
+        with self._op("approve_get", path), self._lock:
             node = self._lookup(path)
             if isinstance(node, DirNode):
                 raise StorageError(Status.IS_DIR, path)
@@ -336,7 +371,7 @@ class StorageManager:
         Charges lots/space up front so the guarantee holds before any
         data moves; over-declaration is settled back on completion.
         """
-        with self._lock:
+        with self._op("approve_put", path), self._lock:
             parent, name = self._parent_and_name(path)
             existing = parent.children.get(name)
             if isinstance(existing, DirNode):
@@ -368,7 +403,7 @@ class StorageManager:
 
     def approve_write(self, user: str, path: str, offset: int, length: int) -> TransferTicket:
         """Authorize a block write (NFS); creates the file if needed."""
-        with self._lock:
+        with self._op("approve_write", path), self._lock:
             parent, name = self._parent_and_name(path)
             existing = parent.children.get(name)
             if isinstance(existing, DirNode):
@@ -392,7 +427,7 @@ class StorageManager:
 
     def approve_read(self, user: str, path: str, offset: int, length: int) -> TransferTicket:
         """Authorize a block read (NFS)."""
-        with self._lock:
+        with self._op("approve_read", path), self._lock:
             node = self._lookup(path)
             if isinstance(node, DirNode):
                 raise StorageError(Status.IS_DIR, path)
@@ -469,7 +504,8 @@ class StorageManager:
             return Response(Status.BAD_REQUEST,
                             message=f"storage manager cannot execute {request.rtype}")
         try:
-            data = handler(request)
+            with self._op(request.rtype.value, request.path):
+                data = handler(request)
             return Response(Status.OK, data=data)
         except StorageError as exc:
             return Response(exc.status, message=exc.message)

@@ -20,14 +20,16 @@ goodput, exactly as in :mod:`repro.simnest`.
 
 from __future__ import annotations
 
-import logging
 import threading
 import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, BinaryIO, Callable, Optional
 
-logger = logging.getLogger(__name__)
+from repro.obs import spans as _spans
+from repro.obs.log import get_logger
+
+logger = get_logger(__name__)
 
 from repro.nest.concurrency import EVENTS, THREADS, Selector, make_selector
 from repro.nest.config import NestConfig
@@ -49,6 +51,7 @@ class Transfer:
         total: int,
         model: str,
         on_done: Optional[Callable[["Transfer"], None]] = None,
+        span: Optional["_spans.Span"] = None,
     ):
         self.job = job
         self.source = source
@@ -62,6 +65,13 @@ class Transfer:
         #: kept separate so it never masks the transfer's own outcome.
         self.callback_error: Optional[BaseException] = None
         self.started_at = time.monotonic()
+        #: parent request span, when the submitter is being traced --
+        #: queue-wait and transfer children are attached retroactively
+        #: because pumping crosses worker threads.
+        self.span = span
+        self.submitted_wall = time.time()
+        self.dispatched_at: Optional[float] = None
+        self.dispatched_wall: Optional[float] = None
         self._finished = threading.Event()
 
     # -- worker side -------------------------------------------------------
@@ -131,9 +141,39 @@ class Transfer:
 class TransferManager:
     """Schedules and executes transfers under one NestConfig."""
 
-    def __init__(self, config: NestConfig, residency=None):
+    def __init__(self, config: NestConfig, residency=None, obs=None):
         config.validate()
         self.config = config
+        #: optional repro.obs.Observability bundle; when present every
+        #: transfer feeds the metrics registry, the health monitor's
+        #: rolling throughput, and (for traced requests) queue-wait and
+        #: transfer child spans.
+        self.obs = obs
+        if obs is not None:
+            reg = obs.registry
+            self._m_bytes = reg.counter(
+                "nest_transfer_bytes_total",
+                "Bytes moved through the transfer manager.", ("protocol",))
+            self._m_transfers = reg.counter(
+                "nest_transfers_total",
+                "Transfers completed.", ("protocol", "outcome"))
+            self._m_failures = reg.counter(
+                "nest_transfer_failures_total",
+                "Transfer failures by cause.", ("protocol", "cause"))
+            self._m_seconds = reg.histogram(
+                "nest_transfer_seconds",
+                "Transfer duration, submit to completion.", ("protocol",))
+            self._m_queue_wait = reg.histogram(
+                "nest_queue_wait_seconds",
+                "Time from submit to first scheduler dispatch.",
+                ("protocol",))
+            reg.gauge_callback("nest_transfer_queue_depth", self.queue_depth,
+                               "Transfers waiting for a scheduler grant.")
+            reg.gauge_callback("nest_transfers_in_flight", self.in_flight,
+                               "Transfer quanta currently executing.")
+            reg.gauge_callback("nest_transfer_failure_ring",
+                               lambda: len(self._failures),
+                               "Failure causes currently retained.")
         self.scheduler: Scheduler = make_scheduler(
             config.scheduling,
             shares=config.shares,
@@ -159,8 +199,11 @@ class TransferManager:
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
         self._pending: dict[int, Transfer] = {}
-        #: ring of recent per-transfer failure causes (newest last).
-        self._failures: deque[dict[str, Any]] = deque(maxlen=64)
+        #: ring of recent per-transfer failure causes (newest last);
+        #: each entry is timestamped ("at", epoch seconds) and the
+        #: bound is the administrator's ``config.failure_history``.
+        self._failures: deque[dict[str, Any]] = deque(
+            maxlen=config.failure_history)
         self._in_flight = 0
         self._enqueue_seq = 0
         self._running = True
@@ -181,11 +224,18 @@ class TransferManager:
         user: str = "anonymous",
         path: str = "",
         on_done: Optional[Callable[[Transfer], None]] = None,
+        span: Optional["_spans.Span"] = None,
     ) -> Transfer:
-        """Queue a transfer; returns immediately (asynchronous)."""
+        """Queue a transfer; returns immediately (asynchronous).
+
+        ``span`` (or, failing that, the submitting thread's active
+        span) becomes the parent of the retroactive queue-wait and
+        transfer child spans.
+        """
         model = self.selector.choose()
         job = make_job(protocol, user=user, path=path, total_bytes=total)
-        transfer = Transfer(job, source, sink, total, model, on_done=on_done)
+        transfer = Transfer(job, source, sink, total, model, on_done=on_done,
+                            span=span or _spans.current_span())
         with self._lock:
             self.scheduler.add(job)
             self._enqueue_seq += 1
@@ -204,13 +254,25 @@ class TransferManager:
         """Recent transfer failures, oldest first.
 
         Each entry records protocol, user, path, bytes moved vs.
-        expected, and the error -- the manageability counterpart of the
-        paper's "storage appliances must be observable": a failed
-        transfer leaves a cause an operator can read, not just a closed
-        socket.
+        expected, the error, and a timestamp ("at", epoch seconds) --
+        the manageability counterpart of the paper's "storage
+        appliances must be observable": a failed transfer leaves a
+        cause an operator can read, not just a closed socket.  The
+        ring keeps the most recent ``config.failure_history`` entries;
+        its live size and per-cause totals are also registry metrics.
         """
         with self._lock:
             return list(self._failures)
+
+    def queue_depth(self) -> int:
+        """Transfers enqueued and awaiting a scheduler grant."""
+        with self._lock:
+            return sum(1 for t in self._pending.values() if t.job.ready)
+
+    def in_flight(self) -> int:
+        """Transfer quanta currently executing on a worker."""
+        with self._lock:
+            return self._in_flight
 
     def shutdown(self) -> None:
         """Stop the scheduler thread and executors."""
@@ -242,6 +304,20 @@ class TransferManager:
                 transfer = self._pending[job.job_id]
                 job.ready = False
                 self._in_flight += 1
+            if transfer.dispatched_at is None:
+                # First grant: the interval since submit is this
+                # transfer's queue-wait, recorded as a retroactive
+                # child span plus a histogram observation.
+                transfer.dispatched_at = time.perf_counter()
+                transfer.dispatched_wall = time.time()
+                waited = transfer.dispatched_wall - transfer.submitted_wall
+                if self.obs is not None:
+                    self._m_queue_wait.observe(max(waited, 0.0),
+                                               protocol=job.protocol)
+                if transfer.span is not None:
+                    transfer.span.child_at(
+                        "queue", transfer.submitted_wall, max(waited, 0.0),
+                        protocol=job.protocol)
             executor = (
                 self._events_pool if transfer.model == EVENTS else self._threads_pool
             )
@@ -270,6 +346,10 @@ class TransferManager:
         finished = error is not None or (
             transfer.done if moved else True  # EOF counts as done
         )
+        obs = self.obs
+        if obs is not None and moved:
+            self._m_bytes.inc(moved, protocol=job.protocol)
+            obs.health.record_bytes(moved)
         with self._lock:
             self._in_flight -= 1
             self.scheduler.charge(job, moved)
@@ -295,4 +375,30 @@ class TransferManager:
             self.selector.report(
                 transfer.model, max(transfer.moved, 1), max(transfer.elapsed, 1e-6)
             )
+            self._observe_finish(transfer, error)
             transfer._finish(error)
+
+    def _observe_finish(self, transfer: Transfer,
+                        error: BaseException | None) -> None:
+        """Publish one completed transfer's telemetry."""
+        obs = self.obs
+        if obs is not None:
+            outcome = "error" if error is not None else "ok"
+            protocol = transfer.job.protocol
+            self._m_transfers.inc(1, protocol=protocol, outcome=outcome)
+            self._m_seconds.observe(transfer.elapsed, protocol=protocol)
+            if error is not None:
+                self._m_failures.inc(1, protocol=protocol,
+                                     cause=type(error).__name__)
+        if transfer.span is not None:
+            start = transfer.dispatched_wall or transfer.submitted_wall
+            reference = transfer.dispatched_at
+            pumped = (time.perf_counter() - reference
+                      if reference is not None else 0.0)
+            child = transfer.span.child_at(
+                "transfer", start, max(pumped, 0.0),
+                protocol=transfer.job.protocol, bytes=transfer.moved,
+                model=transfer.model)
+            if error is not None:
+                child.status = "error"
+                child.set(error=type(error).__name__)

@@ -1,0 +1,171 @@
+"""Chrome trace-event JSON export for live spans and sim timelines.
+
+Writes the `Trace Event Format`_ consumed by ``chrome://tracing`` and
+Perfetto: a JSON object whose ``traceEvents`` list holds complete
+("ph": "X") events with microsecond timestamps.  Two sources feed it:
+
+* **live spans** from a :class:`~repro.obs.spans.SpanRecorder` --
+  every request's span tree becomes a nested flame row, one track
+  (``tid``) per trace so concurrent connections render side by side;
+* **sim-kernel timelines** from
+  :class:`~repro.sim.trace.KernelTrace` -- simulated seconds map to
+  microseconds, processes become duration events and individual event
+  dispatches become instant events.
+
+:func:`validate_trace` is the schema check the tests (and any future
+tooling) assert exported documents against.
+
+.. _Trace Event Format:
+   https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+from repro.obs.spans import Span, SpanRecorder
+
+__all__ = [
+    "spans_to_chrome",
+    "sim_trace_to_chrome",
+    "validate_trace",
+    "write_trace",
+]
+
+#: Phases this exporter emits (complete, instant, metadata).
+_KNOWN_PHASES = {"X", "i", "M"}
+
+
+def _span_event(span: Span, pid: int, tid_of: dict[str, int]) -> dict:
+    tid = tid_of.setdefault(span.trace_id, len(tid_of) + 1)
+    args = {"trace_id": span.trace_id, "span_id": span.span_id,
+            "status": span.status}
+    if span.parent_id:
+        args["parent_id"] = span.parent_id
+    args.update({k: v for k, v in span.attributes.items()
+                 if isinstance(v, (str, int, float, bool))})
+    return {
+        "name": span.name,
+        "cat": "span",
+        "ph": "X",
+        "ts": round(span.start * 1e6, 3),
+        "dur": round((span.duration or 0.0) * 1e6, 3),
+        "pid": pid,
+        "tid": tid,
+        "args": args,
+    }
+
+
+def spans_to_chrome(spans: Iterable[Span] | SpanRecorder,
+                    service: str = "nest", pid: int = 1) -> dict:
+    """Convert finished spans into a Chrome trace document."""
+    if isinstance(spans, SpanRecorder):
+        spans = spans.spans()
+    tid_of: dict[str, int] = {}
+    events: list[dict] = [{
+        "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+        "args": {"name": service},
+    }]
+    for span in spans:
+        if span.ended:
+            events.append(_span_event(span, pid, tid_of))
+    for trace_id, tid in tid_of.items():
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": trace_id},
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def sim_trace_to_chrome(trace: Any, service: str = "sim", pid: int = 2) -> dict:
+    """Convert a :class:`~repro.sim.trace.KernelTrace` to Chrome form.
+
+    Simulated seconds become trace microseconds.  Process lifetimes
+    (``proc`` records carrying start and end times) render as duration
+    events on per-process tracks; bare event dispatches render as
+    instant events on track 0.
+    """
+    events: list[dict] = [{
+        "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+        "args": {"name": service},
+    }]
+    tids: dict[str, int] = {}
+    for record in trace.records():
+        kind, name, t0, t1 = record
+        if kind == "proc":
+            tid = tids.setdefault(name, len(tids) + 1)
+            events.append({
+                "name": name, "cat": "process", "ph": "X",
+                "ts": round(t0 * 1e6, 3),
+                "dur": round(max(t1 - t0, 0.0) * 1e6, 3),
+                "pid": pid, "tid": tid, "args": {},
+            })
+        else:
+            events.append({
+                "name": name, "cat": "event", "ph": "i",
+                "ts": round(t0 * 1e6, 3), "pid": pid, "tid": 0,
+                "s": "t", "args": {},
+            })
+    for name, tid in tids.items():
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": name},
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def validate_trace(doc: Any) -> list[str]:
+    """Check a document against the trace-event schema.
+
+    Returns a list of problems (empty = valid): the top-level shape,
+    required per-event keys, known phases, numeric non-negative
+    timestamps, and JSON-serializability of ``args``.
+    """
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document must be a JSON object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in _KNOWN_PHASES:
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            problems.append(f"{where}: missing name")
+        if not isinstance(ev.get("pid"), int):
+            problems.append(f"{where}: missing integer pid")
+        if not isinstance(ev.get("tid"), int):
+            problems.append(f"{where}: missing integer tid")
+        if ph in ("X", "i"):
+            ts = ev.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(f"{where}: bad ts {ts!r}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: bad dur {dur!r}")
+        args = ev.get("args", {})
+        if not isinstance(args, dict):
+            problems.append(f"{where}: args must be an object")
+    try:
+        json.dumps(doc)
+    except (TypeError, ValueError) as exc:
+        problems.append(f"not JSON-serializable: {exc}")
+    return problems
+
+
+def write_trace(path: str, doc: dict) -> None:
+    """Write a trace document (refusing to write an invalid one)."""
+    problems = validate_trace(doc)
+    if problems:
+        raise ValueError(f"invalid trace document: {problems[0]}")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1)
+        fh.write("\n")

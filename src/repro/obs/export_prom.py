@@ -1,0 +1,72 @@
+"""Prometheus text exposition (version 0.0.4) for a MetricsRegistry.
+
+The management endpoint serves this at ``/metrics`` and the
+``repro stats`` CLI prints it; the format is the plain-text scrape
+format every Prometheus-compatible collector understands::
+
+    # HELP nest_requests_total Requests served.
+    # TYPE nest_requests_total counter
+    nest_requests_total{protocol="chirp",op="get",outcome="ok"} 12
+
+Rendering reads one consistent snapshot per metric (the registry's
+per-metric locks), escapes label values, and emits histograms as
+cumulative ``_bucket`` series plus ``_sum`` / ``_count``.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import Gauge, Histogram, MetricsRegistry
+
+__all__ = ["render_prometheus"]
+
+
+def _escape(value: str) -> str:
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _labels(names: tuple[str, ...], key: tuple[str, ...],
+            extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [f'{n}="{_escape(v)}"' for n, v in zip(names, key)]
+    pairs.extend(f'{n}="{_escape(v)}"' for n, v in extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry's current state in Prometheus text format."""
+    lines: list[str] = []
+    for metric in registry.metrics():
+        name = metric.name
+        lines.append(f"# HELP {name} {metric.help or name}")
+        lines.append(f"# TYPE {name} {metric.kind}")
+        series = metric.series()
+        if isinstance(metric, Histogram):
+            for key, data in sorted(series.items()):
+                bounds = [*metric.buckets, float("inf")]
+                for bound, cumulative in zip(bounds, data["buckets"]):
+                    le = "+Inf" if bound == float("inf") else _format_value(
+                        float(bound))
+                    labels = _labels(metric.labelnames, key, (("le", le),))
+                    lines.append(f"{name}_bucket{labels} {cumulative}")
+                base = _labels(metric.labelnames, key)
+                lines.append(f"{name}_sum{base} {_format_value(data['sum'])}")
+                lines.append(f"{name}_count{base} {data['count']}")
+            continue
+        if isinstance(metric, Gauge) and metric.callback is not None:
+            lines.append(f"{name} {_format_value(metric.value())}")
+            continue
+        if not series and not metric.labelnames:
+            lines.append(f"{name} 0")
+            continue
+        for key, value in sorted(series.items()):
+            labels = _labels(metric.labelnames, key)
+            lines.append(f"{name}{labels} {_format_value(value)}")
+    return "\n".join(lines) + "\n"

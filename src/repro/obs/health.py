@@ -1,0 +1,144 @@
+"""Live-health consolidation: measured performance for the ClassAd feed.
+
+The paper's dispatcher "periodically consolidates information about
+resource and data availability" (section 2.1); related replica-selection
+work ranks storage servers by *observed* transfer performance rather
+than static capacity.  :class:`HealthMonitor` is that consolidation
+point for one appliance: it keeps a rolling-window throughput estimate,
+per-protocol request/error tallies, and probes (queue depth, failure
+ring size, fault/retry totals), and renders them both as ClassAd
+attributes for :func:`repro.nest.advertise.build_advertisement` and as
+a JSON health document for the management endpoint.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["HealthMonitor"]
+
+
+class _RollingBytes:
+    """Bytes-per-second over a sliding time window (bucketed)."""
+
+    def __init__(self, window: float = 30.0, buckets: int = 30,
+                 clock: Callable[[], float] = time.monotonic):
+        self.window = window
+        self.bucket_span = window / buckets
+        self.clock = clock
+        self._lock = threading.Lock()
+        #: (bucket_index, bytes) pairs, oldest first.
+        self._buckets: deque[tuple[int, float]] = deque()
+
+    def record(self, nbytes: float) -> None:
+        index = int(self.clock() / self.bucket_span)
+        with self._lock:
+            if self._buckets and self._buckets[-1][0] == index:
+                old_index, total = self._buckets[-1]
+                self._buckets[-1] = (old_index, total + nbytes)
+            else:
+                self._buckets.append((index, nbytes))
+            self._trim(index)
+
+    def _trim(self, now_index: int) -> None:
+        horizon = now_index - int(self.window / self.bucket_span)
+        while self._buckets and self._buckets[0][0] < horizon:
+            self._buckets.popleft()
+
+    def per_second(self) -> float:
+        index = int(self.clock() / self.bucket_span)
+        with self._lock:
+            self._trim(index)
+            total = sum(b for _i, b in self._buckets)
+        return total / self.window
+
+
+class HealthMonitor:
+    """One appliance's measured-performance consolidation point."""
+
+    def __init__(self, registry: MetricsRegistry,
+                 window: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic):
+        self.registry = registry
+        self._throughput = _RollingBytes(window=window, clock=clock)
+        self._lock = threading.Lock()
+        self._requests: dict[str, int] = {}
+        self._errors: dict[str, int] = {}
+        #: named probes sampled at snapshot time (queue depth...).
+        self._probes: dict[str, Callable[[], float]] = {}
+
+    # -- feed --------------------------------------------------------------
+    def record_bytes(self, nbytes: float) -> None:
+        """Feed data-path bytes into the rolling throughput window."""
+        self._throughput.record(nbytes)
+
+    def record_request(self, protocol: str, ok: bool) -> None:
+        with self._lock:
+            self._requests[protocol] = self._requests.get(protocol, 0) + 1
+            if not ok:
+                self._errors[protocol] = self._errors.get(protocol, 0) + 1
+
+    def add_probe(self, name: str, probe: Callable[[], float]) -> None:
+        """Register a live probe sampled at every snapshot."""
+        with self._lock:
+            self._probes[name] = probe
+
+    # -- read --------------------------------------------------------------
+    def throughput_bps(self) -> float:
+        return self._throughput.per_second()
+
+    def error_rate(self, protocol: str) -> float:
+        with self._lock:
+            total = self._requests.get(protocol, 0)
+            if not total:
+                return 0.0
+            return self._errors.get(protocol, 0) / total
+
+    def snapshot(self) -> dict[str, Any]:
+        """One consistent health document (JSON-able)."""
+        with self._lock:
+            requests = dict(self._requests)
+            errors = dict(self._errors)
+            probes = dict(self._probes)
+        sampled: dict[str, float] = {}
+        for name, probe in probes.items():
+            try:
+                sampled[name] = float(probe())
+            except Exception:  # noqa: BLE001 - one dead probe != no health
+                sampled[name] = 0.0
+        return {
+            "throughput_bps": self.throughput_bps(),
+            "requests": requests,
+            "errors": errors,
+            "error_rates": {
+                proto: errors.get(proto, 0) / count
+                for proto, count in requests.items() if count
+            },
+            "probes": sampled,
+        }
+
+    def ad_attributes(self) -> dict[str, Any]:
+        """Health rendered as ClassAd attributes (§2.1's consolidation).
+
+        ``ThroughputMBps`` is the measured rolling data-path rate the
+        discovery layer ranks on; queue depth, error rates, and
+        fault/retry totals give matchmakers (and operators) the "what
+        is it doing right now" picture static space numbers cannot.
+        """
+        doc = self.snapshot()
+        attrs: dict[str, Any] = {
+            "ThroughputMBps": round(doc["throughput_bps"] / 1e6, 6),
+            "QueueDepth": int(doc["probes"].get("queue_depth", 0)),
+            "TransferFailures": int(doc["probes"].get("transfer_failures", 0)),
+            "FaultsInjected": int(doc["probes"].get("faults_injected", 0)),
+            "RetriesObserved": int(doc["probes"].get("retries", 0)),
+            "RequestsServed": int(sum(doc["requests"].values())),
+        }
+        for proto, rate in sorted(doc["error_rates"].items()):
+            attrs[f"{proto.capitalize()}ErrorRate"] = round(rate, 6)
+        return attrs

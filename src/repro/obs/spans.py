@@ -1,0 +1,293 @@
+"""Request spans: a per-connection trace context for the live stack.
+
+A :class:`Tracer` mints one trace per accepted connection; handlers
+open a child span per request, and the layers a request crosses --
+parse, authorize, queue-wait, transfer, storage commit -- each record
+a timed child span.  The result is a span *tree* that answers "why was
+this request slow?" with the same vocabulary across all five wire
+protocols.
+
+Propagation is deliberately low-tech: the active span is kept on a
+thread-local stack (one handler thread owns one connection, so this is
+exact for the synchronous layers), and layers that hop threads -- the
+transfer manager's worker pool -- are handed the parent span
+explicitly and attach retroactive children with measured start and
+duration.  Code deep in the stack (storage, ACL, lots) does not need a
+tracer reference at all: :func:`maybe_span` opens a child of whatever
+span is active, and is a no-op costing one thread-local read when
+nothing is being traced.
+
+Finished spans land in a bounded :class:`SpanRecorder` ring; the
+management endpoint and the Chrome trace exporter read from there.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Any, Optional
+
+__all__ = [
+    "Span",
+    "SpanRecorder",
+    "Tracer",
+    "annotate",
+    "current_span",
+    "maybe_span",
+]
+
+
+class Span:
+    """One timed operation inside a trace.
+
+    ``start`` is epoch seconds (for cross-host correlation), while the
+    duration is measured with ``perf_counter`` so it is monotonic and
+    sub-millisecond accurate.  Attributes are a small flat dict --
+    protocol, op, user class, outcome, byte counts, fault and retry
+    annotations.
+    """
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name", "start",
+                 "duration", "attributes", "status", "_recorder", "_t0")
+
+    def __init__(self, trace_id: str, span_id: str, name: str,
+                 parent_id: str | None = None,
+                 recorder: "SpanRecorder | None" = None,
+                 attributes: dict[str, Any] | None = None):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start = time.time()
+        self.duration: float | None = None
+        self.attributes: dict[str, Any] = dict(attributes or {})
+        self.status = "ok"
+        self._recorder = recorder
+        self._t0 = time.perf_counter()
+
+    # -- annotation --------------------------------------------------------
+    def set(self, **attrs: Any) -> "Span":
+        self.attributes.update(attrs)
+        return self
+
+    def add(self, key: str, amount: float = 1) -> "Span":
+        """Increment a numeric attribute (retry counts, fault counts)."""
+        self.attributes[key] = self.attributes.get(key, 0) + amount
+        return self
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def ended(self) -> bool:
+        return self.duration is not None
+
+    def end(self, status: str | None = None) -> "Span":
+        """Close the span (idempotent) and hand it to the recorder."""
+        if self.duration is not None:
+            return self
+        self.duration = time.perf_counter() - self._t0
+        if status is not None:
+            self.status = status
+        if self._recorder is not None:
+            self._recorder.record(self)
+        return self
+
+    def child(self, name: str, **attrs: Any) -> "Span":
+        """Open a child span in the same trace."""
+        return Span(self.trace_id, _next_span_id(), name,
+                    parent_id=self.span_id, recorder=self._recorder,
+                    attributes=attrs)
+
+    def child_at(self, name: str, start: float, duration: float,
+                 **attrs: Any) -> "Span":
+        """Record a retroactive child whose timing was measured
+        elsewhere (e.g. queue-wait measured by the transfer manager's
+        worker threads)."""
+        span = Span(self.trace_id, _next_span_id(), name,
+                    parent_id=self.span_id, recorder=self._recorder,
+                    attributes=attrs)
+        span.start = start
+        span.duration = duration
+        if self._recorder is not None:
+            self._recorder.record(span)
+        return span
+
+    # -- context manager ---------------------------------------------------
+    def __enter__(self) -> "Span":
+        _push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        _pop(self)
+        self.end(status="error" if exc_type is not None else None)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "status": self.status,
+            "attributes": dict(self.attributes),
+        }
+
+    def __repr__(self) -> str:
+        state = f"{self.duration * 1e3:.2f}ms" if self.ended else "open"
+        return f"<Span {self.name!r} trace={self.trace_id} {state}>"
+
+
+class _NullSpan:
+    """The do-nothing span :func:`maybe_span` yields when no trace is
+    active; every annotation method is a cheap no-op."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def add(self, key: str, amount: float = 1) -> "_NullSpan":
+        return self
+
+    def end(self, status: str | None = None) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class SpanRecorder:
+    """Bounded ring of finished spans (newest last), thread-safe."""
+
+    def __init__(self, limit: int = 4096):
+        self.limit = limit
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+        self.dropped = 0
+
+    def record(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+            if len(self._spans) > self.limit:
+                overflow = len(self._spans) - self.limit
+                del self._spans[:overflow]
+                self.dropped += overflow
+
+    def spans(self) -> list[Span]:
+        """Snapshot of recorded spans, oldest first."""
+        with self._lock:
+            return list(self._spans)
+
+    def trace(self, trace_id: str) -> list[Span]:
+        """Every recorded span of one trace, oldest first."""
+        with self._lock:
+            return [s for s in self._spans if s.trace_id == trace_id]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+# ----------------------------------------------------------------------
+# id generation and thread-local propagation
+# ----------------------------------------------------------------------
+_ids = itertools.count(1)
+_id_lock = threading.Lock()
+
+
+def _next_span_id() -> str:
+    with _id_lock:
+        return f"{next(_ids):08x}"
+
+
+_active = threading.local()
+
+
+def _stack() -> list[Span]:
+    stack = getattr(_active, "stack", None)
+    if stack is None:
+        stack = _active.stack = []
+    return stack
+
+
+def _push(span: Span) -> None:
+    _stack().append(span)
+
+
+def _pop(span: Span) -> None:
+    stack = _stack()
+    if stack and stack[-1] is span:
+        stack.pop()
+    elif span in stack:  # unbalanced exit; drop it anyway
+        stack.remove(span)
+
+
+def current_span() -> Optional[Span]:
+    """The innermost active span on this thread, or None."""
+    stack = getattr(_active, "stack", None)
+    return stack[-1] if stack else None
+
+
+def maybe_span(name: str, **attrs: Any):
+    """A child span of the active span, or a shared no-op.
+
+    This is the instrumentation point for layers without a tracer
+    reference (storage manager, ACL checks, lot accounting): inside a
+    traced request it yields a real child span; outside one it costs a
+    thread-local read and returns the null span.
+    """
+    parent = current_span()
+    if parent is None:
+        return NULL_SPAN
+    return parent.child(name, **attrs)
+
+
+def annotate(key: str, amount: float = 1) -> None:
+    """Increment a numeric attribute on the active span, if any.
+
+    Used by the retry and fault layers to stamp "this request saw N
+    retries / M injected faults" onto whatever is being traced.
+    """
+    span = current_span()
+    if span is not None:
+        span.add(key, amount)
+
+
+class Tracer:
+    """Mints traces and root spans bound to one recorder."""
+
+    def __init__(self, recorder: SpanRecorder | None = None,
+                 service: str = "nest"):
+        self.recorder = recorder if recorder is not None else SpanRecorder()
+        self.service = service
+        self._trace_ids = itertools.count(1)
+        self._lock = threading.Lock()
+
+    def _next_trace_id(self) -> str:
+        with self._lock:
+            return f"{self.service}-{next(self._trace_ids):06d}"
+
+    def start_trace(self, name: str, **attrs: Any) -> Span:
+        """A new root span beginning a fresh trace."""
+        return Span(self._next_trace_id(), _next_span_id(), name,
+                    recorder=self.recorder, attributes=attrs)
+
+    def span(self, name: str, parent: Span | None = None,
+             **attrs: Any) -> Span:
+        """A span under ``parent`` (or the thread's active span, or a
+        fresh trace when neither exists)."""
+        parent = parent or current_span()
+        if parent is not None:
+            return parent.child(name, **attrs)
+        return self.start_trace(name, **attrs)

@@ -91,6 +91,40 @@ class PerfReport:
     def to_dict(self) -> dict:
         return asdict(self)
 
+    def publish(self, registry: Any = None) -> None:
+        """Re-home this snapshot onto a metrics registry (the process
+        registry by default), so the sim hot-path counters appear in
+        the same Prometheus exposition as the live stack's metrics.
+
+        The counted objects keep their plain integer attributes -- the
+        hot path never touches the registry; publishing is a one-shot
+        copy at snapshot time.
+        """
+        from repro.obs.metrics import global_registry
+
+        reg = registry if registry is not None else global_registry()
+        kernel = reg.gauge(
+            "repro_sim_kernel_counter",
+            "Event-kernel hot-path counters (latest snapshot).",
+            labelnames=("counter",))
+        for name, value in asdict(self.kernel).items():
+            kernel.set(value, counter=name)
+        links = reg.gauge(
+            "repro_sim_link_counter",
+            "Fair-share link counters (latest snapshot).",
+            labelnames=("link", "counter"))
+        for link in self.links:
+            for name, value in asdict(link).items():
+                if name != "name":
+                    links.set(value, link=link.name, counter=name)
+        gates = reg.gauge(
+            "repro_sim_gate_counter",
+            "Pump-gate counters (latest snapshot).",
+            labelnames=("gate", "counter"))
+        for index, gate in enumerate(self.gates):
+            for name, value in asdict(gate).items():
+                gates.set(value, gate=str(index), counter=name)
+
     def render(self) -> str:
         """Human-readable counter table."""
         k = self.kernel

@@ -12,6 +12,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.obs.log import console
 from repro.perf.bench import record_kernel
 
 #: Small enough to finish in well under a second on any plausible host.
@@ -32,7 +33,7 @@ def main(argv: list[str] | None = None) -> int:
     record = record_kernel(path=args.path, label=args.label,
                            n_processes=SMOKE_PROCESSES, steps=SMOKE_STEPS)
     counters = record["counters"]
-    print(
+    console(
         f"smoke: {record['wall_seconds']:.3f}s wall, "
         f"{record['events_per_second']:,} events/s, "
         f"pool hit rate {counters['pool_hit_rate']:.1%} "

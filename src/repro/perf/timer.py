@@ -17,7 +17,7 @@ class WallClockTimer:
 
         with WallClockTimer() as t:
             fig3.run()
-        print(t.elapsed)
+        console(f"{t.elapsed:.3f}s")
 
     The timer can be reused; each ``with`` block restarts it, and
     ``elapsed`` reads the last completed (or still-running) interval.

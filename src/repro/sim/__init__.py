@@ -27,8 +27,10 @@ from repro.sim.core import (
     SimulationError,
 )
 from repro.sim.resources import Resource, PriorityResource, Container, Store
+from repro.sim.trace import KernelTrace
 
 __all__ = [
+    "KernelTrace",
     "Environment",
     "Event",
     "Process",

@@ -28,6 +28,13 @@ The kernel also keeps integer perf counters (events scheduled and
 processed, direct resumes, timeout pool hits, heap high-water mark)
 that :mod:`repro.perf` snapshots; each is a plain attribute increment
 on the hot path.
+
+Opt-in telemetry: :meth:`Environment.enable_trace` attaches a
+:class:`repro.sim.trace.KernelTrace` recording dispatches and process
+lifetimes in simulated time (exported to ``chrome://tracing`` via
+:mod:`repro.obs.export_chrome`).  Disabled -- the default -- it costs
+one ``is None`` test per dispatched event, so simulated results stay
+bit-exact and the microbenchmark wall clock is unchanged.
 """
 
 from __future__ import annotations
@@ -197,7 +204,7 @@ class Process(Event):
     can wait on each other by yielding them.
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "name", "_born")
 
     def __init__(self, env: "Environment", generator: Generator, name: str | None = None):
         if not hasattr(generator, "throw"):
@@ -206,6 +213,7 @@ class Process(Event):
         self._generator = generator
         self._target: Optional[Event] = None
         self.name = name or getattr(generator, "__name__", "process")
+        self._born = env._now
         init = Initialize(env)
         init.callbacks.append(self._resume)
 
@@ -293,6 +301,8 @@ class Process(Event):
         self._value = value
         self._triggered = True
         env = self.env
+        if env._trace is not None:
+            env._trace.record_process(self.name, self._born, env._now)
         env._push(self, env._now, NORMAL)
 
 
@@ -378,12 +388,27 @@ class Environment:
         #: direct resumes waiting to dispatch: (seq, process, event).
         self._pending: deque[tuple[int, Process, Event]] = deque()
         self._timeout_pool: list[Timeout] = []
+        #: opt-in simulated-time trace (None = zero-overhead default).
+        self._trace = None
         # perf counters
         self.events_processed = 0
         self.direct_resumes = 0
         self.timeouts_created = 0
         self.timeouts_reused = 0
         self.heap_peak = 0
+
+    def enable_trace(self, limit: int = 65536):
+        """Attach (and return) a :class:`~repro.sim.trace.KernelTrace`
+        recording every dispatch from now on in simulated time."""
+        from repro.sim.trace import KernelTrace
+
+        self._trace = KernelTrace(limit=limit)
+        return self._trace
+
+    @property
+    def trace(self):
+        """The attached kernel trace, or None when tracing is off."""
+        return self._trace
 
     @property
     def now(self) -> float:
@@ -508,6 +533,8 @@ class Environment:
         if qlen > self.heap_peak:
             self.heap_peak = qlen
         self._now = when
+        if self._trace is not None:
+            self._trace.record_event(when, event)
         callbacks = event.callbacks
         event.callbacks = None
         event._processed = True
@@ -560,6 +587,7 @@ class Environment:
         heappop_ = heapq.heappop
         refcount_ = getrefcount
         timeout_type = Timeout
+        trace_ = self._trace
         horizon = until if type(until) is float else None
         target = until if isinstance(until, Event) else None
         now = self._now
@@ -597,6 +625,8 @@ class Environment:
                     peak = qlen
                 when, _prio, _seq, event = heappop_(queue)
                 now = self._now = when
+                if trace_ is not None:
+                    trace_.record_event(when, event)
                 callbacks = event.callbacks
                 event.callbacks = None
                 event._processed = True

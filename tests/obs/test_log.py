@@ -1,0 +1,67 @@
+"""Structured logging and the observability lint lane."""
+
+from __future__ import annotations
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.obs.log import console, get_logger
+
+REPO = Path(__file__).resolve().parent.parent.parent
+LINT = REPO / "scripts" / "lint_obs.py"
+
+
+class TestLogger:
+    def test_get_logger_pins_the_repro_namespace(self):
+        assert get_logger("nest.server").name == "repro.nest.server"
+        assert get_logger("repro.client").name == "repro.client"
+        assert get_logger("repro").name == "repro"
+
+    def test_console_writes_to_current_stdout(self, capsys):
+        console("hello operator")
+        assert capsys.readouterr().out == "hello operator\n"
+
+    def test_console_handler_is_installed_once(self):
+        console("one")
+        console("two")
+        assert len(get_logger("repro.console").handlers) == 1
+
+
+def _lint_module():
+    spec = importlib.util.spec_from_file_location("lint_obs", LINT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestLintLane:
+    def test_tree_is_clean(self):
+        proc = subprocess.run([sys.executable, str(LINT)],
+                              capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stderr
+
+    def test_bare_print_is_flagged(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f():\n    print('oops')\n")
+        found = _lint_module()._violations(bad, "bad.py")
+        assert len(found) == 1
+        assert "bare print()" in found[0]
+
+    def test_naked_getlogger_is_flagged(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import logging\nlog = logging.getLogger('x')\n")
+        found = _lint_module()._violations(bad, "bad.py")
+        assert len(found) == 1
+        assert "logging.getLogger" in found[0]
+
+    def test_mentions_in_docstrings_are_ignored(self, tmp_path):
+        ok = tmp_path / "ok.py"
+        ok.write_text('"""Never call print() or logging.getLogger()."""\n')
+        assert _lint_module()._violations(ok, "ok.py") == []
+
+    def test_allowlisted_files_may_print(self, tmp_path):
+        cli = tmp_path / "cli.py"
+        cli.write_text("print('usage: ...')\n")
+        assert _lint_module()._violations(cli, "cli.py") == []

@@ -1,0 +1,117 @@
+"""Units for request spans and thread-local propagation."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.spans import (
+    NULL_SPAN,
+    SpanRecorder,
+    Tracer,
+    annotate,
+    current_span,
+    maybe_span,
+)
+
+
+class TestSpanLifecycle:
+    def test_root_and_child_share_a_trace(self):
+        tracer = Tracer()
+        root = tracer.start_trace("accept", protocol="chirp")
+        child = root.child("request", op="open")
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+
+    def test_end_is_idempotent_and_records_once(self):
+        recorder = SpanRecorder()
+        span = Tracer(recorder).start_trace("accept")
+        span.end()
+        first = span.duration
+        span.end()
+        assert span.duration == first
+        assert len(recorder) == 1
+
+    def test_context_manager_sets_error_status_on_exception(self):
+        recorder = SpanRecorder()
+        span = Tracer(recorder).start_trace("request")
+        try:
+            with span:
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert span.status == "error"
+        assert span.ended
+
+    def test_child_at_records_retroactive_timing(self):
+        recorder = SpanRecorder()
+        root = Tracer(recorder).start_trace("request")
+        child = root.child_at("queue", start=123.0, duration=0.25)
+        assert child.start == 123.0
+        assert child.duration == 0.25
+        assert child in recorder.spans()
+
+    def test_to_dict_round_trips_attributes(self):
+        span = Tracer().start_trace("accept", protocol="ftp")
+        span.set(user="anonymous").add("retries").end()
+        doc = span.to_dict()
+        assert doc["attributes"] == {
+            "protocol": "ftp", "user": "anonymous", "retries": 1}
+        assert doc["status"] == "ok"
+
+
+class TestPropagation:
+    def test_maybe_span_is_null_outside_a_trace(self):
+        assert current_span() is None
+        assert maybe_span("storage") is NULL_SPAN
+
+    def test_maybe_span_opens_a_real_child_inside_a_trace(self):
+        recorder = SpanRecorder()
+        root = Tracer(recorder).start_trace("request")
+        with root:
+            inner = maybe_span("storage", op="get")
+            assert inner is not NULL_SPAN
+            with inner:
+                assert current_span() is inner
+            assert current_span() is root
+        assert current_span() is None
+
+    def test_annotate_lands_on_the_active_span(self):
+        root = Tracer().start_trace("request")
+        with root:
+            annotate("faults")
+            annotate("faults")
+        assert root.attributes["faults"] == 2
+
+    def test_annotate_outside_a_trace_is_a_noop(self):
+        annotate("faults")  # must not raise
+
+    def test_stack_is_thread_local(self):
+        root = Tracer().start_trace("request")
+        seen = []
+        with root:
+            t = threading.Thread(target=lambda: seen.append(current_span()))
+            t.start()
+            t.join()
+        assert seen == [None]
+
+
+class TestRecorder:
+    def test_ring_is_bounded_and_counts_drops(self):
+        recorder = SpanRecorder(limit=3)
+        tracer = Tracer(recorder)
+        for i in range(5):
+            tracer.start_trace(f"s{i}").end()
+        names = [s.name for s in recorder.spans()]
+        assert names == ["s2", "s3", "s4"]
+        assert recorder.dropped == 2
+
+    def test_trace_filters_by_id(self):
+        recorder = SpanRecorder()
+        tracer = Tracer(recorder)
+        a = tracer.start_trace("a")
+        b = tracer.start_trace("b")
+        a.child("a1").end()
+        b.child("b1").end()
+        a.end()
+        b.end()
+        assert {s.name for s in recorder.trace(a.trace_id)} == {"a", "a1"}
