@@ -1,12 +1,14 @@
 #!/bin/sh
 # Tier-1 verification gate: the observability lint, the full suite
 # (fail-fast), then the fault-injection lane by itself so matrix
-# failures are easy to spot.  Each faults-marked test runs under a
-# hard per-test timeout (pytest-timeout when installed; SIGALRM
-# backstop otherwise).
+# failures are easy to spot, then the replica-federation lane (live
+# fleets, kill-and-heal).  Each faults-marked test runs under a hard
+# per-test timeout (pytest-timeout when installed; SIGALRM backstop
+# otherwise).
 # Usage: scripts/verify.sh [extra pytest args]
 set -e
 cd "$(dirname "$0")/.."
 python scripts/lint_obs.py
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q "$@"
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -q -m faults "$@"
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -q tests/replica "$@"

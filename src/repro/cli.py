@@ -6,6 +6,7 @@
     python -m repro jbos  [--port-base P]
     python -m repro bench [fig3|fig4|fig5|fig6|ablations|all]
     python -m repro perf  [smoke|kernel|figures|counters] [--label L]
+    python -m repro replica [status|demo] [--sites N] [--factor K] [--record]
     python -m repro stats [host:port] [--path /metrics|/healthz|/trace|/ad]
 
 ``serve`` starts a live NeST on consecutive ports (Chirp at the base)
@@ -13,7 +14,10 @@ and prints its availability ClassAd; ``jbos`` starts the native bunch;
 ``bench`` regenerates the paper's figures on the simulated testbed;
 ``perf`` runs the wall-clock benchmarks (appending to the repo's
 ``BENCH_*.json`` trajectory files) or prints the hot-path counters of a
-representative mixed run.  ``stats`` scrapes a running appliance's
+representative mixed run.  ``replica`` stands up an ephemeral federated
+fleet: ``status`` shows the catalog for one seeded file, ``demo`` runs
+the kill-and-heal scenario (and with ``--record`` appends its aggregate
+throughput to ``BENCH_replica.json``).  ``stats`` scrapes a running appliance's
 management endpoint (the ``mgmt`` port ``serve`` prints), or -- with no
 target -- runs a small self-contained workload and prints the resulting
 telemetry, which is the quickest way to see the observability layer
@@ -135,6 +139,44 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_replica(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.replica.fleet import Fleet, render_status, run_demo
+
+    if args.what == "status":
+        # Self-contained: stand up a small fleet, seed one file, and
+        # show what the catalog + collector know about it.
+        fleet = Fleet(sites=args.sites)
+        with fleet:
+            catalog, replicator, client = fleet.federate(
+                target_count=min(args.factor, args.sites),
+                policy=args.policy, seed=args.seed)
+            with replicator, client:
+                client.write("status-demo.dat", b"s" * 4096)
+                print(render_status(replicator))
+        return 0
+
+    # demo: seed, kill an appliance mid-workload, heal, verify.
+    record = run_demo(sites=args.sites, files=args.files,
+                      file_bytes=args.file_bytes,
+                      target_count=min(args.factor, args.sites),
+                      policy=args.policy, seed=args.seed,
+                      kill=not args.no_kill)
+    status = record.pop("status")
+    print(status)
+    print()
+    print(json.dumps(record, indent=2, sort_keys=True))
+    failed = record["read_errors"] or record["deficits_after_heal"]
+    if args.record:
+        from repro.perf.bench import _environment_stamp, append_record
+
+        record.update(_environment_stamp())
+        append_record("BENCH_replica.json", record)
+        print("\nappended to BENCH_replica.json")
+    return 1 if failed else 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     if args.target:
         return _scrape(args.target, args.path)
@@ -236,6 +278,26 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--label", default="",
                       help="label stored with the trajectory record")
     perf.set_defaults(func=_cmd_perf)
+
+    replica = sub.add_parser(
+        "replica", help="replica federation: status or kill-and-heal demo")
+    replica.add_argument("what", nargs="?", default="status",
+                         choices=["status", "demo"])
+    replica.add_argument("--sites", type=int, default=4,
+                         help="appliances in the ephemeral fleet")
+    replica.add_argument("--factor", type=int, default=3,
+                         help="target valid copies per logical file")
+    replica.add_argument("--policy", default="throughput",
+                         choices=["random", "space", "throughput"])
+    replica.add_argument("--seed", type=int, default=7)
+    replica.add_argument("--files", type=int, default=6,
+                         help="logical files the demo seeds")
+    replica.add_argument("--file-bytes", type=int, default=64 * 1024)
+    replica.add_argument("--no-kill", action="store_true",
+                         help="demo without killing an appliance")
+    replica.add_argument("--record", action="store_true",
+                         help="append the demo record to BENCH_replica.json")
+    replica.set_defaults(func=_cmd_replica)
 
     stats = sub.add_parser(
         "stats", help="scrape a live appliance's telemetry (or demo it)")

@@ -278,6 +278,23 @@ class ChirpClient(SessionClient):
 
         return self._op("acl_get", do)
 
+    # -- integrity ---------------------------------------------------------
+    def checksum(self, path: str) -> dict[str, int]:
+        """Server-side CRC32 over a file's contents.
+
+        Returns ``{"crc32": ..., "size": ...}``; the server reads the
+        file through its own storage path, so comparing two servers'
+        checksums verifies a third-party copy without moving the data
+        again.
+        """
+
+        def do() -> dict[str, int]:
+            args = self._round_trip(Request(rtype=RequestType.CHECKSUM,
+                                            path=path))
+            return {"crc32": int(args[0]), "size": int(args[1])}
+
+        return self._op(f"checksum {path}", do)
+
     # -- third-party movement ---------------------------------------------
     def thirdput(self, path: str, host: str, port: int,
                  remote_path: str) -> int:

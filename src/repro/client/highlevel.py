@@ -110,6 +110,10 @@ class NestClient:
     def unlink(self, path: str) -> None:
         self.chirp.unlink(path)
 
+    def checksum(self, path: str) -> dict[str, int]:
+        """Server-side CRC32 + size (Chirp ``checksum`` verb)."""
+        return self.chirp.checksum(path)
+
     def reserve_space(self, capacity: int, duration: float) -> dict[str, Any]:
         """Create a lot (requires an authenticated Chirp session)."""
         return self.chirp.lot_create(capacity, duration)

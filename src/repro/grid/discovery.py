@@ -59,6 +59,23 @@ class Collector:
     def __len__(self) -> int:
         return len(self._alive())
 
+    def names(self) -> set[str]:
+        """Names of every live (unexpired) advertisement.
+
+        The replica repair loop uses this as its liveness oracle: a
+        site whose ad has TTL-expired (heartbeat stopped) or was
+        withdrawn (graceful stop) is presumed dead.
+        """
+        return {str(ad.eval("Name")) for ad in self._alive()}
+
+    def lookup(self, name: str) -> ClassAd | None:
+        """The live ad published under ``name``, or None."""
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None or entry.expires_at <= self.clock():
+                return None
+            return entry.ad
+
     def query(self, request: ClassAd) -> list[ClassAd]:
         """Matching ads, best-ranked (by the request's Rank) first."""
         matches = [ad for ad in self._alive() if symmetric_match(request, ad)]

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import json
 import socket
+import zlib
 
 from repro.jbos.base import NativeServer
 from repro.jbos.store import SimpleStoreError
@@ -66,6 +67,11 @@ class NativeChirpd(NativeServer):
             data = read_exact(rfile, request.length)
             store.write(request.path, data)
             write_line(wfile, "ok")
+        elif request.rtype is RequestType.CHECKSUM:
+            data = store.read(request.path)
+            write_line(wfile, chirp.encode_response(
+                Response(Status.OK),
+                [str(zlib.crc32(data) & 0xFFFFFFFF), str(len(data))]))
         elif request.rtype is RequestType.STAT:
             size = store.size(request.path)
             kind = "dir" if store.is_dir(request.path) else "file"

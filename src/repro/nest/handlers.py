@@ -18,6 +18,7 @@ import json
 import socket
 import threading
 import time
+import zlib
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, BinaryIO
 
@@ -226,6 +227,9 @@ class ChirpHandler(ConnectionHandler):
         if request.rtype is RequestType.THIRDPUT:
             self._thirdput(request)
             return True
+        if request.rtype is RequestType.CHECKSUM:
+            self._checksum(request)
+            return True
         response = self.server.storage.execute(request)
         self._reply(request, response)
         return True
@@ -341,6 +345,36 @@ class ChirpHandler(ConnectionHandler):
         self.server.graybox.observe_write(request.path, request.offset, moved)
         write_line(self.wfile, "ok")
         return True
+
+    def _checksum(self, request: Request) -> None:
+        """Chirp ``checksum <path>``: CRC32 over the file's contents.
+
+        Runs the contents through the same read-approval gate as a GET
+        (permissions and existence checked first), so a replica manager
+        can verify a third-party copy end to end without pulling the
+        bytes over the wide area.  Replies ``ok <crc32> <size>``.
+        """
+        try:
+            ticket = self.server.storage.approve_get(self.user, request.path)
+        except StorageError as exc:
+            self.mark_request_error()
+            write_line(self.wfile, chirp.encode_response(
+                Response(exc.status, message=exc.message)))
+            return
+        try:
+            crc = 0
+            remaining = ticket.size
+            while remaining > 0:
+                chunk = ticket.stream.read(min(remaining, 1 << 20))
+                if not chunk:
+                    break
+                crc = zlib.crc32(chunk, crc)
+                remaining -= len(chunk)
+        finally:
+            ticket.settle(ticket.size)
+        self.server.graybox.observe_read(request.path, 0, ticket.size)
+        write_line(self.wfile, chirp.encode_response(
+            Response(Status.OK), [str(crc & 0xFFFFFFFF), str(ticket.size)]))
 
     def _thirdput(self, request: Request) -> None:
         """Three-party transfer: push one of our files to another

@@ -168,6 +168,14 @@ class NestServer:
         #: live handler connections: handler -> its thread.
         self._conn_lock = threading.Lock()
         self._connections: dict[object, threading.Thread] = {}
+        #: collector this server advertises into (None until
+        #: :meth:`advertise_to`), plus the heartbeat that refreshes the
+        #: ad before its TTL expires.
+        self._collector = None
+        self._advert_ttl: float | None = None
+        self._advert_interval: float = 0.0
+        self._advert_stop = threading.Event()
+        self._advert_thread: threading.Thread | None = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -200,13 +208,20 @@ class NestServer:
                 ad_attributes=self.obs.health_attributes,
             ).start()
             self.ports["mgmt"] = self.mgmt.port
+        if self._collector is not None:
+            # advertise_to() was called before start(): publish now that
+            # the ports are known, and begin the heartbeat.
+            self._publish_ad()
+            self._start_heartbeat()
         logger.info("%s listening: %s", self.config.name, self.ports)
         return self
 
     def stop(self, drain_timeout: float = 5.0) -> dict[str, int]:
         """Graceful shutdown: stop accepting, drain, then force-close.
 
-        The sequence is (1) close every listener and join the accept
+        The sequence is (0) withdraw the availability advertisement and
+        stop the re-advertise heartbeat, so no scheduler matches a
+        dying appliance; (1) close every listener and join the accept
         threads, so no new connection arrives; (2) immediately close
         connections idle between requests, and give in-flight handlers
         up to ``drain_timeout`` seconds to finish their current
@@ -216,6 +231,7 @@ class NestServer:
         see whether the drain was clean.
         """
         self._running = False
+        self._stop_heartbeat_and_withdraw()
         for listener in self._listeners.values():
             try:
                 listener.close()
@@ -266,6 +282,11 @@ class NestServer:
         with self._conn_lock:
             return len(self._connections)
 
+    @property
+    def running(self) -> bool:
+        """Whether the server is accepting connections."""
+        return self._running
+
     def __enter__(self) -> "NestServer":
         return self.start()
 
@@ -311,6 +332,70 @@ class NestServer:
         finally:
             with self._conn_lock:
                 self._connections.pop(handler, None)
+
+    # ------------------------------------------------------------------
+    # advertisement lifecycle
+    # ------------------------------------------------------------------
+    def advertise_to(self, collector, ttl: float | None = None,
+                     readvertise_interval: float | None = None) -> None:
+        """Publish this server's availability ad into ``collector`` and
+        keep it fresh.
+
+        ``ttl`` is the ad's collector lifetime (None: the collector's
+        default); ``readvertise_interval`` is the heartbeat period that
+        refreshes the ad *before* that TTL expires (None: the config's
+        ``advertise_interval``; 0 disables the heartbeat, leaving a
+        one-shot ad).  The registration also wires the other half of
+        the lifecycle: :meth:`stop` withdraws the ad as the first step
+        of the graceful drain, so a stopping appliance disappears from
+        matchmaking immediately instead of lingering until TTL expiry.
+        """
+        self._collector = collector
+        self._advert_ttl = ttl
+        interval = (self.config.advertise_interval
+                    if readvertise_interval is None else readvertise_interval)
+        self._advert_interval = max(float(interval), 0.0)
+        if self._running:
+            self._publish_ad()
+            self._start_heartbeat()
+
+    def _publish_ad(self) -> None:
+        if self._collector is None:
+            return
+        try:
+            self._collector.advertise(self.advertisement(),
+                                      ttl=self._advert_ttl)
+        except Exception:  # noqa: BLE001 - ads are best-effort
+            logger.warning("%s: advertisement publish failed",
+                           self.config.name, exc_info=True)
+
+    def _start_heartbeat(self) -> None:
+        if self._advert_interval <= 0 or self._advert_thread is not None:
+            return
+        self._advert_stop.clear()
+
+        def beat() -> None:
+            while not self._advert_stop.wait(self._advert_interval):
+                if not self._running:
+                    return
+                self._publish_ad()
+
+        self._advert_thread = threading.Thread(
+            target=beat, name=f"nest-advertise-{self.config.name}",
+            daemon=True)
+        self._advert_thread.start()
+
+    def _stop_heartbeat_and_withdraw(self) -> None:
+        self._advert_stop.set()
+        if self._advert_thread is not None:
+            self._advert_thread.join(timeout=2)
+            self._advert_thread = None
+        if self._collector is not None:
+            try:
+                self._collector.withdraw(self.config.name)
+            except Exception:  # noqa: BLE001 - withdrawal is best-effort
+                logger.warning("%s: advertisement withdraw failed",
+                               self.config.name, exc_info=True)
 
     # ------------------------------------------------------------------
     # identity and advertisement

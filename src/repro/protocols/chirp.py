@@ -53,6 +53,7 @@ _VERB_TO_TYPE = {
     "acl_set": RequestType.ACL_SET,
     "acl_get": RequestType.ACL_GET,
     "thirdput": RequestType.THIRDPUT,
+    "checksum": RequestType.CHECKSUM,
     "query": RequestType.QUERY,
     "auth": RequestType.AUTH,
     "quit": RequestType.QUIT,
@@ -81,7 +82,7 @@ def encode_request(req: Request) -> str:
     args: list[str] = []
     if req.rtype in (RequestType.GET, RequestType.STAT, RequestType.LIST,
                      RequestType.MKDIR, RequestType.RMDIR, RequestType.DELETE,
-                     RequestType.ACL_GET):
+                     RequestType.ACL_GET, RequestType.CHECKSUM):
         args = [req.path]
     elif req.rtype is RequestType.PUT:
         args = [req.path, str(req.length)]
@@ -129,7 +130,7 @@ def decode_request(line: str) -> Request:
     try:
         if rtype in (RequestType.GET, RequestType.STAT, RequestType.LIST,
                      RequestType.MKDIR, RequestType.RMDIR, RequestType.DELETE,
-                     RequestType.ACL_GET):
+                     RequestType.ACL_GET, RequestType.CHECKSUM):
             req.path = args[0]
         elif rtype is RequestType.PUT:
             req.path = args[0]

@@ -64,6 +64,9 @@ class RequestType(enum.Enum):
     # third-party data movement (Chirp: push a file to another server)
     THIRDPUT = "thirdput"
 
+    # end-to-end integrity (Chirp: CRC32 over a file's contents)
+    CHECKSUM = "checksum"
+
     # resource discovery / server status
     QUERY = "query"
 

@@ -1,0 +1,71 @@
+"""Replica federation across a fleet of NeSTs.
+
+The paper's discovery story (section 6) makes each appliance a
+matchmakable Grid resource; this package builds on that to keep K
+verified copies of every logical file spread over the fleet:
+
+* :mod:`repro.replica.catalog` -- logical name -> replica locations,
+  advertised as ``ReplicaSet`` ClassAds;
+* :mod:`repro.replica.placement` -- who gets the next copy (random /
+  space-weighted / throughput-weighted), with lot reservation;
+* :mod:`repro.replica.replicator` -- third-party GridFTP fan-out,
+  checksum verification, and the repair loop;
+* :mod:`repro.replica.federation` -- the client that resolves logical
+  names and fails over across replicas;
+* :mod:`repro.replica.fleet` -- N live appliances packaged for tests
+  and the CLI demo.
+"""
+
+from repro.replica.catalog import (
+    COPYING,
+    SUSPECT,
+    VALID,
+    Replica,
+    ReplicaCatalog,
+    replica_request_ad,
+)
+from repro.replica.federation import FederatedClient
+from repro.replica.fleet import Fleet, render_status, run_demo
+from repro.replica.placement import (
+    PlacementPolicy,
+    PlacementTarget,
+    RandomKPlacement,
+    SiteInfo,
+    SpaceWeightedPlacement,
+    ThroughputWeightedPlacement,
+    make_policy,
+    reserve,
+    throughput_ranked_sites,
+)
+from repro.replica.replicator import (
+    CopyReport,
+    RepairReport,
+    ReplicationError,
+    Replicator,
+)
+
+__all__ = [
+    "COPYING",
+    "SUSPECT",
+    "VALID",
+    "Replica",
+    "ReplicaCatalog",
+    "replica_request_ad",
+    "FederatedClient",
+    "Fleet",
+    "render_status",
+    "run_demo",
+    "PlacementPolicy",
+    "PlacementTarget",
+    "RandomKPlacement",
+    "SiteInfo",
+    "SpaceWeightedPlacement",
+    "ThroughputWeightedPlacement",
+    "make_policy",
+    "reserve",
+    "throughput_ranked_sites",
+    "CopyReport",
+    "RepairReport",
+    "ReplicationError",
+    "Replicator",
+]

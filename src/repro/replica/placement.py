@@ -1,0 +1,235 @@
+"""Placement: choose which appliances receive new replica copies.
+
+Vazhkudai, Tuecke, and Foster's replica selection work ranks Globus
+storage servers by predicted transfer performance; the paper's own
+discovery story ranks NeSTs by their advertised ClassAds.  The policies
+here consume exactly those ads, so "where should the next copy go?" is
+answered from the same collector state the execution manager matches
+against:
+
+* :class:`RandomKPlacement` -- uniform seeded choice (the baseline
+  replica-catalog behaviour);
+* :class:`SpaceWeightedPlacement` -- seeded weighted choice by
+  ``GrantableSpace``, i.e. lot-grantable free space, spreading copies
+  toward the emptiest appliances;
+* :class:`ThroughputWeightedPlacement` -- deterministic rank by the
+  live-health ``ThroughputMBps`` attribute (observed performance, the
+  PR 3 health feed), tie-broken by free space.
+
+A policy only *chooses*; :func:`reserve` then guarantees the space by
+creating a **lot** on each chosen appliance over Chirp before any data
+moves, exactly as the execution manager reserves space before staging
+(Figure 2, step 2).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.classads import ClassAd
+from repro.client.chirp import ChirpClient
+from repro.client.errors import ClientError
+from repro.nest.advertise import storage_request_ad, throughput_request_ad
+from repro.nest.auth import Credential
+from repro.obs.log import get_logger
+from repro.protocols.common import PROTOCOL_NAMES
+
+logger = get_logger(__name__)
+
+__all__ = [
+    "SiteInfo",
+    "PlacementTarget",
+    "PlacementPolicy",
+    "RandomKPlacement",
+    "SpaceWeightedPlacement",
+    "ThroughputWeightedPlacement",
+    "make_policy",
+    "reserve",
+    "throughput_ranked_sites",
+]
+
+
+@dataclass(frozen=True)
+class SiteInfo:
+    """One appliance's endpoints, extracted from its availability ad."""
+
+    name: str
+    host: str
+    ports: dict[str, int] = field(hash=False)
+
+    @classmethod
+    def from_ad(cls, ad: ClassAd) -> "SiteInfo":
+        ports: dict[str, int] = {}
+        for proto in (*PROTOCOL_NAMES, "ibp", "mgmt"):
+            value = ad.eval(f"{proto.capitalize()}Port")
+            if isinstance(value, int) and not isinstance(value, bool):
+                ports[proto] = value
+        return cls(name=str(ad.eval("Name")), host=str(ad.eval("Host")),
+                   ports=ports)
+
+
+@dataclass
+class PlacementTarget:
+    """A chosen site with its space reservation."""
+
+    site: SiteInfo
+    lot_id: Optional[str] = None
+    lot_capacity: int = 0
+
+
+def _grantable(ad: ClassAd) -> float:
+    value = ad.eval("GrantableSpace")
+    return float(value) if isinstance(value, (int, float)) else 0.0
+
+
+def _throughput(ad: ClassAd) -> float:
+    value = ad.eval("ThroughputMBps")
+    return float(value) if isinstance(value, (int, float)) else 0.0
+
+
+class PlacementPolicy:
+    """Base: query the collector for fitting sites, then choose K."""
+
+    name = "base"
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def candidates(self, collector, size: int,
+                   exclude: Sequence[str] = ()) -> list[ClassAd]:
+        """Storage ads that could hold a ``size``-byte replica, minus
+        excluded sites (those already holding a copy)."""
+        skip = set(exclude)
+        request = storage_request_ad(max(int(size), 1), protocol="gridftp")
+        return [ad for ad in collector.query(request)
+                if str(ad.eval("Name")) not in skip]
+
+    def choose(self, candidates: list[ClassAd], k: int) -> list[ClassAd]:
+        raise NotImplementedError
+
+    def place(self, collector, size: int, k: int,
+              exclude: Sequence[str] = ()) -> list[ClassAd]:
+        """Choose up to ``k`` target sites for a new ``size``-byte copy."""
+        if k <= 0:
+            return []
+        return self.choose(self.candidates(collector, size, exclude), k)
+
+
+class RandomKPlacement(PlacementPolicy):
+    """Uniform seeded sample of K fitting sites."""
+
+    name = "random"
+
+    def choose(self, candidates: list[ClassAd], k: int) -> list[ClassAd]:
+        pool = list(candidates)
+        self._rng.shuffle(pool)
+        return pool[:k]
+
+
+class SpaceWeightedPlacement(PlacementPolicy):
+    """Seeded weighted sample (without replacement) by grantable space.
+
+    An appliance with twice the lot-grantable free space is twice as
+    likely to take the next copy, so the fleet fills evenly instead of
+    hammering whichever site happens to sort first.
+    """
+
+    name = "space"
+
+    def choose(self, candidates: list[ClassAd], k: int) -> list[ClassAd]:
+        pool = list(candidates)
+        chosen: list[ClassAd] = []
+        while pool and len(chosen) < k:
+            weights = [max(_grantable(ad), 1.0) for ad in pool]
+            total = sum(weights)
+            point = self._rng.random() * total
+            acc = 0.0
+            index = len(pool) - 1
+            for i, w in enumerate(weights):
+                acc += w
+                if point < acc:
+                    index = i
+                    break
+            chosen.append(pool.pop(index))
+        return chosen
+
+
+class ThroughputWeightedPlacement(PlacementPolicy):
+    """Deterministic rank by measured throughput (PR 3 health attr).
+
+    Prefers the appliance that is *demonstrably* moving data fastest
+    right now -- the replica-selection signal of the related work --
+    falling back to free space, then name, so the order is total.
+    """
+
+    name = "throughput"
+
+    def choose(self, candidates: list[ClassAd], k: int) -> list[ClassAd]:
+        ranked = sorted(
+            candidates,
+            key=lambda ad: (-_throughput(ad), -_grantable(ad),
+                            str(ad.eval("Name"))),
+        )
+        return ranked[:k]
+
+
+_POLICIES = {
+    RandomKPlacement.name: RandomKPlacement,
+    SpaceWeightedPlacement.name: SpaceWeightedPlacement,
+    ThroughputWeightedPlacement.name: ThroughputWeightedPlacement,
+}
+
+
+def make_policy(spec: str, seed: int = 0) -> PlacementPolicy:
+    """Policy by name: ``random``, ``space``, or ``throughput``."""
+    try:
+        return _POLICIES[spec](seed=seed)
+    except KeyError:
+        raise ValueError(
+            f"unknown placement policy {spec!r}; "
+            f"choose from {sorted(_POLICIES)}") from None
+
+
+def reserve(ads: Sequence[ClassAd], size: int, duration: float,
+            credential: Credential, retry=None) -> list[PlacementTarget]:
+    """Create a lot on each chosen site before any data moves.
+
+    Returns the targets whose reservation succeeded (possibly fewer
+    than asked -- a site may refuse if its grantable space changed
+    since it advertised); the caller treats a shortfall as a deficit
+    for the next repair pass, not an error.
+    """
+    targets: list[PlacementTarget] = []
+    for ad in ads:
+        site = SiteInfo.from_ad(ad)
+        try:
+            chirp = ChirpClient(site.host, site.ports["chirp"], retry=retry)
+            try:
+                chirp.authenticate(credential)
+                lot = chirp.lot_create(max(int(size), 1), duration)
+            finally:
+                chirp.close()
+        except (ClientError, OSError, KeyError) as exc:
+            logger.warning("reserve: lot on %s failed: %s", site.name, exc)
+            continue
+        targets.append(PlacementTarget(site=site, lot_id=lot["lot_id"],
+                                       lot_capacity=lot["capacity"]))
+    return targets
+
+
+def throughput_ranked_sites(collector, sites: Sequence[str]) -> list[str]:
+    """Order ``sites`` by the collector's measured-throughput ranking.
+
+    Reuses the same ``ThroughputMBps``-ranked query behind
+    :meth:`repro.grid.discovery.Collector.fastest`; sites with no live
+    ad (TTL-expired or withdrawn) are omitted entirely -- they are what
+    the repair loop exists to replace, not read targets.
+    """
+    order = {str(ad.eval("Name")): i
+             for i, ad in enumerate(collector.query(throughput_request_ad(0)))}
+    live = [s for s in sites if s in order]
+    live.sort(key=lambda s: (order[s], s))
+    return live

@@ -87,3 +87,91 @@ class TestCollector:
         c = Collector()
         c.advertise(storage_ad("nfs-less", 10**9, protocols=("http",)))
         assert c.locate(storage_request_ad(1, protocol="nfs")) is None
+
+
+class TestTtlAndNames:
+    """TTL expiry and the liveness helpers, under an injected clock."""
+
+    def test_names_tracks_expiry(self):
+        clock = Clock()
+        c = Collector(clock=clock, default_ttl=10)
+        c.advertise(storage_ad("a", 100))
+        clock.now = 5
+        c.advertise(storage_ad("b", 100))
+        assert c.names() == {"a", "b"}
+        clock.now = 11  # a's TTL passed, b's has not
+        assert c.names() == {"b"}
+        clock.now = 16
+        assert c.names() == set()
+
+    def test_refresh_extends_ttl(self):
+        # The heartbeat story: re-advertising before expiry keeps the
+        # ad alive indefinitely.
+        clock = Clock()
+        c = Collector(clock=clock, default_ttl=10)
+        for t in (0, 8, 16, 24):
+            clock.now = t
+            c.advertise(storage_ad("a", 100))
+        clock.now = 33  # 9s after the last refresh
+        assert c.names() == {"a"}
+        clock.now = 35  # 11s after: expired
+        assert c.names() == set()
+
+    def test_lookup_live_and_expired(self):
+        clock = Clock()
+        c = Collector(clock=clock, default_ttl=10)
+        c.advertise(storage_ad("a", 777))
+        assert c.lookup("a").eval("GrantableSpace") == 777
+        assert c.lookup("missing") is None
+        clock.now = 11
+        assert c.lookup("a") is None
+
+    def test_withdraw_removes_from_names(self):
+        c = Collector()
+        c.advertise(storage_ad("a", 100))
+        c.advertise(storage_ad("b", 100))
+        c.withdraw("a")
+        assert c.names() == {"b"}
+
+
+class TestFastest:
+    """fastest() ranks by the measured ThroughputMBps health attr."""
+
+    @staticmethod
+    def _ad(name, mbps, grantable=10**9):
+        ad = storage_ad(name, grantable)
+        ad["ThroughputMBps"] = mbps
+        return ad
+
+    def test_prefers_measured_throughput_over_space(self):
+        c = Collector()
+        c.advertise(self._ad("roomy-but-slow", 1.0, grantable=10**12))
+        c.advertise(self._ad("tight-but-fast", 90.0, grantable=10**6))
+        best = c.fastest(1000)
+        assert str(best.eval("Name")) == "tight-but-fast"
+
+    def test_respects_space_requirement(self):
+        c = Collector()
+        c.advertise(self._ad("fast-but-full", 90.0, grantable=10))
+        c.advertise(self._ad("slow-but-roomy", 1.0, grantable=10**9))
+        best = c.fastest(1000)
+        assert str(best.eval("Name")) == "slow-but-roomy"
+
+    def test_expired_ads_never_rank(self):
+        clock = Clock()
+        c = Collector(clock=clock, default_ttl=10)
+        c.advertise(self._ad("fast", 90.0))
+        clock.now = 5
+        c.advertise(self._ad("slow", 1.0))
+        clock.now = 11  # "fast" expired; only "slow" is matchable
+        best = c.fastest(1000)
+        assert str(best.eval("Name")) == "slow"
+
+    def test_protocol_filter(self):
+        c = Collector()
+        fast = self._ad("fast", 90.0)
+        fast["Protocols"] = ["http"]
+        c.advertise(fast)
+        c.advertise(self._ad("slow", 1.0))  # chirp + gridftp
+        best = c.fastest(1000, protocol="gridftp")
+        assert str(best.eval("Name")) == "slow"

@@ -41,6 +41,42 @@ class TestBlockIo:
                 c.pread("/data/ghost", 0, 10)
 
 
+class TestChecksum:
+    def test_crc32_matches_local(self, server):
+        import zlib
+
+        payload = bytes(range(256)) * 512
+        with ChirpClient(*server.endpoint("chirp")) as c:
+            c.put("/data/sum.bin", payload)
+            result = c.checksum("/data/sum.bin")
+        assert result["crc32"] == zlib.crc32(payload) & 0xFFFFFFFF
+        assert result["size"] == len(payload)
+
+    def test_empty_file(self, server):
+        with ChirpClient(*server.endpoint("chirp")) as c:
+            c.put("/data/empty", b"")
+            assert c.checksum("/data/empty") == {"crc32": 0, "size": 0}
+
+    def test_missing_file(self, server):
+        with ChirpClient(*server.endpoint("chirp")) as c:
+            with pytest.raises(ChirpError):
+                c.checksum("/data/nope")
+
+    def test_two_servers_agree(self, server, ca):
+        # The replicator's verification primitive: equal content on two
+        # appliances yields equal server-side checksums.
+        cfg = NestConfig(name="twin")
+        with NestServer(cfg, ca=ca) as twin:
+            twin.storage.mkdir("admin", "/data")
+            twin.storage.acl_set("admin", "/data", "*", "rliwd")
+            payload = b"same bytes everywhere" * 1000
+            with ChirpClient(*server.endpoint("chirp")) as a, \
+                 ChirpClient(*twin.endpoint("chirp")) as b:
+                a.put("/data/f", payload)
+                b.put("/data/f", payload)
+                assert a.checksum("/data/f") == b.checksum("/data/f")
+
+
 class TestLotAttachWire:
     def test_attach_routes_charges(self, lots_server):
         cred = lots_server.ca.issue("/CN=u")

@@ -41,6 +41,15 @@ class TestRequestCodec:
         out = round_trip(Request(rtype=RequestType.GET, path="/my file name"))
         assert out.path == "/my file name"
 
+    def test_checksum(self):
+        out = round_trip(Request(rtype=RequestType.CHECKSUM, path="/a/b"))
+        assert out.rtype is RequestType.CHECKSUM and out.path == "/a/b"
+
+    def test_checksum_wire_verb(self):
+        assert encode_request(
+            Request(rtype=RequestType.CHECKSUM, path="/f")
+        ).startswith("checksum ")
+
     def test_lot_create(self):
         req = Request(rtype=RequestType.LOT_CREATE,
                       params={"capacity": 1000, "duration": 60.0})

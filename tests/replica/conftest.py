@@ -1,0 +1,24 @@
+"""Fixtures for the replica-federation tests."""
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.replica.fleet import Fleet
+
+
+@pytest.fixture
+def fleet3():
+    """Three live appliances, fast heartbeats, short TTLs."""
+    with Fleet(sites=3, name_prefix="site", ad_ttl=2.0,
+               readvertise_interval=0.25) as fleet:
+        yield fleet
+
+
+@pytest.fixture
+def fleet4():
+    """Four live appliances, each carrying a (initially empty)
+    fault plan so tests can break connections mid-run."""
+    plans = {f"site-{i}": FaultPlan() for i in range(4)}
+    with Fleet(sites=4, name_prefix="site", ad_ttl=2.0,
+               readvertise_interval=0.25, fault_plans=plans) as fleet:
+        yield fleet

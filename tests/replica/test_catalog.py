@@ -1,0 +1,130 @@
+"""Unit tests for the replica catalog (no live servers)."""
+
+import pytest
+
+from repro.grid.discovery import Collector
+from repro.replica.catalog import (
+    COPYING,
+    SUSPECT,
+    VALID,
+    ReplicaCatalog,
+    replica_request_ad,
+)
+
+
+class TestLifecycle:
+    def test_register_starts_copying(self):
+        cat = ReplicaCatalog()
+        r = cat.register("f", "s1", "/replicas/f", size=10)
+        assert r.state == COPYING
+        assert cat.valid_locations("f") == []
+        assert cat.replica_count("f") == 0
+
+    def test_mark_valid_records_checksum(self):
+        cat = ReplicaCatalog()
+        cat.register("f", "s1", "/replicas/f")
+        r = cat.mark_valid("f", "s1", checksum=0xABCD, size=42)
+        assert (r.state, r.checksum, r.size) == (VALID, 0xABCD, 42)
+        assert cat.replica_count("f") == 1
+
+    def test_suspect_leaves_the_read_set(self):
+        cat = ReplicaCatalog()
+        cat.register("f", "s1", "/replicas/f")
+        cat.mark_valid("f", "s1")
+        cat.mark_suspect("f", "s1")
+        assert cat.valid_locations("f") == []
+        assert [r.state for r in cat.locations("f")] == [SUSPECT]
+
+    def test_unknown_transition_raises(self):
+        cat = ReplicaCatalog()
+        with pytest.raises(KeyError):
+            cat.mark_valid("ghost", "s1")
+
+    def test_invalid_state_rejected(self):
+        cat = ReplicaCatalog()
+        with pytest.raises(ValueError):
+            cat.register("f", "s1", "/replicas/f", state="limbo")
+
+    def test_drop_and_drop_site(self):
+        cat = ReplicaCatalog()
+        for site in ("s1", "s2"):
+            cat.register("a", site, "/replicas/a")
+            cat.register("b", site, "/replicas/b")
+        cat.drop("a", "s1")
+        assert cat.sites("a") == {"s2"}
+        assert cat.drop_site("s2") == 2
+        assert cat.logicals() == ["b"]
+        assert cat.sites("b") == {"s1"}
+
+
+class TestDeficits:
+    def test_counts_only_valid(self):
+        cat = ReplicaCatalog()
+        cat.register("f", "s1", "/replicas/f")
+        cat.mark_valid("f", "s1")
+        cat.register("f", "s2", "/replicas/f")  # still copying
+        assert cat.deficits(3) == {"f": 2}
+
+    def test_satisfied_files_absent(self):
+        cat = ReplicaCatalog()
+        for site in ("s1", "s2"):
+            cat.register("f", site, "/replicas/f")
+            cat.mark_valid("f", site)
+        assert cat.deficits(2) == {}
+
+
+class TestAdvertisement:
+    def test_ads_track_mutations(self):
+        collector = Collector()
+        cat = ReplicaCatalog(collector=collector)
+        cat.register("f", "s1", "/replicas/f")
+        ad = collector.lookup("replica::f")
+        assert ad.eval("ReplicaCount") == 0  # copying != valid
+        cat.mark_valid("f", "s1", size=7)
+        ad = collector.lookup("replica::f")
+        assert ad.eval("ReplicaCount") == 1
+        assert list(ad.eval("Locations")) == ["s1"]
+        assert ad.eval("Size") == 7
+
+    def test_last_drop_withdraws(self):
+        collector = Collector()
+        cat = ReplicaCatalog(collector=collector)
+        cat.register("f", "s1", "/replicas/f")
+        cat.drop("f", "s1")
+        assert collector.lookup("replica::f") is None
+
+    def test_matchmaking_on_replica_count(self):
+        collector = Collector()
+        cat = ReplicaCatalog(collector=collector)
+        for i, site in enumerate(("s1", "s2", "s3")):
+            cat.register("popular", site, "/replicas/popular")
+            cat.mark_valid("popular", site)
+        cat.register("rare", "s1", "/replicas/rare")
+        cat.mark_valid("rare", "s1")
+        # An execution manager asking for >= 2 copies finds only the
+        # well-replicated file; ranking prefers more copies.
+        matches = collector.query(replica_request_ad(min_replicas=2))
+        assert [str(ad.eval("LogicalName")) for ad in matches] == ["popular"]
+        everything = collector.query(replica_request_ad(min_replicas=1))
+        assert [str(ad.eval("LogicalName")) for ad in everything] == [
+            "popular", "rare"]
+
+    def test_matchmaking_by_logical_name(self):
+        collector = Collector()
+        cat = ReplicaCatalog(collector=collector)
+        for name in ("a", "b"):
+            cat.register(name, "s1", f"/replicas/{name}")
+            cat.mark_valid(name, "s1")
+        match = collector.locate(replica_request_ad(logical="b"))
+        assert str(match.eval("LogicalName")) == "b"
+
+    def test_storage_requests_never_match_replica_ads(self):
+        # The two ad families live in one collector; a space request
+        # must not accidentally match a ReplicaSet ad.
+        from repro.nest.advertise import storage_request_ad
+
+        collector = Collector()
+        cat = ReplicaCatalog(collector=collector)
+        cat.register("f", "s1", "/replicas/f")
+        cat.mark_valid("f", "s1")
+        assert collector.query(storage_request_ad(1)) == []

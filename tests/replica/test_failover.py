@@ -1,0 +1,87 @@
+"""Live tests: the federated client's resolution and failover."""
+
+import pytest
+
+from repro.replica.replicator import ReplicationError
+
+pytestmark = pytest.mark.timeout(120)
+
+
+class TestResolution:
+    def test_read_round_trips(self, fleet3):
+        catalog, replicator, client = fleet3.federate(target_count=2)
+        payload = b"logical bytes" * 700
+        with replicator, client:
+            client.write("doc.bin", payload)
+            assert client.read("doc.bin") == payload
+
+    def test_resolve_ranks_only_live_sites(self, fleet3):
+        catalog, replicator, client = fleet3.federate(target_count=3)
+        with replicator, client:
+            client.write("r.bin", b"r" * 500)
+            ranked = client.resolve("r.bin")
+            assert sorted(ranked) == sorted(fleet3.names())
+            victim = ranked[-1]
+            fleet3.kill(victim)  # ad withdrawn
+            assert victim not in client.resolve("r.bin")
+
+    def test_duplicate_write_needs_overwrite(self, fleet3):
+        catalog, replicator, client = fleet3.federate(target_count=2)
+        with replicator, client:
+            client.write("dup.bin", b"one")
+            with pytest.raises(ReplicationError):
+                client.write("dup.bin", b"two")
+            client.write("dup.bin", b"two" * 400, overwrite=True)
+            assert client.read("dup.bin") == b"two" * 400
+
+    def test_unknown_logical_raises(self, fleet3):
+        catalog, replicator, client = fleet3.federate()
+        with replicator, client:
+            with pytest.raises(ReplicationError):
+                client.read("never-written.bin")
+
+
+class TestFailover:
+    def test_read_fails_over_past_a_dead_site(self, fleet3):
+        catalog, replicator, client = fleet3.federate(target_count=3)
+        payload = b"survives the outage" * 300
+        with replicator, client:
+            client.write("fo.bin", payload)
+            victim = client.resolve("fo.bin")[0]  # the ranked-first site
+            stale_ad = fleet3.server(victim).advertisement()
+            fleet3.kill(victim)
+            # Re-publish the victim's stale ad: the collector still
+            # lists it, so the client *will* dial the dead site first
+            # and must fail over instead of erroring.
+            fleet3.collector.advertise(stale_ad, ttl=30.0)
+            assert client.resolve("fo.bin")[0] == victim
+            assert client.read("fo.bin") == payload
+            # The dead copy got implicated for the repair loop.
+            suspect = {r.site for r in catalog.locations("fo.bin")
+                       if r.state == "suspect"}
+            assert victim in suspect
+
+    def test_write_skips_a_dead_primary(self, fleet3):
+        # Kill a site but leave its stale ad visible: placement may
+        # pick it as primary, and store() must fall through to a live
+        # appliance rather than surface an error.
+        catalog, replicator, client = fleet3.federate(target_count=2)
+        victim = fleet3.names()[0]
+        stale_ad = fleet3.server(victim).advertisement()
+        fleet3.kill(victim)
+        fleet3.collector.advertise(stale_ad, ttl=30.0)
+        with replicator, client:
+            client.write("w.bin", b"w" * 2000)
+            valid = catalog.valid_locations("w.bin")
+            assert len(valid) == 2
+            assert victim not in {r.site for r in valid}
+            assert client.read("w.bin") == b"w" * 2000
+
+    def test_all_replicas_dark_is_an_error(self, fleet3):
+        catalog, replicator, client = fleet3.federate(target_count=2)
+        with replicator, client:
+            client.write("dark.bin", b"d" * 100)
+            for name in list(catalog.sites("dark.bin")):
+                fleet3.kill(name)
+            with pytest.raises(ReplicationError):
+                client.read("dark.bin")

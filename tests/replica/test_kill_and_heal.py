@@ -1,0 +1,113 @@
+"""Acceptance: kill a NeST under fault injection mid-workload.
+
+Four appliances, replication factor 3.  One site -- the one holding
+the most replicas -- is killed mid-workload *under a fault plan* (its
+open connections start resetting before the listener dies, the way a
+crashing machine actually behaves).  The background repair loop must
+restore three valid copies of every file on the survivors, and the
+federated client must complete every read and write throughout with
+zero client-visible errors, every surviving copy passing the Chirp
+checksum verb.
+"""
+
+import time
+import zlib
+
+import pytest
+
+from repro.client.chirp import ChirpClient
+from repro.faults import FaultRule
+from repro.faults.plan import RESET
+
+pytestmark = pytest.mark.timeout(120)
+
+FACTOR = 3
+FILES = 5
+FILE_BYTES = 32 * 1024
+
+
+def _payloads():
+    return {
+        f"work-{i:02d}.dat": bytes([(i * 37) % 251]) * FILE_BYTES
+        for i in range(FILES)
+    }
+
+
+def test_fleet_heals_with_zero_client_errors(fleet4):
+    catalog, replicator, client = fleet4.federate(
+        target_count=FACTOR, repair_interval=0.2)
+    payloads = _payloads()
+    errors: list[str] = []
+
+    def read_all() -> None:
+        """One full read pass; any exception or wrong byte is a
+        client-visible error."""
+        for logical, expected in payloads.items():
+            try:
+                got = client.read(logical)
+            except Exception as exc:  # noqa: BLE001 - that's the assertion
+                errors.append(f"read {logical}: {exc!r}")
+                continue
+            if got != expected:
+                errors.append(f"read {logical}: wrong bytes")
+
+    with replicator, client:
+        # -- seed the namespace at factor 3 -------------------------------
+        for logical, data in payloads.items():
+            try:
+                client.write(logical, data)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(f"write {logical}: {exc!r}")
+        assert errors == []
+        assert catalog.deficits(FACTOR) == {}
+        read_all()
+        assert errors == []
+
+        # -- kill the worst-case site under its fault plan -----------------
+        load: dict[str, int] = {}
+        for logical in catalog.logicals():
+            for replica in catalog.locations(logical):
+                load[replica.site] = load.get(replica.site, 0) + 1
+        victim = max(sorted(load), key=lambda s: load[s])
+        assert load[victim] > 0
+        plan = fleet4.server(victim).faults
+        # Every connection to the victim now dies with ECONNRESET, in
+        # both directions, forever -- the crash begins...
+        plan.rules.append(FaultRule(op="read", action=RESET,
+                                    connections=None, times=None))
+        plan.rules.append(FaultRule(op="write", action=RESET,
+                                    connections=None, times=None))
+        # ...and the workload keeps running against the dying fleet.
+        read_all()
+        fleet4.kill(victim)
+        read_all()
+        assert errors == []
+
+        # -- the repair loop restores the factor on the survivors ----------
+        deadline = time.monotonic() + 60.0
+        while catalog.deficits(FACTOR) and time.monotonic() < deadline:
+            read_all()  # client traffic continues while healing
+            time.sleep(0.1)
+        assert catalog.deficits(FACTOR) == {}, "fleet did not heal in time"
+        read_all()
+        assert errors == [], f"client-visible errors: {errors}"
+
+        # -- every surviving copy is on a live site and checksums clean ----
+        survivors = set(fleet4.names()) - {victim}
+        for logical, expected in payloads.items():
+            valid = catalog.valid_locations(logical)
+            assert len(valid) == FACTOR
+            sites = {r.site for r in valid}
+            assert victim not in sites
+            assert sites <= survivors
+            want = zlib.crc32(expected) & 0xFFFFFFFF
+            for replica in valid:
+                server = fleet4.server(replica.site)
+                with ChirpClient(*server.endpoint("chirp")) as c:
+                    result = c.checksum(replica.path)
+                assert result == {"crc32": want, "size": FILE_BYTES}, (
+                    f"{logical} on {replica.site}")
+
+        # The injected faults really fired: the kill was not a clean
+        # drain but a crash with connections mid-flight.
+        assert plan.fired() > 0

@@ -1,0 +1,134 @@
+"""Unit tests for the placement policies (fake ads, no live servers)."""
+
+import pytest
+
+from repro.classads import parse
+from repro.grid.discovery import Collector
+from repro.replica.placement import (
+    RandomKPlacement,
+    SpaceWeightedPlacement,
+    ThroughputWeightedPlacement,
+    make_policy,
+    throughput_ranked_sites,
+)
+
+
+def site_ad(name, grantable, mbps=None, protocols=("chirp", "gridftp")):
+    ad = parse(
+        '[ Type = "Storage"; Requirements = other.Type == "Request" '
+        "&& other.RequestedSpace <= my.GrantableSpace ]"
+    )
+    ad["Name"] = name
+    ad["Host"] = "127.0.0.1"
+    ad["ChirpPort"] = 9000
+    ad["GrantableSpace"] = grantable
+    ad["Protocols"] = list(protocols)
+    if mbps is not None:
+        ad["ThroughputMBps"] = mbps
+    return ad
+
+
+@pytest.fixture
+def collector():
+    c = Collector()
+    c.advertise(site_ad("small", 10_000, mbps=5.0))
+    c.advertise(site_ad("medium", 1_000_000, mbps=50.0))
+    c.advertise(site_ad("large", 100_000_000, mbps=20.0))
+    return c
+
+
+class TestCandidates:
+    def test_excludes_current_holders(self, collector):
+        policy = RandomKPlacement()
+        names = {str(ad.eval("Name"))
+                 for ad in policy.candidates(collector, 100, exclude=("large",))}
+        assert names == {"small", "medium"}
+
+    def test_excludes_sites_too_small(self, collector):
+        policy = RandomKPlacement()
+        names = {str(ad.eval("Name"))
+                 for ad in policy.candidates(collector, 500_000)}
+        assert names == {"medium", "large"}
+
+    def test_requires_gridftp(self, collector):
+        collector.advertise(site_ad("no-gftp", 10**9,
+                                    protocols=("chirp", "http")))
+        policy = RandomKPlacement()
+        names = {str(ad.eval("Name"))
+                 for ad in policy.candidates(collector, 100)}
+        assert "no-gftp" not in names
+
+
+class TestRandomK:
+    def test_seeded_and_distinct(self, collector):
+        a = RandomKPlacement(seed=42).place(collector, 100, 2)
+        b = RandomKPlacement(seed=42).place(collector, 100, 2)
+        assert [str(x.eval("Name")) for x in a] == \
+               [str(x.eval("Name")) for x in b]
+        assert len({str(x.eval("Name")) for x in a}) == 2
+
+    def test_k_larger_than_pool(self, collector):
+        chosen = RandomKPlacement().place(collector, 100, 10)
+        assert len(chosen) == 3
+
+
+class TestSpaceWeighted:
+    def test_prefers_empty_sites(self):
+        c = Collector()
+        c.advertise(site_ad("huge", 10**12))
+        c.advertise(site_ad("tiny", 10**3))
+        firsts = [
+            str(SpaceWeightedPlacement(seed=s).place(c, 100, 1)[0].eval("Name"))
+            for s in range(20)
+        ]
+        # A million-to-one weight ratio: the empty site should win
+        # essentially always.
+        assert firsts.count("huge") >= 19
+
+    def test_without_replacement(self, collector):
+        chosen = SpaceWeightedPlacement(seed=1).place(collector, 100, 3)
+        assert len({str(x.eval("Name")) for x in chosen}) == 3
+
+
+class TestThroughputWeighted:
+    def test_ranks_by_measured_throughput(self, collector):
+        chosen = ThroughputWeightedPlacement().place(collector, 100, 3)
+        assert [str(x.eval("Name")) for x in chosen] == \
+               ["medium", "large", "small"]
+
+    def test_unmeasured_sites_rank_last_by_space(self):
+        c = Collector()
+        c.advertise(site_ad("cold-big", 10**9))
+        c.advertise(site_ad("cold-small", 10**6))
+        c.advertise(site_ad("warm", 10**6, mbps=1.0))
+        chosen = ThroughputWeightedPlacement().place(c, 100, 3)
+        assert [str(x.eval("Name")) for x in chosen] == \
+               ["warm", "cold-big", "cold-small"]
+
+
+class TestMakePolicy:
+    def test_known_names(self):
+        assert make_policy("random").name == "random"
+        assert make_policy("space").name == "space"
+        assert make_policy("throughput").name == "throughput"
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_policy("best-effort")
+
+
+class TestThroughputRankedSites:
+    def test_orders_and_drops_dead(self, collector):
+        ranked = throughput_ranked_sites(
+            collector, ["small", "large", "medium", "ghost"])
+        assert ranked == ["medium", "large", "small"]
+
+    def test_expired_site_omitted(self):
+        t = [0.0]
+        c = Collector(clock=lambda: t[0], default_ttl=10.0)
+        c.advertise(site_ad("dying", 10**6, mbps=9.0))
+        c.advertise(site_ad("alive", 10**6, mbps=1.0), ttl=100.0)
+        assert throughput_ranked_sites(c, ["dying", "alive"]) == \
+               ["dying", "alive"]
+        t[0] = 11.0
+        assert throughput_ranked_sites(c, ["dying", "alive"]) == ["alive"]

@@ -1,0 +1,100 @@
+"""Live tests: third-party fan-out, verification, and repair."""
+
+import pytest
+
+from repro.replica.replicator import ReplicationError
+
+pytestmark = pytest.mark.timeout(120)
+
+
+class TestStore:
+    def test_store_reaches_target_count(self, fleet3):
+        catalog, replicator, client = fleet3.federate(target_count=3)
+        with replicator, client:
+            reports = replicator.store("data.bin", b"d" * 20_000)
+            assert all(r.ok for r in reports)
+            valid = catalog.valid_locations("data.bin")
+            assert len(valid) == 3
+            # One copy per site, every copy verified with a checksum.
+            assert {r.site for r in valid} == set(fleet3.names())
+            assert len({r.checksum for r in valid}) == 1
+            assert all(r.checksum is not None for r in valid)
+
+    def test_copies_are_readable_everywhere(self, fleet3):
+        from repro.client.chirp import ChirpClient
+
+        catalog, replicator, client = fleet3.federate(target_count=3)
+        payload = b"every site serves this" * 500
+        with replicator, client:
+            replicator.store("shared.bin", payload)
+            path = replicator.path_for("shared.bin")
+            for name in fleet3.names():
+                with ChirpClient(*fleet3.server(name).endpoint("chirp")) as c:
+                    assert c.get(path) == payload
+
+    def test_replicate_is_idempotent_at_target(self, fleet3):
+        catalog, replicator, client = fleet3.federate(target_count=2)
+        with replicator, client:
+            replicator.store("once.bin", b"x" * 1000)
+            assert replicator.replicate("once.bin") == []
+
+    def test_bad_logical_name_rejected(self, fleet3):
+        catalog, replicator, client = fleet3.federate()
+        with replicator, client:
+            for bad in ("../escape", "a/b", "", ".hidden"):
+                with pytest.raises(ValueError):
+                    replicator.path_for(bad)
+
+    def test_replicate_without_source_raises(self, fleet3):
+        catalog, replicator, client = fleet3.federate()
+        with replicator, client:
+            with pytest.raises(ReplicationError):
+                replicator.replicate("never-stored.bin")
+
+
+class TestRepair:
+    def test_dead_site_dropped_and_refilled(self, fleet4):
+        catalog, replicator, client = fleet4.federate(target_count=3)
+        with replicator, client:
+            replicator.store("heal.bin", b"h" * 10_000)
+            victim = sorted(catalog.sites("heal.bin"))[0]
+            fleet4.kill(victim)  # withdraws the ad on the way down
+            report = replicator.repair_once()
+            assert victim in report.dead_sites
+            assert report.dropped == 1
+            assert report.healed == 1
+            valid = catalog.valid_locations("heal.bin")
+            assert len(valid) == 3
+            assert victim not in {r.site for r in valid}
+
+    def test_repair_is_quiescent_when_healthy(self, fleet3):
+        catalog, replicator, client = fleet3.federate(target_count=3)
+        with replicator, client:
+            replicator.store("ok.bin", b"k" * 1000)
+            report = replicator.repair_once()
+            assert report.dropped == 0
+            assert report.copies == []
+            assert report.dead_sites == []
+
+    def test_deficit_survives_until_capacity_returns(self, fleet3):
+        # 3 sites, factor 3: losing one leaves an unfillable deficit
+        # (no fourth site), which must persist -- not crash the loop.
+        catalog, replicator, client = fleet3.federate(target_count=3)
+        with replicator, client:
+            replicator.store("tight.bin", b"t" * 1000)
+            victim = sorted(catalog.sites("tight.bin"))[0]
+            fleet3.kill(victim)
+            report = replicator.repair_once()
+            assert report.dropped == 1
+            assert report.healed == 0
+            assert catalog.deficits(3) == {"tight.bin": 1}
+
+    def test_suspect_on_live_site_reverifies(self, fleet3):
+        catalog, replicator, client = fleet3.federate(target_count=2)
+        with replicator, client:
+            replicator.store("sus.bin", b"s" * 1000)
+            site = sorted(catalog.sites("sus.bin"))[0]
+            catalog.mark_suspect("sus.bin", site)
+            report = replicator.repair_once()
+            assert report.recovered == 1
+            assert len(catalog.valid_locations("sus.bin")) == 2
