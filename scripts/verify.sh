@@ -2,9 +2,10 @@
 # Tier-1 verification gate: the observability lint, the full suite
 # (fail-fast), then the fault-injection lane by itself so matrix
 # failures are easy to spot, then the replica-federation lane (live
-# fleets, kill-and-heal).  Each faults-marked test runs under a hard
-# per-test timeout (pytest-timeout when installed; SIGALRM backstop
-# otherwise).
+# fleets, kill-and-heal), then the durability lane (journal, crash
+# sweeps, restart recovery).  Each faults-marked test runs under a
+# hard per-test timeout (pytest-timeout when installed; SIGALRM
+# backstop otherwise).
 # Usage: scripts/verify.sh [extra pytest args]
 set -e
 cd "$(dirname "$0")/.."
@@ -12,3 +13,4 @@ python scripts/lint_obs.py
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q "$@"
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -q -m faults "$@"
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -q tests/replica "$@"
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -q tests/durability "$@"

@@ -1,0 +1,242 @@
+"""The write-ahead metadata journal.
+
+One append-only file of CRC-framed JSON records.  Every record is one
+line::
+
+    <crc32 of payload, 8 hex chars> <payload JSON>\\n
+
+where the payload carries a monotonically increasing ``seq``, a
+``type`` tag, and the event's fields.  Appends are fsync'd by default
+(``fsync=False`` trades durability of the last few records for speed
+-- used by the crash-sweep tests, whose "disk" is the same process).
+
+The framing makes every corruption mode the disk-fault layer can
+inject *detectable*: a torn tail (no trailing newline), a short write
+(CRC mismatch), or a crash between records (file simply ends) all
+terminate :meth:`MetadataJournal.replay` at the last durable record
+boundary instead of propagating garbage into recovery.
+
+Append failures surface as :class:`JournalError` -- an ``OSError``
+subclass carrying the real errno -- so callers can degrade typed
+(``ENOSPC`` becomes a no-space response, not a dead connection).
+"""
+
+from __future__ import annotations
+
+import errno as _errno
+import json
+import os
+import threading
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.faults.disk import CRASH, SHORT, TORN, SimulatedCrash
+
+__all__ = ["JournalError", "ReplayResult", "MetadataJournal"]
+
+
+class JournalError(OSError):
+    """A journal append (or sync) failed; ``errno`` says why."""
+
+
+@dataclass
+class ReplayResult:
+    """What a journal replay found on disk."""
+
+    records: list[dict]  #: every intact record, in append order
+    valid_bytes: int  #: length of the intact prefix of the file
+    corrupt_tail: bool  #: True when replay stopped at a torn/corrupt record
+
+
+class MetadataJournal:
+    """Append-fsync-replay over one journal file."""
+
+    def __init__(self, path: str, *, fsync: bool = True, faults=None,
+                 registry=None):
+        self.path = str(path)
+        self._fsync = fsync
+        self._faults = faults
+        self._lock = threading.RLock()
+        self._file = None
+        #: sequence number of the last record acknowledged (durable or
+        #: folded into a snapshot); the next append gets ``last_seq+1``.
+        self.last_seq = 0
+        self._h_fsync = None
+        self._m_records = None
+        self._m_errors = None
+        if registry is not None:
+            self._h_fsync = registry.histogram(
+                "journal_fsync_seconds",
+                "Wall-clock latency of each metadata-journal fsync.")
+            self._m_records = registry.counter(
+                "journal_records_total",
+                "Records appended to the metadata journal.")
+            self._m_errors = registry.counter(
+                "journal_append_errors_total",
+                "Journal appends that failed (EIO, ENOSPC, closed file).")
+
+    # ------------------------------------------------------------------
+    # appending
+    # ------------------------------------------------------------------
+    def append(self, rtype: str, fields: dict[str, Any]) -> int:
+        """Durably append one record; returns its sequence number."""
+        with self._lock:
+            seq = self.last_seq + 1
+            rec = {"seq": seq, "type": rtype, **fields}
+            data = json.dumps(rec, sort_keys=True,
+                              separators=(",", ":")).encode()
+            line = b"%08x " % (zlib.crc32(data) & 0xFFFFFFFF,) + data + b"\n"
+            try:
+                self._open()
+                rule = (self._faults.check("append", at=seq)
+                        if self._faults is not None else None)
+                if rule is not None:
+                    self._faulty_write(rule, line)
+                else:
+                    self._file.write(line)
+                    self._do_fsync()
+            except OSError as exc:
+                if self._m_errors is not None:
+                    self._m_errors.inc()
+                if isinstance(exc, JournalError):
+                    raise
+                raise JournalError(
+                    exc.errno if exc.errno is not None else _errno.EIO,
+                    f"journal append failed: {exc}") from exc
+            except ValueError as exc:  # write on a closed file
+                if self._m_errors is not None:
+                    self._m_errors.inc()
+                raise JournalError(_errno.EIO,
+                                   f"journal closed: {exc}") from exc
+            self.last_seq = seq
+            if self._m_records is not None:
+                self._m_records.inc()
+            return seq
+
+    def _faulty_write(self, rule, line: bytes) -> None:
+        """Enact an injected append fault (torn/short land a fragment)."""
+        if rule.action in (TORN, SHORT):
+            keep = rule.keep_bytes
+            if keep is None:
+                keep = max(1, len(line) // 2)
+            self._file.write(line[:keep])
+            self._do_fsync()
+            if rule.action == TORN:
+                raise SimulatedCrash("torn journal append")
+            return  # SHORT: partial record on disk, caller sees success
+        if rule.action == CRASH:
+            raise SimulatedCrash("crash point before journal append")
+        if rule.action in ("eio", "enospc"):
+            code = _errno.EIO if rule.action == "eio" else _errno.ENOSPC
+            raise JournalError(code, f"injected {rule.action} on journal append")
+
+    def _open(self) -> None:
+        if self._file is None or self._file.closed:
+            parent = os.path.dirname(self.path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            # Unbuffered: every write hits the OS immediately, so the
+            # only volatile layer left for fsync to flush is the page
+            # cache (and torn fragments from injected faults really
+            # land on "disk").
+            self._file = open(self.path, "ab", buffering=0)
+
+    def _do_fsync(self) -> None:
+        if not self._fsync:
+            return
+        t0 = time.perf_counter()
+        os.fsync(self._file.fileno())
+        if self._h_fsync is not None:
+            self._h_fsync.observe(time.perf_counter() - t0)
+
+    # ------------------------------------------------------------------
+    # replay
+    # ------------------------------------------------------------------
+    def replay(self) -> ReplayResult:
+        """Parse the journal from disk, stopping at the first record
+        that is torn, short, or CRC-corrupt.  Never raises on bad
+        data: a damaged tail simply ends history early."""
+        try:
+            with open(self.path, "rb") as f:
+                raw = f.read()
+        except FileNotFoundError:
+            return ReplayResult([], 0, False)
+        records: list[dict] = []
+        pos = 0
+        valid = 0
+        corrupt = False
+        while pos < len(raw):
+            nl = raw.find(b"\n", pos)
+            if nl < 0:
+                corrupt = True  # torn tail: record never finished
+                break
+            line = raw[pos:nl]
+            rec = self._parse_line(line)
+            if rec is None:
+                corrupt = True
+                break
+            records.append(rec)
+            pos = nl + 1
+            valid = pos
+        return ReplayResult(records, valid, corrupt)
+
+    @staticmethod
+    def _parse_line(line: bytes) -> Optional[dict]:
+        if len(line) < 10 or line[8:9] != b" ":
+            return None
+        try:
+            crc = int(line[:8], 16)
+        except ValueError:
+            return None
+        data = line[9:]
+        if zlib.crc32(data) & 0xFFFFFFFF != crc:
+            return None
+        try:
+            rec = json.loads(data)
+        except ValueError:
+            return None
+        if not isinstance(rec, dict) or "seq" not in rec or "type" not in rec:
+            return None
+        return rec
+
+    # ------------------------------------------------------------------
+    # rotation
+    # ------------------------------------------------------------------
+    def reset_if_quiescent(self, upto_seq: int) -> bool:
+        """Truncate the journal *iff* no record newer than ``upto_seq``
+        has been appended (i.e. everything on disk is covered by the
+        snapshot just written).  Returns whether truncation happened;
+        a concurrent append simply defers compaction to the next
+        snapshot -- replay skips records ``<= snapshot.seq`` anyway."""
+        with self._lock:
+            if self.last_seq != upto_seq:
+                return False
+            self.close()
+            open(self.path, "wb").close()
+            return True
+
+    def truncate_to(self, nbytes: int) -> None:
+        """Cut a torn/corrupt tail off the journal so future appends
+        extend the intact prefix instead of following garbage."""
+        with self._lock:
+            self.close()
+            try:
+                with open(self.path, "r+b") as f:
+                    f.truncate(max(0, nbytes))
+            except FileNotFoundError:
+                pass
+
+    def size_bytes(self) -> int:
+        """Current on-disk journal size."""
+        try:
+            return os.path.getsize(self.path)
+        except OSError:
+            return 0
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None and not self._file.closed:
+                self._file.close()
+            self._file = None

@@ -1,15 +1,28 @@
 """Fault injection for the live NeST stack (chaos substrate).
 
-See :mod:`repro.faults.plan` for the model.  Quick use::
+See :mod:`repro.faults.plan` for the socket model.  Quick use::
 
     plan = FaultPlan.reset_once(after_bytes=1024)
     server = NestServer(config, faults=plan)          # server-side
     client = ChirpClient(host, port, faults=plan)     # or client-side
 
+:mod:`repro.faults.disk` is the persistence twin: a
+:class:`DiskFaultPlan` breaks the metadata journal, snapshots, and
+data-store writes (torn/short writes, EIO/ENOSPC, crash-at-record-N)
+for the crash-recovery sweeps in :mod:`repro.durability`.
+
 Every future chaos / soak scenario plugs in here rather than
 monkeypatching sockets.
 """
 
+from repro.faults.disk import (
+    DiskFaultEvent,
+    DiskFaultPlan,
+    DiskFaultRule,
+    FaultyFile,
+    FaultyStore,
+    SimulatedCrash,
+)
 from repro.faults.plan import (
     FaultAction,
     FaultEvent,
@@ -28,4 +41,10 @@ __all__ = [
     "FaultRule",
     "FaultySocket",
     "FaultyStream",
+    "DiskFaultEvent",
+    "DiskFaultPlan",
+    "DiskFaultRule",
+    "FaultyFile",
+    "FaultyStore",
+    "SimulatedCrash",
 ]

@@ -45,6 +45,14 @@ class DataStore(Protocol):
         """Current byte size (0 if absent)."""
         ...
 
+    def exists(self, path: str) -> bool:
+        """Whether any bytes are stored under ``path``."""
+        ...
+
+
+#: Suffix of in-flight atomic-write temp files (swept at recovery).
+TEMP_SUFFIX = ".nest-tmp"
+
 
 class MemoryStore:
     """Bytes in RAM, keyed by path."""
@@ -97,6 +105,54 @@ class MemoryStore:
             data = self._files.get(path)
             return len(data) if data is not None else 0
 
+    def exists(self, path: str) -> bool:
+        with self._lock:
+            return path in self._files
+
+
+class _AtomicWriter:
+    """A write stream that lands atomically: bytes go to a same-directory
+    temp file; ``close`` fsyncs and ``os.replace``\\ s it onto the final
+    name.  A reader (or a recovery pass) therefore sees the old file or
+    the new one, never a torn hybrid -- and a process killed mid-PUT
+    leaves only a ``.nest-tmp`` orphan, swept at the next recovery.
+    """
+
+    def __init__(self, final: str, append: bool = False):
+        self._final = final
+        self._tmp = final + TEMP_SUFFIX
+        self._f = open(self._tmp, "wb")
+        if append and os.path.exists(final):
+            with open(final, "rb") as src:
+                while True:
+                    chunk = src.read(1 << 20)
+                    if not chunk:
+                        break
+                    self._f.write(chunk)
+
+    def write(self, data: bytes) -> int:
+        return self._f.write(data)
+
+    def flush(self) -> None:
+        self._f.flush()
+
+    def close(self) -> None:
+        if self._f.closed:
+            return
+        self._f.flush()
+        os.fsync(self._f.fileno())
+        self._f.close()
+        os.replace(self._tmp, self._final)
+
+    def __enter__(self) -> "_AtomicWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __getattr__(self, name):
+        return getattr(self._f, name)
+
 
 class LocalFSStore:
     """Bytes in a sandboxed directory of the host filesystem."""
@@ -118,7 +174,7 @@ class LocalFSStore:
     def open_write(self, path: str, append: bool = False) -> BinaryIO:
         full = self._resolve(path)
         os.makedirs(os.path.dirname(full), exist_ok=True)
-        return open(full, "ab" if append else "wb")
+        return _AtomicWriter(full, append=append)
 
     def open_update(self, path: str) -> BinaryIO:
         full = self._resolve(path)
@@ -138,3 +194,20 @@ class LocalFSStore:
             return os.path.getsize(self._resolve(path))
         except OSError:
             return 0
+
+    def exists(self, path: str) -> bool:
+        return os.path.isfile(self._resolve(path))
+
+    def sweep_temp(self) -> int:
+        """Delete orphaned atomic-write temp files (crash leftovers);
+        returns how many were removed."""
+        swept = 0
+        for dirpath, _dirnames, filenames in os.walk(self.root):
+            for name in filenames:
+                if name.endswith(TEMP_SUFFIX):
+                    try:
+                        os.unlink(os.path.join(dirpath, name))
+                        swept += 1
+                    except OSError:
+                        pass
+        return swept

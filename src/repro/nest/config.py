@@ -97,6 +97,18 @@ class NestConfig:
     #: advertised in the live-health ClassAd.
     health_window: float = 30.0
 
+    #: Directory for durable appliance state (metadata journal +
+    #: compacted snapshots + restart epoch).  None runs memory-only,
+    #: exactly as before durability existed.
+    state_dir: str | None = None
+
+    #: fsync the journal on every append (the durable default); False
+    #: trades the tail of history for speed, for tests and benches.
+    journal_fsync: bool = True
+
+    #: Fold the journal into a compacted snapshot every N records.
+    snapshot_every: int = 512
+
     def validate(self) -> None:
         """Raise ValueError on inconsistent settings."""
         if self.scheduling not in ("fcfs", "stride", "cache-aware"):
@@ -119,3 +131,5 @@ class NestConfig:
             raise ValueError("span_limit must be >= 1")
         if self.health_window <= 0:
             raise ValueError("health_window must be > 0")
+        if self.snapshot_every < 0:
+            raise ValueError("snapshot_every must be >= 0")

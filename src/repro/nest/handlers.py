@@ -1018,7 +1018,10 @@ class NfsHandler(ConnectionHandler):
     def _path_of(self, handle: bytes) -> str:
         path = self.server.fhandles.path_of(nfs.fhandle_token(handle))
         if path is None:
-            raise StorageError(Status.NOT_FOUND, "stale file handle")
+            # Unknown token, or one minted before a server restart (the
+            # registry's epoch changed): the NFS client must LOOKUP the
+            # path again, exactly as with a real ESTALE.
+            raise StorageError(Status.STALE, "stale file handle")
         return path
 
     def _fh_for(self, path: str) -> bytes:
@@ -1263,6 +1266,7 @@ _STATUS_TO_NFS = {
     Status.NOT_EMPTY: nfs.NFSERR_NOTEMPTY,
     Status.BAD_REQUEST: nfs.NFSERR_IO,
     Status.SERVER_ERROR: nfs.NFSERR_IO,
+    Status.STALE: nfs.NFSERR_STALE,
 }
 
 

@@ -26,9 +26,8 @@ expiry first), ``"largest-first"`` (frees space fastest), and ``"lru"``
 from __future__ import annotations
 
 import enum
-import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Iterable
+from typing import Any, Callable, Iterable
 
 
 class LotError(Exception):
@@ -117,7 +116,11 @@ class LotManager:
         #: path prefix -> lot_id: charges for files under the prefix go
         #: to the attached lot first (Chirp's ``lot_attach``).
         self.attachments: dict[str, str] = {}
-        self._ids = itertools.count(1)
+        self._next_id = 1
+        #: optional metadata-journal sink ``(rtype, **fields)``; every
+        #: durable mutation is emitted here so the durability layer can
+        #: rebuild lots after a crash (:mod:`repro.durability`).
+        self.journal: Callable[..., Any] | None = None
         self._m_expired = None
         self._m_reclaimed_files = None
         self._m_reclaimed_bytes = None
@@ -142,6 +145,17 @@ class LotManager:
         registry.gauge_callback(
             "nest_lot_used_bytes", self.total_used,
             "Bytes charged across all lots.")
+
+    def _emit(self, rtype: str, **fields) -> None:
+        """Publish one durable mutation to the bound journal sink.
+
+        Expiry is deliberately *not* journaled: it is a pure function
+        of ``expires_at`` vs the clock, so recovery re-derives it
+        lazily -- which is exactly how a lot that expired while the
+        server was down comes back BEST_EFFORT.
+        """
+        if self.journal is not None:
+            self.journal(rtype, **fields)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -210,14 +224,18 @@ class LotManager:
                 self._reclaim(shortfall)
         now = self.clock()
         lot = Lot(
-            lot_id=f"lot{next(self._ids)}",
+            lot_id=f"lot{self._next_id}",
             owner=owner,
             capacity=int(capacity),
             expires_at=now + duration,
             last_used=now,
             volatile=volatile,
         )
+        self._next_id += 1
         self.lots[lot.lot_id] = lot
+        self._emit("lot_create", lot_id=lot.lot_id, owner=owner,
+                   capacity=lot.capacity, expires_at=lot.expires_at,
+                   volatile=volatile, last_used=now)
         return lot
 
     def renew(self, lot_id: str, duration: float, owner: str | None = None) -> Lot:
@@ -233,6 +251,8 @@ class LotManager:
                 raise LotError(f"cannot reactivate {lot_id}: space since promised away")
             lot.state = LotState.ACTIVE
         lot.expires_at = self.clock() + duration
+        self._emit("lot_renew", lot_id=lot.lot_id,
+                   expires_at=lot.expires_at, state=lot.state.value)
         return lot
 
     def delete_lot(self, lot_id: str, owner: str | None = None) -> list[str]:
@@ -240,6 +260,7 @@ class LotManager:
         (candidates for deletion by the storage manager)."""
         lot = self._get(lot_id, owner)
         del self.lots[lot.lot_id]
+        self._emit("lot_delete", lot_id=lot.lot_id)
         orphans = []
         for path in lot.charges:
             if not any(path in other.charges for other in self.lots.values()):
@@ -292,7 +313,9 @@ class LotManager:
         """Bind a path prefix to a lot: future charges for files under
         ``prefix`` are packed into that lot first."""
         lot = self._get(lot_id, owner)
-        self.attachments[prefix.rstrip("/") or "/"] = lot.lot_id
+        normalized = prefix.rstrip("/") or "/"
+        self.attachments[normalized] = lot.lot_id
+        self._emit("lot_attach", lot_id=lot.lot_id, prefix=normalized)
 
     def _attached_lot(self, path: str) -> Lot | None:
         best: str | None = None
@@ -334,6 +357,8 @@ class LotManager:
             lot = mine[0]
             lot.charges[path] = lot.charges.get(path, 0) + nbytes
             lot.last_used = now
+            self._emit("lot_charge", lot_id=lot.lot_id, path=path,
+                       nbytes=nbytes, last_used=now)
             return
         # nest-managed: pack into lots with room, spanning if needed.
         # Check first so a failed charge leaves no partial state.
@@ -350,9 +375,23 @@ class LotManager:
             take = min(room, remaining)
             lot.charges[path] = lot.charges.get(path, 0) + take
             lot.last_used = now
+            self._emit("lot_charge", lot_id=lot.lot_id, path=path,
+                       nbytes=take, last_used=now)
             remaining -= take
             if remaining == 0:
                 return
+
+    def rename_charges(self, path: str, new_path: str) -> None:
+        """Re-key a renamed path's charges (and attachment).
+
+        Not journaled: the storage-level ``rename`` record replays
+        this re-keying deterministically.
+        """
+        for lot in self.lots.values():
+            if path in lot.charges:
+                lot.charges[new_path] = lot.charges.pop(path)
+        if path in self.attachments:
+            self.attachments[new_path] = self.attachments.pop(path)
 
     def release(self, path: str, nbytes: int | None = None) -> None:
         """Release a file's charges (all of them when ``nbytes`` is None)."""
@@ -361,13 +400,17 @@ class LotManager:
             if path not in lot.charges:
                 continue
             if remaining is None:
-                del lot.charges[path]
+                freed = lot.charges.pop(path)
+                self._emit("lot_release", lot_id=lot.lot_id, path=path,
+                           nbytes=freed)
             else:
                 take = min(lot.charges[path], remaining)
                 lot.charges[path] -= take
                 remaining -= take
                 if lot.charges[path] == 0:
                     del lot.charges[path]
+                self._emit("lot_release", lot_id=lot.lot_id, path=path,
+                           nbytes=take)
                 if remaining == 0:
                     return
 
@@ -396,6 +439,8 @@ class LotManager:
                 break
             for path in list(lot.charges):
                 nbytes = lot.charges.pop(path)
+                self._emit("lot_reclaim", lot_id=lot.lot_id, path=path,
+                           nbytes=nbytes)
                 freed += nbytes
                 reclaimed_files += 1
                 if not any(path in other.charges for other in self.lots.values()):
@@ -404,6 +449,7 @@ class LotManager:
                     break
             if not lot.charges:
                 del self.lots[lot.lot_id]
+                self._emit("lot_delete", lot_id=lot.lot_id)
         if reclaimed_files and self._m_reclaimed_files is not None:
             self._m_reclaimed_files.inc(reclaimed_files)
             self._m_reclaimed_bytes.inc(freed)
@@ -411,6 +457,69 @@ class LotManager:
     def total_used(self) -> int:
         """Bytes charged across all lots."""
         return sum(l.used for l in self.lots.values())
+
+    # ------------------------------------------------------------------
+    # durability (snapshot serialization + journal-replay restore)
+    # ------------------------------------------------------------------
+    def serialize(self) -> dict:
+        """JSON-able full state for a compacted snapshot."""
+        return {
+            "next_id": self._next_id,
+            "attachments": dict(self.attachments),
+            "lots": [
+                {
+                    "lot_id": l.lot_id,
+                    "owner": l.owner,
+                    "capacity": l.capacity,
+                    "expires_at": l.expires_at,
+                    "state": l.state.value,
+                    "volatile": l.volatile,
+                    "last_used": l.last_used,
+                    "charges": dict(l.charges),
+                }
+                for l in sorted(self.lots.values(), key=lambda l: l.lot_id)
+            ],
+        }
+
+    def restore(self, data: dict) -> None:
+        """Replace all lot state from a snapshot (in place, so shared
+        references -- gauges, the storage manager -- stay valid)."""
+        self.lots.clear()
+        for doc in data["lots"]:
+            self.restore_lot(
+                lot_id=doc["lot_id"], owner=doc["owner"],
+                capacity=int(doc["capacity"]),
+                expires_at=float(doc["expires_at"]),
+                state=doc.get("state", LotState.ACTIVE.value),
+                volatile=bool(doc.get("volatile", False)),
+                last_used=float(doc.get("last_used", 0.0)),
+                charges={p: int(n) for p, n in doc.get("charges", {}).items()},
+            )
+        self.attachments.clear()
+        self.attachments.update(data.get("attachments", {}))
+        self._next_id = max(self._next_id, int(data.get("next_id", 1)))
+
+    def restore_lot(self, *, lot_id: str, owner: str, capacity: int,
+                    expires_at: float, state: str = "active",
+                    volatile: bool = False, last_used: float = 0.0,
+                    charges: dict[str, int] | None = None) -> Lot:
+        """Re-create one lot exactly as journaled (replay path; no
+        space checks -- the original create already passed them)."""
+        lot = Lot(
+            lot_id=lot_id, owner=owner, capacity=int(capacity),
+            expires_at=expires_at, state=LotState(state),
+            volatile=volatile, last_used=last_used,
+        )
+        if charges:
+            lot.charges.update(charges)
+        self.lots[lot_id] = lot
+        # Never re-mint an id that history already used.
+        if lot_id.startswith("lot"):
+            try:
+                self._next_id = max(self._next_id, int(lot_id[3:]) + 1)
+            except ValueError:
+                pass
+        return lot
 
     def lots_for_user(self, owner: str) -> list[Lot]:
         """The user's lots, active first."""

@@ -39,28 +39,50 @@ logger = get_logger(__name__)
 
 
 class FileHandleRegistry:
-    """NFS file handles: stable token <-> path mapping, server-wide."""
+    """NFS file handles: stable token <-> path mapping, server-wide.
+
+    Tokens are scoped to a restart **epoch**: the durability layer
+    bumps the epoch on every recovery, and the epoch is folded into
+    the high 32 bits of each handed-out token.  A handle minted before
+    a crash therefore fails typed (stale) on the restarted server --
+    it can never silently resolve to whatever now lives at that path.
+    The default epoch 0 leaves tokens numerically unchanged for
+    servers that run without a ``state_dir``.
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
+        self._epoch = 0
         self._by_token: dict[int, str] = {1: "/"}
         self._by_path: dict[str, int] = {"/": 1}
         self._next = itertools.count(2)
 
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    def set_epoch(self, epoch: int) -> None:
+        """Adopt a restart epoch; every pre-existing token goes stale."""
+        with self._lock:
+            self._epoch = int(epoch) & 0xFFFFFFFF
+
     def token_for(self, path: str) -> int:
-        """The (stable) token for a path, allocating if new."""
+        """The (stable within this epoch) token for a path."""
         with self._lock:
             token = self._by_path.get(path)
             if token is None:
                 token = next(self._next)
                 self._by_path[path] = token
                 self._by_token[token] = path
-            return token
+            return (self._epoch << 32) | token
 
     def path_of(self, token: int) -> str | None:
-        """The path behind a token, or None for stale handles."""
+        """The path behind a token, or None for stale handles (unknown
+        token *or* a token minted in an earlier epoch)."""
         with self._lock:
-            return self._by_token.get(token)
+            if (token >> 32) != self._epoch:
+                return None
+            return self._by_token.get(token & 0xFFFFFFFF)
 
     def forget(self, path: str) -> None:
         """Invalidate a path's handle (delete/rename/rmdir).
@@ -92,11 +114,13 @@ class NestServer:
         ports: dict[str, int] | None = None,
         subject_map: dict[str, str] | None = None,
         faults: FaultPlan | None = None,
+        disk_faults=None,
     ):
         self.config = config or NestConfig()
         self.config.validate()
         self.host = host
         self.faults = faults
+        self.disk_faults = disk_faults
         #: this appliance's telemetry: metrics registry, tracer, span
         #: recorder, and live-health consolidation, private per server
         #: so side-by-side instances stay isolated.
@@ -117,6 +141,33 @@ class NestServer:
             invalidate=self.fhandles.forget,
             registry=self.obs.registry,
         )
+        #: Durable state: when the config names a ``state_dir``, recover
+        #: whatever a previous incarnation journaled there -- lots,
+        #: ACLs, namespace, accounting -- and bind the journal sinks so
+        #: this incarnation's mutations are recorded too.  The restart
+        #: epoch invalidates every pre-crash NFS file handle.
+        self.durability: "DurabilityManager | None" = None
+        self.recovery_report = None
+        if self.config.state_dir:
+            from repro.durability import DurabilityManager
+
+            self.durability = DurabilityManager(
+                self.config.state_dir,
+                fsync=self.config.journal_fsync,
+                snapshot_every=self.config.snapshot_every,
+                faults=disk_faults,
+                registry=self.obs.registry,
+            )
+            self.recovery_report = self.durability.recover_into(self.storage)
+            self.fhandles.set_epoch(self.recovery_report.epoch)
+            logger.info(
+                "%s recovered: %d records replayed, %d lots, "
+                "%d interrupted puts, epoch %d",
+                self.config.name,
+                self.recovery_report.replayed_records,
+                len(self.recovery_report.recovered_lots),
+                len(self.recovery_report.interrupted_puts),
+                self.recovery_report.epoch)
         self.graybox = GrayBoxCacheModel(self.config.graybox_cache_bytes)
         self.transfers = TransferManager(
             self.config, residency=self.graybox.predict_residency,
@@ -145,10 +196,16 @@ class NestServer:
         health.add_probe("retries", _client_retries_observed)
         self.mgmt: ManagementEndpoint | None = None
         if self.config.require_lots and self.config.default_anonymous_lot_bytes:
-            self.storage.lots.create_lot(
-                "anonymous", self.config.default_anonymous_lot_bytes,
-                duration=365 * 24 * 3600.0,
-            )
+            # Recovery may have brought the default lot back already; a
+            # second one would double the anonymous guarantee.
+            recovered_anonymous = any(
+                lot.owner == "anonymous"
+                for lot in self.storage.lots.lots.values())
+            if not recovered_anonymous:
+                self.storage.lots.create_lot(
+                    "anonymous", self.config.default_anonymous_lot_bytes,
+                    duration=365 * 24 * 3600.0,
+                )
         self.ca = ca or CertificateAuthority()
         self.gsi = GSIContext(self.ca)
         if "ibp" in self.config.protocols:
@@ -267,6 +324,10 @@ class NestServer:
                 self._connections.pop(handler, None)
 
         self.transfers.shutdown()
+        if self.durability is not None:
+            # Final compaction: a clean stop leaves a fresh snapshot and
+            # an empty journal, so the next start recovers instantly.
+            self.durability.close()
         # The management endpoint outlives the data path so operators
         # can scrape a draining server; it goes down last.
         if self.mgmt is not None:
@@ -276,6 +337,43 @@ class NestServer:
         logger.info("%s stopped (drained=%s forced=%d)",
                     self.config.name, drained, forced)
         return {"drained": int(drained), "forced": forced}
+
+    def crash(self) -> None:
+        """Die like SIGKILL (tests, chaos drills): no drain, no final
+        snapshot, no ad withdrawal -- durable state stays exactly as
+        the journal last fsync'd it.  Only OS resources are released
+        so the same process can host the restarted appliance.
+        """
+        self._running = False
+        if self.durability is not None:
+            self.durability.close(snapshot=False)
+        self._advert_stop.set()
+        if self._advert_thread is not None:
+            self._advert_thread.join(timeout=2)
+            self._advert_thread = None
+        for listener in self._listeners.values():
+            try:
+                listener.close()
+            except OSError:
+                pass
+        with self._conn_lock:
+            handlers = list(self._connections)
+        for handler in handlers:
+            handler.force_close()
+        self.transfers.shutdown()
+        if self.mgmt is not None:
+            self.mgmt.stop()
+            self.mgmt = None
+        logger.info("%s crashed (simulated)", self.config.name)
+
+    def attach_catalog(self, catalog) -> int:
+        """Wire a replica catalog into the durability layer: restores
+        catalog state recovered from this server's ``state_dir``,
+        binds the journal sink, re-advertises.  Returns how many
+        replayed replica records were applied (0 when memory-only)."""
+        if self.durability is None:
+            return 0
+        return self.durability.attach_catalog(catalog)
 
     def active_connections(self) -> int:
         """How many handler connections are currently live."""

@@ -19,6 +19,7 @@ then executed asynchronously by the transfer manager: ``approve_get``/
 
 from __future__ import annotations
 
+import errno as _errno
 import threading
 import time
 from contextlib import contextmanager
@@ -80,6 +81,33 @@ def _split(path: str) -> list[str]:
     return [p for p in path.split("/") if p]
 
 
+def _serialize_dir(node: DirNode) -> dict[str, Any]:
+    dirs: dict[str, Any] = {}
+    files: dict[str, Any] = {}
+    for name, child in node.children.items():
+        if isinstance(child, DirNode):
+            dirs[name] = _serialize_dir(child)
+        else:
+            files[name] = {"owner": child.owner, "size": child.size}
+    return {"acl": [[s, r] for s, r in node.acl.listing()],
+            "dirs": dirs, "files": files}
+
+
+def _deserialize_dir(name: str, data: dict[str, Any],
+                     groups: dict[str, set[str]]) -> DirNode:
+    acl = AccessControl(groups=groups)
+    for subject, rights in data.get("acl", []):
+        acl.set_entry(subject, Rights.parse(rights))
+    node = DirNode(name=name, acl=acl)
+    for child_name, child in data.get("dirs", {}).items():
+        node.children[child_name] = _deserialize_dir(child_name, child, groups)
+    for child_name, meta in data.get("files", {}).items():
+        node.children[child_name] = FileNode(
+            name=child_name, owner=meta.get("owner", ""),
+            size=int(meta.get("size", 0)))
+    return node
+
+
 class StorageManager:
     """Namespace + ACLs + lots over a physical-storage backend."""
 
@@ -122,6 +150,9 @@ class StorageManager:
         self.capacity_bytes = capacity_bytes
         self.used_bytes = 0
         self._lock = threading.RLock()
+        #: metadata-journal sink (set via :meth:`set_journal`); None
+        #: means the appliance runs memory-only, exactly as before.
+        self._journal: Callable[..., Any] | None = None
         self._m_ops = None
         self._m_denied = None
         if registry is not None:
@@ -134,6 +165,60 @@ class StorageManager:
                 "Requests refused by an ACL check, by missing right.",
                 labelnames=("right",))
             self.lots.register_metrics(registry)
+
+    # ------------------------------------------------------------------
+    # durability wiring (see repro.durability)
+    # ------------------------------------------------------------------
+    def set_journal(self, sink: Callable[..., Any] | None) -> None:
+        """Bind the metadata-journal sink; lot mutations are routed
+        through :meth:`_emit` too so a journal failure surfaces as one
+        typed :class:`StorageError` everywhere."""
+        self._journal = sink
+        self.lots.journal = self._emit if sink is not None else None
+
+    def _emit(self, rtype: str, **fields) -> None:
+        """Append one durable-mutation record to the bound journal.
+
+        A failed append (disk gone, out of space) must not kill the
+        connection: it degrades into a typed response -- ``ENOSPC``
+        maps to the protocol's no-space error, anything else to a
+        server error.  The in-memory mutation has already happened;
+        the journal's error counter records the divergence.
+        """
+        if self._journal is None:
+            return
+        try:
+            self._journal(rtype, **fields)
+        except OSError as exc:
+            status = (Status.NO_SPACE if exc.errno == _errno.ENOSPC
+                      else Status.SERVER_ERROR)
+            raise StorageError(
+                status, f"metadata journal append failed: {exc}") from exc
+
+    def serialize_state(self) -> dict[str, Any]:
+        """A JSON-able snapshot of all durable metadata: the whole
+        namespace with per-directory ACLs, groups, accounting, lots."""
+        with self._lock:
+            return {
+                "root": _serialize_dir(self.root),
+                "groups": {name: sorted(members)
+                           for name, members in self.groups.items()},
+                "used_bytes": self.used_bytes,
+                "lots": self.lots.serialize(),
+            }
+
+    def install_state(self, state: dict[str, Any]) -> None:
+        """Replace in-memory metadata with a snapshot's.  The shared
+        ``groups`` dict is mutated in place -- the lot manager and
+        every ACL hold references to the same object."""
+        with self._lock:
+            self.groups.clear()
+            for name, members in state.get("groups", {}).items():
+                self.groups[name] = set(members)
+            self.root = _deserialize_dir("/", state.get("root", {}),
+                                         self.groups)
+            self.used_bytes = int(state.get("used_bytes", 0))
+            self.lots.restore(state.get("lots", {}))
 
     @contextmanager
     def _op(self, op: str, path: str = ""):
@@ -205,6 +290,7 @@ class StorageManager:
                 del parent.children[name]
         except StorageError:
             pass
+        self._emit("file_reclaim", path=path)
         self.store.delete(path)
         self.invalidate(path)
 
@@ -221,6 +307,7 @@ class StorageManager:
             parent.children[name] = DirNode(
                 name=name, acl=default_acl(user, self.groups, self.anonymous_rights)
             )
+            self._emit("mkdir", user=user, path=path)
 
     def rmdir(self, user: str, path: str) -> None:
         """Remove an empty directory; requires delete on the parent."""
@@ -235,6 +322,7 @@ class StorageManager:
             if node.children:
                 raise StorageError(Status.NOT_EMPTY, path)
             del parent.children[name]
+            self._emit("rmdir", path=path)
             self.invalidate(path)
 
     def listdir(self, user: str, path: str) -> list[dict[str, Any]]:
@@ -272,6 +360,10 @@ class StorageManager:
                 raise StorageError(Status.NOT_FOUND, path)
             if isinstance(node, DirNode):
                 raise StorageError(Status.IS_DIR, path)
+            # Journal first: a crash right after leaves an orphan
+            # charge, which recovery reconciles; the reverse order
+            # would leave a phantom released-but-present file.
+            self._emit("delete", path=path)
             self.used_bytes -= node.size
             self.lots.release(path)
             del parent.children[name]
@@ -293,6 +385,11 @@ class StorageManager:
             del parent.children[name]
             node.name = new_name
             new_parent.children[new_name] = node
+            self.lots.rename_charges(path, new_path)
+            # Journal before moving the bytes: if a crash interrupts
+            # the move, replay re-does it from whichever path still
+            # holds the data (see StorageReplayer._redo_move).
+            self._emit("rename", path=path, new_path=new_path)
             if isinstance(node, FileNode):
                 # Move the backing bytes.
                 src = self.store.open_read(path)
@@ -331,9 +428,12 @@ class StorageManager:
                 raise StorageError(Status.NOT_DIR, path)
             self._check(node.acl, user, "a")
             try:
-                node.acl.set_entry(subject, Rights.parse(rights))
+                parsed = Rights.parse(rights)
+                node.acl.set_entry(subject, parsed)
             except AclError as exc:
                 raise StorageError(Status.BAD_REQUEST, str(exc)) from exc
+            self._emit("acl_set", path=path, subject=subject,
+                       rights=str(parsed))
 
     def acl_get(self, user: str, path: str) -> list[tuple[str, str]]:
         """Read a directory's ACL; requires lookup."""
@@ -348,6 +448,7 @@ class StorageManager:
         """Define or replace a user group."""
         with self._lock:
             self.groups[name] = set(members)
+            self._emit("group_set", name=name, members=sorted(members))
 
     # ------------------------------------------------------------------
     # transfer approval (paper: storage manager synchronously approves,
@@ -389,6 +490,8 @@ class StorageManager:
             else:
                 existing.size = declared
             self.used_bytes += declared - old_size
+            self._emit("put_begin", user=user, path=path, size=declared,
+                       old_size=old_size, existed=existing is not None)
             manager = self
 
             class _PutTicket(TransferTicket):
@@ -418,6 +521,7 @@ class StorageManager:
             self._charge(user, path, growth)
             existing.size += growth
             self.used_bytes += growth
+            self._emit("write", user=user, path=path, size=existing.size)
             stream = self.store.open_update(path)
             stream.seek(offset)
             return TransferTicket(
@@ -454,6 +558,9 @@ class StorageManager:
     def _settle_put(self, ticket: TransferTicket, declared: int, actual: int) -> None:
         """Reconcile declared vs actual size after a put completes."""
         with self._lock:
+            # The commit record closes the put_begin bracket: recovery
+            # treats an unmatched put_begin as an interrupted transfer.
+            self._emit("put_commit", path=ticket.path, size=actual)
             if actual == declared:
                 return
             try:

@@ -96,6 +96,9 @@ class Status(enum.Enum):
     NOT_EMPTY = "not_empty"
     BAD_REQUEST = "bad_request"
     SERVER_ERROR = "server_error"
+    #: A handle/token from before a server restart: the referent may
+    #: still exist, but the handle must be re-resolved by path.
+    STALE = "stale"
 
 
 @dataclass

@@ -64,6 +64,7 @@ NFSERR_NOTDIR = 20
 NFSERR_ISDIR = 21
 NFSERR_NOSPC = 28
 NFSERR_NOTEMPTY = 66
+NFSERR_STALE = 70
 
 # ftype codes.
 NFNON = 0

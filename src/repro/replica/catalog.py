@@ -88,6 +88,9 @@ class ReplicaCatalog:
         self._lock = threading.Lock()
         #: logical name -> {site name -> Replica}
         self._sets: dict[str, dict[str, Replica]] = {}
+        #: metadata-journal sink (see :mod:`repro.durability`); None
+        #: keeps the catalog memory-only.
+        self.journal: Callable[..., Any] | None = None
         reg = registry if registry is not None else global_registry()
         self._m_transitions = reg.counter(
             "replica_state_transitions_total",
@@ -101,6 +104,10 @@ class ReplicaCatalog:
             "Replica copies currently in the valid state.")
 
     # -- mutation ----------------------------------------------------------
+    def _emit(self, rtype: str, **fields) -> None:
+        if self.journal is not None:
+            self.journal(rtype, **fields)
+
     def register(self, logical: str, site: str, path: str, *,
                  size: int = 0, state: str = COPYING) -> Replica:
         """Record a (new or replacing) replica of ``logical`` on ``site``."""
@@ -111,6 +118,8 @@ class ReplicaCatalog:
                           registered_at=now, state_changed_at=now)
         with self._lock:
             self._sets.setdefault(logical, {})[site] = replica
+        self._emit("replica_register", logical=logical, site=site,
+                   path=path, size=size, state=state)
         self._m_transitions.inc(state=state)
         self._readvertise(logical)
         return replica
@@ -128,6 +137,8 @@ class ReplicaCatalog:
                 replica.checksum = checksum
             if size is not None:
                 replica.size = size
+        self._emit("replica_state", logical=logical, site=site, state=state,
+                   checksum=checksum, size=size)
         self._m_transitions.inc(state=state)
         self._readvertise(logical)
         return replica
@@ -150,6 +161,7 @@ class ReplicaCatalog:
                 replicas.pop(site, None)
                 if not replicas:
                     del self._sets[logical]
+        self._emit("replica_drop", logical=logical, site=site)
         self._readvertise(logical)
 
     def drop_site(self, site: str) -> int:
@@ -164,8 +176,71 @@ class ReplicaCatalog:
                     if not replicas:
                         del self._sets[logical]
         for logical in touched:
+            self._emit("replica_drop", logical=logical, site=site)
             self._readvertise(logical)
         return len(touched)
+
+    # -- durability (snapshot + journal replay; see repro.durability) ------
+    def serialize(self) -> dict[str, Any]:
+        """Full catalog state, JSON-able, for compacted snapshots."""
+        with self._lock:
+            return {
+                logical: [
+                    {"site": r.site, "path": r.path, "state": r.state,
+                     "size": r.size, "checksum": r.checksum,
+                     "registered_at": r.registered_at}
+                    for r in replicas.values()
+                ]
+                for logical, replicas in sorted(self._sets.items())
+            }
+
+    def restore(self, data: dict[str, Any]) -> None:
+        """Replace catalog contents with a snapshot's (no ads emitted;
+        recovery advertises once the whole catalog is rebuilt)."""
+        with self._lock:
+            self._sets.clear()
+            for logical, replicas in data.items():
+                for rec in replicas:
+                    at = float(rec.get("registered_at", 0.0))
+                    self._sets.setdefault(logical, {})[rec["site"]] = Replica(
+                        site=rec["site"], path=rec.get("path", ""),
+                        state=rec.get("state", COPYING),
+                        size=int(rec.get("size", 0)),
+                        checksum=rec.get("checksum"),
+                        registered_at=at, state_changed_at=at)
+
+    def apply_record(self, rec: dict[str, Any]) -> bool:
+        """Apply one replayed journal record; returns whether the type
+        was ours.  Never re-emits or advertises -- replay is silent."""
+        rtype = rec.get("type")
+        if rtype == "replica_register":
+            at = self.clock()
+            with self._lock:
+                self._sets.setdefault(rec["logical"], {})[rec["site"]] = (
+                    Replica(site=rec["site"], path=rec.get("path", ""),
+                            state=rec.get("state", COPYING),
+                            size=int(rec.get("size", 0)),
+                            registered_at=at, state_changed_at=at))
+            return True
+        if rtype == "replica_state":
+            with self._lock:
+                replica = self._sets.get(rec["logical"], {}).get(rec["site"])
+                if replica is not None:
+                    replica.state = rec.get("state", replica.state)
+                    if rec.get("checksum") is not None:
+                        replica.checksum = rec["checksum"]
+                    if rec.get("size") is not None:
+                        replica.size = int(rec["size"])
+            return True
+        if rtype == "replica_drop":
+            with self._lock:
+                replicas = self._sets.get(rec["logical"])
+                if replicas is not None:
+                    replicas.pop(rec["site"], None)
+                    if not replicas:
+                        del self._sets[rec["logical"]]
+            return True
+        return False
 
     # -- queries -----------------------------------------------------------
     def logicals(self) -> list[str]:

@@ -1,0 +1,50 @@
+"""Fixtures for the durability lane.
+
+Crash-recovery tests must never hang (a recovery that deadlocks is a
+bug, not a slow test), so every test here runs under a hard per-test
+timeout -- same pattern as the fault lane: pytest-timeout's marker
+when the plugin is installed, a SIGALRM fallback otherwise.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+
+import pytest
+
+HARD_TIMEOUT = 60.0
+
+
+def pytest_collection_modifyitems(config, items):
+    for item in items:
+        if "tests/durability/" in str(item.fspath).replace("\\", "/"):
+            item.add_marker(pytest.mark.timeout(HARD_TIMEOUT))
+
+
+def _have_pytest_timeout(config) -> bool:
+    return config.pluginmanager.hasplugin("timeout")
+
+
+@pytest.fixture(autouse=True)
+def _hard_timeout(request):
+    if _have_pytest_timeout(request.config):
+        yield
+        return
+    if (not hasattr(signal, "SIGALRM")
+            or threading.current_thread() is not threading.main_thread()):
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"durability hard timeout: test exceeded {HARD_TIMEOUT}s "
+            f"(recovery hung instead of completing)")
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, HARD_TIMEOUT)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
