@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Data-path lint: no unbounded stream reads under ``src/repro``.
+
+One rule, enforced by AST walk (so docstrings and comments that merely
+*mention* the call don't trip it):
+
+No argless ``.read()`` calls.  ``stream.read()`` slurps the entire
+remaining stream into one bytes object, so a single large file (or a
+malicious length header) balloons resident memory -- exactly the bug
+class this repo's zero-copy work removed from the GET/PUT handlers.
+Data must move in bounded chunks: ``read(n)``, ``readinto(view)``, or
+the pooled helpers in :mod:`repro.nest.io`.
+
+The allowlist names the few files where a whole-file read is the
+correct tool because the file is *by construction* small appliance
+metadata (the journal, its snapshots), not client data.
+
+Exit status 0 when clean, 1 with one line per violation otherwise.
+Usage: ``python scripts/lint_datapath.py`` (from anywhere in the repo).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: Files (relative to ``src/repro``) allowed to slurp: these read the
+#: appliance's own bounded metadata files, never client data streams.
+READ_ALLOWED = {
+    "durability/journal.py",   # replay parses the whole journal
+    "durability/manager.py",   # epoch file: a few bytes
+    "durability/snapshot.py",  # compacted snapshot JSON
+}
+
+
+def _violations(path: Path, rel: str) -> list[str]:
+    if rel in READ_ALLOWED:
+        return []
+    tree = ast.parse(path.read_text(), filename=str(path))
+    out = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (isinstance(func, ast.Attribute) and func.attr == "read"
+                and not node.args and not node.keywords):
+            out.append(
+                f"{path}:{node.lineno}: argless .read() slurps the whole "
+                "stream -- read bounded chunks (read(n)/readinto) or use "
+                "repro.nest.io.copy_stream/stream_crc32")
+    return out
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent / "src" / "repro"
+    problems: list[str] = []
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        problems.extend(_violations(path, rel))
+    for line in problems:
+        print(line, file=sys.stderr)
+    if problems:
+        print(f"lint_datapath: {len(problems)} violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,16 +1,20 @@
 #!/bin/sh
-# Tier-1 verification gate: the observability lint, the full suite
-# (fail-fast), then the fault-injection lane by itself so matrix
-# failures are easy to spot, then the replica-federation lane (live
-# fleets, kill-and-heal), then the durability lane (journal, crash
-# sweeps, restart recovery).  Each faults-marked test runs under a
-# hard per-test timeout (pytest-timeout when installed; SIGALRM
-# backstop otherwise).
+# Tier-1 verification gate: the observability and data-path lints,
+# the full suite (fail-fast), then the fault-injection lane by itself
+# so matrix failures are easy to spot, then the replica-federation
+# lane (live fleets, kill-and-heal), then the durability lane
+# (journal, crash sweeps, restart recovery), then the transfer lane:
+# the live loopback bench in smoke mode, asserting data-path
+# integrity and group-commit counters without touching the recorded
+# trajectory.  Each faults-marked test runs under a hard per-test
+# timeout (pytest-timeout when installed; SIGALRM backstop otherwise).
 # Usage: scripts/verify.sh [extra pytest args]
 set -e
 cd "$(dirname "$0")/.."
 python scripts/lint_obs.py
+python scripts/lint_datapath.py
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q "$@"
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -q -m faults "$@"
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -q tests/replica "$@"
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -q tests/durability "$@"
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro perf transfer --smoke

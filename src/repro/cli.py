@@ -5,7 +5,7 @@
     python -m repro serve [--name N] [--port-base P] [--protocols ...]
     python -m repro jbos  [--port-base P]
     python -m repro bench [fig3|fig4|fig5|fig6|ablations|all]
-    python -m repro perf  [smoke|kernel|figures|counters] [--label L]
+    python -m repro perf  [smoke|kernel|figures|counters|transfer] [--label L]
     python -m repro replica [status|demo] [--sites N] [--factor K] [--record]
     python -m repro recover --state-dir DIR [--store-root DIR]
     python -m repro stats [host:port] [--path /metrics|/healthz|/trace|/ad]
@@ -127,6 +127,14 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         print(f"kernel bench: {record['wall_seconds']:.3f}s wall, "
               f"{record['events_per_second']:,} events/s "
               f"-> appended to BENCH_kernel.json")
+        return 0
+    if args.what == "transfer":
+        from repro.perf.transfer_bench import render, run
+
+        record = run(smoke=args.smoke, label=args.label)
+        print(render(record))
+        if not args.smoke:
+            print("-> appended to BENCH_transfer.json")
         return 0
     if args.what == "figures":
         from repro.perf.bench import record_figures
@@ -328,9 +336,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     perf = sub.add_parser("perf", help="wall-clock benchmarks and counters")
     perf.add_argument("what", nargs="?", default="smoke",
-                      choices=["smoke", "kernel", "figures", "counters"])
+                      choices=["smoke", "kernel", "figures", "counters",
+                               "transfer"])
     perf.add_argument("--label", default="",
                       help="label stored with the trajectory record")
+    perf.add_argument("--smoke", action="store_true",
+                      help="transfer bench: tiny sizes, counter sanity "
+                           "asserts only, no trajectory append")
     perf.set_defaults(func=_cmd_perf)
 
     replica = sub.add_parser(

@@ -11,7 +11,8 @@ from __future__ import annotations
 
 import base64
 import json
-from typing import Any
+import zlib
+from typing import Any, BinaryIO
 
 from repro.client.base import SessionClient
 from repro.client.errors import FatalError
@@ -122,11 +123,55 @@ class ChirpClient(SessionClient):
                                      length=len(data)))
             self.wfile.write(data)
             self.wfile.flush()
-            response, _ = chirp.decode_response(read_line(self.rfile))
+            response, args = chirp.decode_response(read_line(self.rfile))
             if not response.ok:
                 raise ChirpError(response.status, response.message)
+            self._check_put_crc(args, zlib.crc32(data) & 0xFFFFFFFF)
 
         self._op(f"put {path}", do)
+
+    def put_stream(self, path: str, stream: BinaryIO, length: int) -> int:
+        """Store ``length`` bytes read from ``stream``, never holding
+        more than one pooled buffer in memory; returns bytes moved.
+
+        The source is consumed as it is sent, so a mid-flight wire
+        failure is *not* replayed (the bytes are gone) -- it surfaces
+        to the caller, unlike :meth:`put` which retries.  The CRC32
+        folded into the send loop is checked against the server's
+        stored-CRC acknowledgement when the server provides one.
+        """
+        from repro.nest.io import copy_stream
+
+        def do() -> int:
+            self._round_trip(Request(rtype=RequestType.PUT, path=path,
+                                     length=length))
+            moved, crc = copy_stream(stream, self.wfile, length)
+            if moved != length:
+                raise ProtocolError(
+                    f"source ended {length - moved} bytes early")
+            self.wfile.flush()
+            response, args = chirp.decode_response(read_line(self.rfile))
+            if not response.ok:
+                raise ChirpError(response.status, response.message)
+            self._check_put_crc(args, crc)
+            return moved
+
+        return self._op(f"put_stream {path}", do, idempotent=False)
+
+    @staticmethod
+    def _check_put_crc(args: list[str], sent_crc: int) -> None:
+        """End-to-end integrity: the server's PUT ack carries the CRC32
+        it folded into its receive loop ("-" from servers that could
+        not fold one); a mismatch means the wire or the store mangled
+        the bytes, and retrying would just overwrite good data with the
+        same corruption -- so it is fatal."""
+        if not args or args[0] == "-":
+            return
+        stored_crc = int(args[0])
+        if stored_crc != sent_crc:
+            raise ChirpError(
+                Status.SERVER_ERROR,
+                f"stored crc {stored_crc:#010x} != sent crc {sent_crc:#010x}")
 
     def stat(self, path: str) -> dict[str, Any]:
         """File/directory metadata."""

@@ -105,13 +105,33 @@ class FtpClient(SessionClient):
         return self._dial(host, port)
 
     def _drain(self, data_sock) -> bytes:
-        chunks = []
-        while True:
-            chunk = data_sock.recv(65536)
-            if not chunk:
-                break
-            chunks.append(chunk)
-        return b"".join(chunks)
+        # Pooled receive: one reused buffer filled via recv_into, one
+        # growing bytearray -- no per-chunk bytes objects.  The check
+        # is class-level so a fault-wrapped socket (which has no
+        # recv_into of its own) keeps injection on the recv path.
+        if getattr(type(data_sock), "recv_into", None) is None:
+            chunks = []
+            while True:
+                chunk = data_sock.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+            return b"".join(chunks)
+        from repro.nest.io import DEFAULT_POOL
+
+        buf = DEFAULT_POOL.acquire()
+        view = memoryview(buf)
+        out = bytearray()
+        try:
+            while True:
+                got = data_sock.recv_into(view)
+                if not got:
+                    break
+                out += view[:got]
+        finally:
+            view.release()
+            DEFAULT_POOL.release(buf)
+        return bytes(out)
 
     def retr(self, path: str) -> bytes:
         """Download a file (passive, stream mode)."""

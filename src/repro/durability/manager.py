@@ -2,9 +2,11 @@
 
 Ties the pieces together for a live appliance:
 
-* **record** -- the sink bound to the storage manager and replica
-  catalog; appends to the write-ahead journal and triggers a compacted
-  snapshot every ``snapshot_every`` records;
+* **record** -- the sink bound to the replica catalog; appends to the
+  write-ahead journal and triggers a compacted snapshot every
+  ``snapshot_every`` records.  The storage manager gets the split form
+  (**record_async** under its lock, **wait_durable** after releasing
+  it) so concurrent mutators share group-commit flushes;
 * **snapshot** -- serialize full state (under the storage lock, so the
   captured journal ``seq`` is consistent), save atomically, then
   truncate the journal *only if* nothing was appended meanwhile;
@@ -39,12 +41,14 @@ class DurabilityManager:
     """Journal + snapshots + recovery over one ``state_dir``."""
 
     def __init__(self, state_dir: str, *, fsync: bool = True,
-                 snapshot_every: int = 512, faults=None, registry=None):
+                 snapshot_every: int = 512, faults=None, registry=None,
+                 batch_records: int = 64, batch_delay: float = 0.0):
         self.state_dir = str(state_dir)
         os.makedirs(self.state_dir, exist_ok=True)
         self.journal = MetadataJournal(
             os.path.join(self.state_dir, "journal.log"),
-            fsync=fsync, faults=faults, registry=registry)
+            fsync=fsync, faults=faults, registry=registry,
+            batch_records=batch_records, batch_delay=batch_delay)
         self.snapshots = SnapshotStore(
             os.path.join(self.state_dir, "snapshot.json"), faults=faults)
         self.snapshot_every = int(snapshot_every)
@@ -81,7 +85,23 @@ class DurabilityManager:
     # ------------------------------------------------------------------
     def record(self, rtype: str, **fields) -> int:
         """Durably journal one mutation; compacts periodically."""
-        seq = self.journal.append(rtype, fields)
+        seq = self.record_async(rtype, **fields)
+        self.wait_durable(seq)
+        return seq
+
+    def record_async(self, rtype: str, **fields) -> int:
+        """Assign and enqueue one mutation record without touching the
+        disk; the record is durable only once :meth:`wait_durable` has
+        returned for its seq.  The storage manager calls this under
+        its own lock and waits after releasing it, so concurrent
+        mutators share group-commit flushes instead of serializing
+        one fsync each."""
+        return self.journal.append_async(rtype, fields)
+
+    def wait_durable(self, seq: int) -> None:
+        """Block until record ``seq`` is on disk; compacts periodically
+        (the snapshot trigger lives here, off the storage lock)."""
+        self.journal.wait_durable(seq)
         take = False
         with self._lock:
             self._since_snapshot += 1
@@ -90,7 +110,6 @@ class DurabilityManager:
                 take = True
         if take:
             self.snapshot()
-        return seq
 
     def snapshot(self) -> bool:
         """Fold the journal into a compacted snapshot.
@@ -180,7 +199,8 @@ class DurabilityManager:
 
         self.storage = storage
         self.catalog = catalog
-        storage.set_journal(self.record)
+        storage.set_journal(self.record, async_sink=self.record_async,
+                            wait_sink=self.wait_durable)
         if catalog is not None:
             catalog.journal = self.record
             catalog.advertise()

@@ -318,6 +318,15 @@ class FaultPlan:
             }
 
 
+#: Fault-accounting granularity for stream writes.  Large writes are
+#: guarded and accounted in slices of this size so an ``after_bytes``
+#: threshold *inside* a big write still fires (a real kernel accepts
+#: part of a large write before the connection dies); without slicing,
+#: a data path that moves a whole payload in one ``write`` would jump
+#: over every mid-stream threshold.
+_WRITE_SLICE = 16 * 1024
+
+
 class FaultyStream:
     """A file-object wrapper (the ``makefile`` side of a FaultySocket)."""
 
@@ -338,11 +347,18 @@ class FaultyStream:
         return data
 
     # -- writes ------------------------------------------------------------
-    def write(self, data: bytes) -> int:
-        self._fsock._guard_write(len(data))
-        n = self._raw.write(data)
-        self._fsock._account("write", len(data))
-        return n
+    def write(self, data) -> int:
+        view = memoryview(data)
+        total = len(view)
+        done = 0
+        while True:
+            chunk = view[done:done + _WRITE_SLICE]
+            self._fsock._guard_write(len(chunk))
+            self._raw.write(chunk)
+            self._fsock._account("write", len(chunk))
+            done += len(chunk)
+            if done >= total:
+                return total
 
     def flush(self) -> None:
         self._raw.flush()

@@ -52,6 +52,14 @@ class NestConfig:
     #: pass (the Fig. 4 overhead).
     quantum_bytes: int = 16 * 1024
 
+    #: Bytes granted per quantum when a transfer is *alone* -- no other
+    #: ready job and no other in-flight quantum.  Large solo grants
+    #: amortize the per-quantum scheduling pass; under contention the
+    #: manager always falls back to ``quantum_bytes`` so proportional
+    #: shares keep their granularity.  Set equal to ``quantum_bytes``
+    #: to disable bursting.
+    burst_bytes: int = 4 * 1024 * 1024
+
     #: Total storage capacity managed by this NeST.
     capacity_bytes: int = 10 * (1 << 30)
 
@@ -109,6 +117,17 @@ class NestConfig:
     #: Fold the journal into a compacted snapshot every N records.
     snapshot_every: int = 512
 
+    #: Group commit: how many journal records one flusher may batch
+    #: into a single write+fsync.  1 disables batching (one fsync per
+    #: record, the pre-group-commit behaviour).
+    journal_batch_records: int = 64
+
+    #: Group commit: how long (seconds) the flusher may dally waiting
+    #: for co-batching appenders before flushing a non-full batch.
+    #: 0 flushes as soon as the flush lock is free; batching then
+    #: arises naturally from fsync backpressure under concurrency.
+    journal_batch_delay: float = 0.0
+
     def validate(self) -> None:
         """Raise ValueError on inconsistent settings."""
         if self.scheduling not in ("fcfs", "stride", "cache-aware"):
@@ -125,6 +144,12 @@ class NestConfig:
             raise ValueError("transfer_workers must be >= 1")
         if self.quantum_bytes < 1:
             raise ValueError("quantum_bytes must be >= 1")
+        if self.burst_bytes < self.quantum_bytes:
+            raise ValueError("burst_bytes must be >= quantum_bytes")
+        if self.journal_batch_records < 1:
+            raise ValueError("journal_batch_records must be >= 1")
+        if self.journal_batch_delay < 0:
+            raise ValueError("journal_batch_delay must be >= 0")
         if self.failure_history < 1:
             raise ValueError("failure_history must be >= 1")
         if self.span_limit < 1:

@@ -22,6 +22,7 @@ import zlib
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, BinaryIO
 
+from repro.nest import io as fastio
 from repro.nest.auth import AuthError, GSIContext
 from repro.nest.storage import StorageError
 from repro.nest.transfer import TransferError
@@ -335,15 +336,19 @@ class ChirpHandler(ConnectionHandler):
             return True
         write_line(self.wfile, "ok")
         moved = 0
+        transfer = self.server.transfers.submit(
+            self.rfile, ticket.stream, request.length,
+            protocol=self.protocol, user=self.user, path=request.path,
+        )
         try:
-            moved = self.server.transfers.transfer_sync(
-                self.rfile, ticket.stream, request.length,
-                protocol=self.protocol, user=self.user, path=request.path,
-            )
+            moved = transfer.wait(60)
         finally:
             ticket.settle(moved)
         self.server.graybox.observe_write(request.path, request.offset, moved)
-        write_line(self.wfile, "ok")
+        # Ack with the CRC32 folded into the receive loop: the client
+        # verifies its upload end to end with zero extra read passes.
+        crc = "-" if transfer.crc is None else str(transfer.crc)
+        write_line(self.wfile, f"ok {crc} {moved}")
         return True
 
     def _checksum(self, request: Request) -> None:
@@ -362,19 +367,12 @@ class ChirpHandler(ConnectionHandler):
                 Response(exc.status, message=exc.message)))
             return
         try:
-            crc = 0
-            remaining = ticket.size
-            while remaining > 0:
-                chunk = ticket.stream.read(min(remaining, 1 << 20))
-                if not chunk:
-                    break
-                crc = zlib.crc32(chunk, crc)
-                remaining -= len(chunk)
+            crc, _ = fastio.stream_crc32(ticket.stream, ticket.size)
         finally:
             ticket.settle(ticket.size)
         self.server.graybox.observe_read(request.path, 0, ticket.size)
         write_line(self.wfile, chirp.encode_response(
-            Response(Status.OK), [str(crc & 0xFFFFFFFF), str(ticket.size)]))
+            Response(Status.OK), [str(crc), str(ticket.size)]))
 
     def _thirdput(self, request: Request) -> None:
         """Three-party transfer: push one of our files to another
@@ -392,25 +390,29 @@ class ChirpHandler(ConnectionHandler):
             write_line(self.wfile, chirp.encode_response(
                 Response(exc.status, message=exc.message)))
             return
+        moved = 0
         try:
-            data = ticket.stream.read()
-        finally:
-            ticket.settle(ticket.size)
-        try:
-            # Fail fast: the requesting client owns the retry decision,
-            # not a handler thread holding the control connection.
-            remote = ChirpClient(request.params["host"],
-                                 int(request.params["port"]), timeout=10.0,
-                                 retry=NO_RETRY)
             try:
-                remote.put(request.params["remote_path"], data)
-            finally:
-                remote.close()
-        except (ClientError, OSError, ProtocolError) as exc:
-            self.mark_request_error()
-            write_line(self.wfile, chirp.encode_response(
-                Response(Status.SERVER_ERROR, message=str(exc))))
-            return
+                # Fail fast: the requesting client owns the retry
+                # decision, not a handler thread holding the control
+                # connection.  The file streams straight from the
+                # storage ticket to the remote's data connection --
+                # bounded memory no matter the file size.
+                remote = ChirpClient(request.params["host"],
+                                     int(request.params["port"]),
+                                     timeout=10.0, retry=NO_RETRY)
+                try:
+                    moved = remote.put_stream(request.params["remote_path"],
+                                              ticket.stream, ticket.size)
+                finally:
+                    remote.close()
+            except (ClientError, OSError, ProtocolError) as exc:
+                self.mark_request_error()
+                write_line(self.wfile, chirp.encode_response(
+                    Response(Status.SERVER_ERROR, message=str(exc))))
+                return
+        finally:
+            ticket.settle(moved)
         self.server.graybox.observe_read(request.path, 0, ticket.size)
         write_line(self.wfile, chirp.encode_response(
             Response(Status.OK), [str(ticket.size)]))
@@ -845,22 +847,22 @@ class GridFtpHandler(FtpHandler):
         ticket = self.server.storage.approve_get(self.user, path)
         self.reply(ftp.OPENING_DATA, "opening extended-block channels")
         conns = self._data_connections()
-        data = ticket.stream.read()
-        ticket.settle(ticket.size)
-        lanes = gridftp.stripe_ranges(len(data), len(conns), 256 * 1024)
+        size = ticket.size
+        lanes = gridftp.stripe_ranges(size, len(conns), 256 * 1024)
         errors: list[BaseException] = []
+        # Lanes share the storage ticket's stream: each extent is one
+        # bounded seek+read under this lock, so memory per lane is one
+        # stripe block -- never the whole file.
+        source_lock = threading.Lock()
 
         def send_lane(conn: socket.socket, extents, last: bool) -> None:
             out = conn.makefile("wb")
             try:
                 for offset, length in extents:
-                    source = io.BytesIO(data[offset:offset + length])
-                    sink = io.BytesIO()
-                    self.server.transfers.transfer_sync(
-                        source, sink, length,
-                        protocol=self.protocol, user=self.user, path=path,
-                    )
-                    gridftp.write_block(out, offset, sink.getvalue())
+                    with source_lock:
+                        ticket.stream.seek(offset)
+                        payload = read_exact(ticket.stream, length)
+                    gridftp.write_block(out, offset, payload)
                 gridftp.write_eod(out, eof=last)
                 out.flush()
             except BaseException as exc:  # noqa: BLE001
@@ -880,9 +882,10 @@ class GridFtpHandler(FtpHandler):
             t.join(timeout=30)
         if any(t.is_alive() for t in threads):
             errors.append(TimeoutError("parallel send lane hung"))
+        ticket.settle(size)
         self._close_spas()
         self.close_data_state()
-        self.server.graybox.observe_read(path, 0, len(data))
+        self.server.graybox.observe_read(path, 0, size)
         if errors:
             self.reply(ftp.ACTION_FAILED, f"transfer failed: {errors[0]}")
         else:
@@ -896,16 +899,24 @@ class GridFtpHandler(FtpHandler):
         ticket = self.server.storage.approve_put(self.user, path, 0)
         self.reply(ftp.OPENING_DATA, "opening extended-block channels")
         conns = self._data_connections()
-        chunks: dict[int, bytes] = {}
         errors: list[BaseException] = []
-        lock = threading.Lock()
+        # Blocks land directly at their offsets in the storage
+        # ticket's stream (one seek+write per block under this lock):
+        # memory per lane is one wire block, never the whole file, and
+        # sparse regions zero-fill exactly as the old staging buffer
+        # did.
+        sink_lock = threading.Lock()
+        high_water = [0]
 
         def recv_lane(conn: socket.socket) -> None:
             stream = conn.makefile("rb")
             try:
                 for offset, payload in gridftp.iter_blocks(stream):
-                    with lock:
-                        chunks[offset] = payload
+                    with sink_lock:
+                        ticket.stream.seek(offset)
+                        ticket.stream.write(payload)
+                        high_water[0] = max(high_water[0],
+                                            offset + len(payload))
             except BaseException as exc:  # noqa: BLE001
                 errors.append(exc)
             finally:
@@ -924,21 +935,8 @@ class GridFtpHandler(FtpHandler):
             errors.append(TimeoutError("parallel receive lane hung"))
         self._close_spas()
         self.close_data_state()
-        moved = 0
-        try:
-            if not errors:
-                buffer = bytearray()
-                for offset in sorted(chunks):
-                    payload = chunks[offset]
-                    if offset + len(payload) > len(buffer):
-                        buffer.extend(b"\x00" * (offset + len(payload) - len(buffer)))
-                    buffer[offset:offset + len(payload)] = payload
-                moved = self.server.transfers.transfer_sync(
-                    io.BytesIO(bytes(buffer)), ticket.stream, len(buffer),
-                    protocol=self.protocol, user=self.user, path=path,
-                )
-        finally:
-            ticket.settle(moved)
+        moved = high_water[0] if not errors else 0
+        ticket.settle(moved)
         self.server.graybox.observe_write(path, 0, moved)
         if errors:
             self.reply(ftp.ACTION_FAILED, f"transfer failed: {errors[0]}")

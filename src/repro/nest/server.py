@@ -157,6 +157,8 @@ class NestServer:
                 snapshot_every=self.config.snapshot_every,
                 faults=disk_faults,
                 registry=self.obs.registry,
+                batch_records=self.config.journal_batch_records,
+                batch_delay=self.config.journal_batch_delay,
             )
             self.recovery_report = self.durability.recover_into(self.storage)
             self.fhandles.set_epoch(self.recovery_report.epoch)

@@ -153,6 +153,11 @@ class StorageManager:
         #: metadata-journal sink (set via :meth:`set_journal`); None
         #: means the appliance runs memory-only, exactly as before.
         self._journal: Callable[..., Any] | None = None
+        self._journal_async: Callable[..., int] | None = None
+        self._journal_wait: Callable[[int], None] | None = None
+        #: per-thread list of journal seqs enqueued by the op in
+        #: flight; non-None only between _op entry and exit.
+        self._local = threading.local()
         self._m_ops = None
         self._m_denied = None
         if registry is not None:
@@ -169,15 +174,30 @@ class StorageManager:
     # ------------------------------------------------------------------
     # durability wiring (see repro.durability)
     # ------------------------------------------------------------------
-    def set_journal(self, sink: Callable[..., Any] | None) -> None:
+    def set_journal(self, sink: Callable[..., Any] | None, *,
+                    async_sink: Callable[..., int] | None = None,
+                    wait_sink: Callable[[int], None] | None = None) -> None:
         """Bind the metadata-journal sink; lot mutations are routed
         through :meth:`_emit` too so a journal failure surfaces as one
-        typed :class:`StorageError` everywhere."""
+        typed :class:`StorageError` everywhere.
+
+        When the split form is bound (``async_sink`` + ``wait_sink``),
+        ops *enqueue* records while holding the storage lock and block
+        for durability only in :meth:`_op`'s exit, after the lock is
+        released -- otherwise the lock serializes every append and
+        group commit can never batch.
+        """
         self._journal = sink
+        self._journal_async = async_sink if sink is not None else None
+        self._journal_wait = wait_sink if sink is not None else None
         self.lots.journal = self._emit if sink is not None else None
 
     def _emit(self, rtype: str, **fields) -> None:
-        """Append one durable-mutation record to the bound journal.
+        """Record one durable mutation in the bound journal.
+
+        Inside an :meth:`_op` scope with the split sink bound, this
+        only *enqueues* (the op's exit waits for durability after the
+        storage lock is gone); elsewhere it appends synchronously.
 
         A failed append (disk gone, out of space) must not kill the
         connection: it degrades into a typed response -- ``ENOSPC``
@@ -187,13 +207,36 @@ class StorageManager:
         """
         if self._journal is None:
             return
+        waits = getattr(self._local, "waits", None)
         try:
-            self._journal(rtype, **fields)
+            if self._journal_async is not None and waits is not None:
+                waits.append(self._journal_async(rtype, **fields))
+            else:
+                self._journal(rtype, **fields)
         except OSError as exc:
-            status = (Status.NO_SPACE if exc.errno == _errno.ENOSPC
-                      else Status.SERVER_ERROR)
-            raise StorageError(
-                status, f"metadata journal append failed: {exc}") from exc
+            raise self._journal_failure(exc) from exc
+
+    def _await_durable(self) -> None:
+        """Block until every record the finishing op enqueued is on
+        disk.  Runs in :meth:`_op`'s exit -- i.e. after ``self._lock``
+        is released -- so concurrent mutators pile onto one
+        group-commit flush instead of fsyncing one by one."""
+        waits = getattr(self._local, "waits", None)
+        if not waits or self._journal_wait is None:
+            return
+        seqs, self._local.waits = list(waits), []
+        for seq in seqs:
+            try:
+                self._journal_wait(seq)
+            except OSError as exc:
+                raise self._journal_failure(exc) from exc
+
+    @staticmethod
+    def _journal_failure(exc: OSError) -> StorageError:
+        status = (Status.NO_SPACE if exc.errno == _errno.ENOSPC
+                  else Status.SERVER_ERROR)
+        return StorageError(
+            status, f"metadata journal append failed: {exc}")
 
     def serialize_state(self) -> dict[str, Any]:
         """A JSON-able snapshot of all durable metadata: the whole
@@ -223,11 +266,21 @@ class StorageManager:
     @contextmanager
     def _op(self, op: str, path: str = ""):
         """One storage operation: a ``storage`` child span under
-        whatever request is being traced, plus op/outcome counts."""
+        whatever request is being traced, plus op/outcome counts.
+
+        Callers stack it *outside* the lock (``with self._op(..),
+        self._lock:``), so the post-body durability wait below runs
+        after the lock is released -- the other half of the journal's
+        group-commit split."""
         span = _spans.maybe_span("storage", op=op, path=path)
+        outermost = getattr(self._local, "waits", None) is None
+        if outermost:
+            self._local.waits = []
         try:
             with span:
                 yield
+                if outermost:
+                    self._await_durable()
         except StorageError as exc:
             if self._m_ops is not None:
                 self._m_ops.inc(op=op, outcome=exc.status.value)
@@ -235,6 +288,9 @@ class StorageManager:
         else:
             if self._m_ops is not None:
                 self._m_ops.inc(op=op, outcome="ok")
+        finally:
+            if outermost:
+                self._local.waits = None
 
     # ------------------------------------------------------------------
     # namespace internals
@@ -391,15 +447,13 @@ class StorageManager:
             # holds the data (see StorageReplayer._redo_move).
             self._emit("rename", path=path, new_path=new_path)
             if isinstance(node, FileNode):
-                # Move the backing bytes.
+                # Move the backing bytes through one pooled buffer.
+                from repro.nest.io import copy_stream
+
                 src = self.store.open_read(path)
                 dst = self.store.open_write(new_path)
                 try:
-                    while True:
-                        chunk = src.read(1 << 20)
-                        if not chunk:
-                            break
-                        dst.write(chunk)
+                    copy_stream(src, dst)
                 finally:
                     src.close()
                     dst.close()
@@ -557,7 +611,7 @@ class StorageManager:
 
     def _settle_put(self, ticket: TransferTicket, declared: int, actual: int) -> None:
         """Reconcile declared vs actual size after a put completes."""
-        with self._lock:
+        with self._op("commit_put", ticket.path), self._lock:
             # The commit record closes the put_begin bracket: recovery
             # treats an unmatched put_begin as an interrupted transfer.
             self._emit("put_commit", path=ticket.path, size=actual)

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import threading
 import time
+import zlib
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, BinaryIO, Callable, Optional
@@ -31,9 +32,17 @@ from repro.obs.log import get_logger
 
 logger = get_logger(__name__)
 
+from repro.nest import io as fastio
 from repro.nest.concurrency import EVENTS, THREADS, Selector, make_selector
 from repro.nest.config import NestConfig
 from repro.nest.scheduling import Scheduler, TransferJob, make_job, make_scheduler
+
+#: Per-transfer pumping strategies, chosen once at submission and
+#: never mixed mid-stream (mixing buffered reads with descriptor-level
+#: sendfile would desynchronize the fd offset from the buffer).
+SENDFILE = "sendfile"
+POOLED = "pooled"
+LEGACY = "legacy"
 
 
 class TransferError(Exception):
@@ -73,6 +82,37 @@ class Transfer:
         self.dispatched_at: Optional[float] = None
         self.dispatched_wall: Optional[float] = None
         self._finished = threading.Event()
+        #: incremental CRC32 of the bytes moved, or None when the
+        #: transfer went (even partly) through sendfile -- those bytes
+        #: never surface into Python, so there is nothing to fold.
+        self.crc: Optional[int] = 0
+        self._buffer: Optional[bytearray] = None
+        self._view: Optional[memoryview] = None
+        self.strategy = self._choose_strategy()
+
+    def _choose_strategy(self) -> str:
+        """Pick the pumping strategy for this source/sink pair.
+
+        ``sendfile`` needs a real descriptor on *both* ends -- checked
+        at class level so fault-injection wrappers (which forward
+        ``fileno`` via ``__getattr__``) stay on the honest read/write
+        path.  ``pooled`` needs only a class-level ``readinto`` on the
+        source.  Everything else (wrapped streams, odd file-likes)
+        takes the legacy read/write loop, byte-for-byte as before.
+        """
+        if (fastio.sendfile_available and self.total > 0
+                and fastio.real_fileno(self.source) is not None
+                and fastio.real_fileno(self.sink) is not None):
+            try:
+                # sendfile writes at the descriptor; drain any
+                # buffered protocol header first so ordering holds.
+                self.sink.flush()
+                return SENDFILE
+            except (OSError, ValueError):
+                pass
+        if fastio.supports_readinto(self.source):
+            return POOLED
+        return LEGACY
 
     # -- worker side -------------------------------------------------------
     def pump_chunk(self, nbytes: int) -> int:
@@ -80,6 +120,61 @@ class Transfer:
         want = nbytes if self.total < 0 else min(nbytes, self.total - self.moved)
         if want <= 0:
             return 0
+        if self.strategy == SENDFILE:
+            moved = self._pump_sendfile(want)
+            if moved is not None:
+                return moved
+            # fell through: sendfile refused this pair; demoted.
+        if self.strategy == POOLED:
+            return self._pump_pooled(want)
+        return self._pump_legacy(want)
+
+    def _pump_sendfile(self, want: int) -> Optional[int]:
+        try:
+            sent = fastio.sendfile(self.sink.fileno(), self.source.fileno(),
+                                   want)
+        except OSError:
+            # Descriptor pair sendfile cannot serve (or a stalled
+            # socket): demote permanently; the buffered paths resume
+            # from the current descriptor offsets.
+            self.strategy = (POOLED if fastio.supports_readinto(self.source)
+                             else LEGACY)
+            return None
+        if not sent:
+            if self.moved < self.total:
+                raise TransferError(
+                    f"source ended {self.total - self.moved} bytes early"
+                )
+            return 0
+        self.crc = None
+        self.moved += sent
+        return sent
+
+    def _pump_pooled(self, want: int) -> int:
+        if self._buffer is None:
+            self._buffer = fastio.DEFAULT_POOL.acquire()
+            self._view = memoryview(self._buffer)
+        view = self._view
+        moved_now = 0
+        while moved_now < want:
+            step = min(len(view), want - moved_now)
+            got = self.source.readinto(view[:step])
+            if not got:
+                break
+            chunk = view[:got]
+            if self.crc is not None:
+                self.crc = zlib.crc32(chunk, self.crc)
+            self.sink.write(chunk)
+            self.moved += got
+            moved_now += got
+            fastio.COUNTERS.count_fallback(got, self.crc is not None)
+        if not moved_now and self.total >= 0 and self.moved < self.total:
+            raise TransferError(
+                f"source ended {self.total - self.moved} bytes early"
+            )
+        return moved_now
+
+    def _pump_legacy(self, want: int) -> int:
         data = self.source.read(want)
         if not data:
             if self.total >= 0 and self.moved < self.total:
@@ -87,9 +182,20 @@ class Transfer:
                     f"source ended {self.total - self.moved} bytes early"
                 )
             return 0
+        if self.crc is not None:
+            self.crc = zlib.crc32(data, self.crc)
         self.sink.write(data)
         self.moved += len(data)
+        fastio.COUNTERS.count_fallback(len(data), self.crc is not None)
         return len(data)
+
+    def _release_buffer(self) -> None:
+        if self._view is not None:
+            self._view.release()
+            self._view = None
+        if self._buffer is not None:
+            fastio.DEFAULT_POOL.release(self._buffer)
+            self._buffer = None
 
     @property
     def done(self) -> bool:
@@ -114,6 +220,7 @@ class Transfer:
     def _finish(self, error: BaseException | None = None) -> None:
         if error is not None:
             self.error = error
+        self._release_buffer()
         # Run the completion callback before releasing waiters, so a
         # waiter that returns from wait() observes its side effects
         # (including callback_error).
@@ -174,6 +281,7 @@ class TransferManager:
             reg.gauge_callback("nest_transfer_failure_ring",
                                lambda: len(self._failures),
                                "Failure causes currently retained.")
+            fastio.register_metrics(reg)
         self.scheduler: Scheduler = make_scheduler(
             config.scheduling,
             shares=config.shares,
@@ -304,6 +412,16 @@ class TransferManager:
                 transfer = self._pending[job.job_id]
                 job.ready = False
                 self._in_flight += 1
+                # Solo transfers get burst-sized grants: nothing else
+                # is ready or in flight, so a big quantum costs no
+                # fairness and saves hundreds of arbitration passes.
+                # Any contention at all keeps the configured quantum.
+                if (self._in_flight == 1
+                        and not any(t.job.ready
+                                    for t in self._pending.values())):
+                    grant = self.config.burst_bytes
+                else:
+                    grant = self.config.quantum_bytes
             if transfer.dispatched_at is None:
                 # First grant: the interval since submit is this
                 # transfer's queue-wait, recorded as a retroactive
@@ -321,7 +439,7 @@ class TransferManager:
             executor = (
                 self._events_pool if transfer.model == EVENTS else self._threads_pool
             )
-            executor.submit(self._run_quantum, transfer)
+            executor.submit(self._run_quantum, transfer, grant)
 
     def _dispatchable_locked(self) -> bool:
         return (
@@ -335,12 +453,13 @@ class TransferManager:
             return None
         return min(ready, key=lambda j: (j.pass_value, j.enqueue_seq))
 
-    def _run_quantum(self, transfer: Transfer) -> None:
+    def _run_quantum(self, transfer: Transfer,
+                     nbytes: int | None = None) -> None:
         job = transfer.job
         moved = 0
         error: BaseException | None = None
         try:
-            moved = transfer.pump_chunk(self.config.quantum_bytes)
+            moved = transfer.pump_chunk(nbytes or self.config.quantum_bytes)
         except BaseException as exc:  # noqa: BLE001 - reported to waiter
             error = exc
         finished = error is not None or (

@@ -1,0 +1,227 @@
+"""Live loopback transfer benchmark: the bytes/sec trajectory.
+
+Two phases against real sockets on localhost, appending one record to
+``BENCH_transfer.json`` so the data-path's throughput has a history
+the same way the kernel and figure benches do:
+
+* **GET** -- seed files into a ``LocalFSStore``-backed NeST, then pull
+  them back over Chirp.  With the zero-copy layer this is the sendfile
+  path end to end: file pages move kernel-to-kernel and the fast-path
+  counters say how many quanta went zero-copy vs through the pooled
+  fallback.  Every retrieved payload is CRC-checked against the CRC
+  computed at seed time -- client-side only, so the server never
+  re-reads what it just sent.
+* **concurrent PUT** -- N writer threads store files into a durable
+  (``state_dir``) appliance concurrently.  Every put journals two
+  metadata records (put_begin + put_commit), so this phase measures
+  group commit directly: the journal's ``fsync_count`` over
+  ``records_appended`` is the fsyncs-per-record figure, 1.0 without
+  batching and far below it when concurrent appenders share flushes.
+
+Both phases run tiny in ``--smoke`` mode (the ``transfer`` verify
+lane): counters and integrity are asserted, wall-clock numbers are
+reported but nothing is asserted about them, and the history file is
+left alone so CI noise never pollutes the trajectory.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+import time
+import zlib
+
+from repro.nest import io as fastio
+from repro.perf.bench import _environment_stamp, append_record
+
+HISTORY_PATH = "BENCH_transfer.json"
+
+#: Phase sizes: (writers, files_per_writer, put_bytes, get_files,
+#: get_bytes).  Smoke keeps the same shape at trivial sizes.
+FULL_SIZES = (16, 8, 64 * 1024, 12, 8 * 1024 * 1024)
+SMOKE_SIZES = (4, 2, 8 * 1024, 2, 256 * 1024)
+
+
+def _payload(nbytes: int) -> bytes:
+    pattern = bytes(range(256))
+    return (pattern * (nbytes // len(pattern) + 1))[:nbytes]
+
+
+def _counter_delta(before: dict, after: dict) -> dict:
+    return {key: after[key] - before[key] for key in after}
+
+
+def run_get_phase(files: int, file_bytes: int) -> dict:
+    """Seed then retrieve ``files`` files; returns throughput, fast-path
+    counter deltas, and the integrity verdict."""
+    from repro.client.chirp import ChirpClient
+    from repro.nest.backends import LocalFSStore
+    from repro.nest.config import NestConfig
+    from repro.nest.server import NestServer
+
+    payload = _payload(file_bytes)
+    expect_crc = zlib.crc32(payload) & 0xFFFFFFFF
+    with tempfile.TemporaryDirectory(prefix="nest-xferbench-") as root:
+        config = NestConfig(name="bench-get", protocols=("chirp",))
+        store = LocalFSStore(os.path.join(root, "data"))
+        with NestServer(config, store=store) as server:
+            host, port = server.endpoint("chirp")
+            client = ChirpClient(host, port)
+            try:
+                # Seeding exercises the pooled receive path; the put
+                # ack's folded CRC is verified inside the client.
+                for i in range(files):
+                    client.put(f"/bench-{i}.dat", payload)
+                counters0 = fastio.COUNTERS.snapshot()
+                pool0 = fastio.DEFAULT_POOL.snapshot()
+                crc_ok = True
+                t0 = time.perf_counter()
+                for i in range(files):
+                    data = client.get(f"/bench-{i}.dat")
+                    if (len(data) != file_bytes
+                            or zlib.crc32(data) & 0xFFFFFFFF != expect_crc):
+                        crc_ok = False
+                elapsed = time.perf_counter() - t0
+            finally:
+                client.close()
+    total = files * file_bytes
+    counters = _counter_delta(counters0, fastio.COUNTERS.snapshot())
+    pool = fastio.DEFAULT_POOL.snapshot()
+    return {
+        "files": files,
+        "file_bytes": file_bytes,
+        "bytes": total,
+        "seconds": round(elapsed, 6),
+        "mb_per_second": round(total / elapsed / 1e6, 1),
+        "crc_ok": crc_ok,
+        "sendfile_sends": counters["sendfile_sends"],
+        "sendfile_bytes": counters["sendfile_bytes"],
+        "fallback_sends": counters["fallback_sends"],
+        "buffer_pool_hit_rate": round(pool["hit_rate"], 4),
+        "buffer_pool_hits": pool["hits"] - pool0["hits"],
+    }
+
+
+def run_put_phase(writers: int, files_per_writer: int,
+                  file_bytes: int) -> dict:
+    """Concurrent puts into a durable appliance; returns throughput and
+    the journal's group-commit figures."""
+    from repro.client.chirp import ChirpClient
+    from repro.nest.config import NestConfig
+    from repro.nest.server import NestServer
+
+    payload = _payload(file_bytes)
+    with tempfile.TemporaryDirectory(prefix="nest-xferbench-") as root:
+        # A small group-commit dally lets concurrent appenders pile
+        # onto each flush: on hardware where fsync is nearly free the
+        # batching would otherwise never get a chance to form.
+        config = NestConfig(name="bench-put", protocols=("chirp",),
+                            state_dir=os.path.join(root, "state"),
+                            snapshot_every=0,
+                            journal_batch_delay=0.002)
+        with NestServer(config) as server:
+            host, port = server.endpoint("chirp")
+            barrier = threading.Barrier(writers + 1)
+            errors: list[BaseException] = []
+
+            def writer(w: int) -> None:
+                client = ChirpClient(host, port)
+                try:
+                    barrier.wait()
+                    for i in range(files_per_writer):
+                        client.put(f"/w{w}-f{i}.dat", payload)
+                except BaseException as exc:  # noqa: BLE001 - reported
+                    errors.append(exc)
+                finally:
+                    client.close()
+
+            threads = [threading.Thread(target=writer, args=(w,))
+                       for w in range(writers)]
+            for t in threads:
+                t.start()
+            barrier.wait()
+            t0 = time.perf_counter()
+            for t in threads:
+                t.join(timeout=120)
+            elapsed = time.perf_counter() - t0
+            if errors:
+                raise errors[0]
+            journal = server.durability.journal
+            fsyncs = journal.fsync_count
+            records = journal.records_appended
+    puts = writers * files_per_writer
+    total = puts * file_bytes
+    return {
+        "writers": writers,
+        "puts": puts,
+        "file_bytes": file_bytes,
+        "bytes": total,
+        "seconds": round(elapsed, 6),
+        "mb_per_second": round(total / elapsed / 1e6, 1),
+        "journal_records": records,
+        "fsyncs": fsyncs,
+        "fsyncs_per_record": round(fsyncs / records, 4) if records else 0.0,
+    }
+
+
+def _check_sane(record: dict) -> None:
+    """Counter sanity (the smoke lane's contract): integrity held, the
+    fast path actually ran, and the journal batched.  No timing
+    thresholds -- wall-clock numbers are data, not assertions."""
+    get, put = record["get"], record["put"]
+    if not get["crc_ok"]:
+        raise AssertionError("GET payload failed CRC verification")
+    if get["sendfile_sends"] + get["fallback_sends"] <= 0:
+        raise AssertionError("no transfer quanta counted on the GET path")
+    if not 0.0 <= get["buffer_pool_hit_rate"] <= 1.0:
+        raise AssertionError(
+            f"buffer pool hit rate insane: {get['buffer_pool_hit_rate']}")
+    if put["journal_records"] < 2 * put["puts"]:
+        raise AssertionError(
+            f"{put['puts']} puts journaled only "
+            f"{put['journal_records']} records")
+    if not 0 < put["fsyncs"] <= put["journal_records"]:
+        raise AssertionError(
+            f"fsync count insane: {put['fsyncs']} for "
+            f"{put['journal_records']} records")
+
+
+def run(smoke: bool = False, label: str = "",
+        history_path: str = HISTORY_PATH,
+        record_history: bool | None = None) -> dict:
+    """Run both phases; append to the trajectory unless smoking."""
+    writers, per_writer, put_bytes, get_files, get_bytes = (
+        SMOKE_SIZES if smoke else FULL_SIZES)
+    record = {
+        "bench": "transfer",
+        "label": label or ("smoke" if smoke else "zero-copy"),
+        "smoke": smoke,
+        "get": run_get_phase(get_files, get_bytes),
+        "put": run_put_phase(writers, per_writer, put_bytes),
+    }
+    record.update(_environment_stamp())
+    _check_sane(record)
+    if record_history is None:
+        record_history = not smoke
+    if record_history:
+        append_record(history_path, record)
+    return record
+
+
+def render(record: dict) -> str:
+    get, put = record["get"], record["put"]
+    lines = [
+        f"GET : {get['mb_per_second']:8.1f} MB/s  "
+        f"({get['files']} x {get['file_bytes']} B in {get['seconds']:.3f}s, "
+        f"crc {'ok' if get['crc_ok'] else 'MISMATCH'})",
+        f"      {get['sendfile_sends']} sendfile / "
+        f"{get['fallback_sends']} fallback sends, "
+        f"buffer-pool hit rate {get['buffer_pool_hit_rate']:.0%}",
+        f"PUT : {put['mb_per_second']:8.1f} MB/s  "
+        f"({put['puts']} puts by {put['writers']} writers in "
+        f"{put['seconds']:.3f}s)",
+        f"      {put['fsyncs']} fsyncs / {put['journal_records']} journal "
+        f"records = {put['fsyncs_per_record']:.3f} fsyncs per record",
+    ]
+    return "\n".join(lines)

@@ -147,8 +147,34 @@ class Response:
 # ---------------------------------------------------------------------------
 
 
+def read_exact_into(stream: BinaryIO, view: memoryview) -> None:
+    """Fill ``view`` completely from ``stream`` via ``readinto`` (no
+    intermediate allocations) or raise :exc:`ProtocolError` on EOF.
+
+    The caller owns the buffer -- pair with a pooled ``bytearray``
+    (:class:`repro.nest.io.BufferPool`) for an allocation-free receive
+    loop.  Requires a source whose *class* implements ``readinto``.
+    """
+    filled = 0
+    n = len(view)
+    while filled < n:
+        got = stream.readinto(view[filled:])
+        if not got:
+            raise ProtocolError(
+                f"connection closed with {n - filled} bytes pending")
+        filled += got
+
+
 def read_exact(stream: BinaryIO, n: int) -> bytes:
     """Read exactly ``n`` bytes or raise :exc:`ProtocolError` on EOF."""
+    # Fast path: one buffer filled in place, one bytes object out.
+    # The check is class-level on purpose -- fault-injection wrappers
+    # forward unknown attributes to the raw stream, and reading around
+    # them would skip injected faults (see repro.nest.io).
+    if getattr(type(stream), "readinto", None) is not None:
+        buf = bytearray(n)
+        read_exact_into(stream, memoryview(buf))
+        return bytes(buf)
     chunks: list[bytes] = []
     remaining = n
     while remaining > 0:
