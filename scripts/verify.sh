@@ -6,7 +6,10 @@
 # (journal, crash sweeps, restart recovery), then the transfer lane:
 # the live loopback bench in smoke mode, asserting data-path
 # integrity and group-commit counters without touching the recorded
-# trajectory.  Each faults-marked test runs under a hard per-test
+# trajectory, then the concurrency lane: the connection-scaling bench
+# in smoke mode, asserting the event path serves a burst of concurrent
+# connections with zero errors (again without touching the
+# trajectory).  Each faults-marked test runs under a hard per-test
 # timeout (pytest-timeout when installed; SIGALRM backstop otherwise).
 # Usage: scripts/verify.sh [extra pytest args]
 set -e
@@ -18,3 +21,4 @@ PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -q -m faults "$@"
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -q tests/replica "$@"
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -q tests/durability "$@"
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro perf transfer --smoke
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro perf concurrency --smoke

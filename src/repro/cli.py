@@ -3,9 +3,11 @@
 ::
 
     python -m repro serve [--name N] [--port-base P] [--protocols ...]
+                          [--concurrency-server M] [--shards N]
     python -m repro jbos  [--port-base P]
     python -m repro bench [fig3|fig4|fig5|fig6|ablations|all]
-    python -m repro perf  [smoke|kernel|figures|counters|transfer] [--label L]
+    python -m repro perf  [smoke|kernel|figures|counters|transfer|concurrency]
+                          [--label L]
     python -m repro replica [status|demo] [--sites N] [--factor K] [--record]
     python -m repro recover --state-dir DIR [--store-root DIR]
     python -m repro stats [host:port] [--path /metrics|/healthz|/trace|/ad]
@@ -50,9 +52,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         protocols=protocols,
         scheduling=args.scheduling,
         concurrency=args.concurrency,
+        concurrency_server=args.concurrency_server,
         require_lots=args.require_lots,
         state_dir=args.state_dir or None,
+        shards=args.shards,
     )
+    if args.shards:
+        return _serve_shards(config, args)
     server = NestServer(config, ports=ports)
     server.start()
     if server.recovery_report is not None:
@@ -72,6 +78,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print("stopping")
         server.stop()
+    return 0
+
+
+def _serve_shards(config, args: argparse.Namespace) -> int:
+    """Multi-process mode: N shard workers behind one Chirp port."""
+    from repro.nest.shard import ShardGroup
+
+    group = ShardGroup(args.shards, config=config,
+                       chirp_port=args.port_base or 0)
+    group.start()
+    host, port = group.endpoint()
+    print(f"NeST {args.name!r} shard group: {args.shards} workers "
+          f"sharing chirp {host}:{port}")
+    for worker in group.workers:
+        print(f"  shard {worker.index}  pid {worker.pid:<7} "
+              f"owns {worker.shard_root:<10} "
+              f"direct http {host}:{worker.http_port}")
+    print("\nCtrl-C to stop.")
+    try:
+        while True:
+            time.sleep(1)
+    except KeyboardInterrupt:
+        print("stopping")
+        group.stop()
     return 0
 
 
@@ -135,6 +165,15 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         print(render(record))
         if not args.smoke:
             print("-> appended to BENCH_transfer.json")
+        return 0
+    if args.what == "concurrency":
+        from repro.perf.concurrency_bench import render, run
+
+        record = run(smoke=args.smoke, label=args.label,
+                     connections=args.connections)
+        print(render(record))
+        if not args.smoke:
+            print("-> appended to BENCH_concurrency.json")
         return 0
     if args.what == "figures":
         from repro.perf.bench import record_figures
@@ -318,6 +357,14 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["fcfs", "stride", "cache-aware"])
     serve.add_argument("--concurrency", default="adaptive",
                        choices=["adaptive", "threads", "events"])
+    serve.add_argument("--concurrency-server", default="threaded",
+                       choices=["threaded", "events", "adaptive"],
+                       help="how connections are served: a thread per "
+                            "connection, the selector-driven event loop, "
+                            "or adaptive switching under load")
+    serve.add_argument("--shards", type=int, default=0,
+                       help="spawn N worker processes sharing one "
+                            "SO_REUSEPORT chirp port (0: single process)")
     serve.add_argument("--require-lots", action="store_true")
     serve.add_argument("--state-dir", default="",
                        help="durable state directory (journal + snapshots); "
@@ -337,12 +384,16 @@ def build_parser() -> argparse.ArgumentParser:
     perf = sub.add_parser("perf", help="wall-clock benchmarks and counters")
     perf.add_argument("what", nargs="?", default="smoke",
                       choices=["smoke", "kernel", "figures", "counters",
-                               "transfer"])
+                               "transfer", "concurrency"])
     perf.add_argument("--label", default="",
                       help="label stored with the trajectory record")
     perf.add_argument("--smoke", action="store_true",
-                      help="transfer bench: tiny sizes, counter sanity "
-                           "asserts only, no trajectory append")
+                      help="transfer/concurrency bench: tiny sizes, "
+                           "counter sanity asserts only, no trajectory "
+                           "append")
+    perf.add_argument("--connections", type=int, default=0,
+                      help="concurrency bench: override the event-path "
+                           "connection target")
     perf.set_defaults(func=_cmd_perf)
 
     replica = sub.add_parser(

@@ -156,6 +156,82 @@ class AdaptiveSelector(Selector):
         return dict(self._issued)
 
 
+class ServerModelSwitcher:
+    """Adaptive *server* architecture selection (Fig. 5, live).
+
+    Where :class:`AdaptiveSelector` deals individual transfers across
+    executors by measured goodput, the server-architecture choice is
+    regime-defining: thread-per-connection collapses at high
+    connection counts no matter how good its per-request latency is.
+    The switcher is therefore threshold-driven on the live load
+    signals -- active connections and transfer queue depth -- with a
+    hysteresis band, and only consults measured per-request goodput
+    (an embedded :class:`AdaptiveSelector` fed by the server's
+    ``observe_request``) in the low-load regime where both
+    architectures are viable:
+
+    * ``connections >= high`` (or queue depth >= high): **events** --
+      the per-connection thread cost dominates;
+    * ``connections <= low``: whichever model has measured better
+      (threads until there is evidence);
+    * in between: keep the current choice (no flapping).
+
+    Signals are injected as callables so the policy itself stays pure
+    and unit-testable; ``interval`` rate-limits signal reads (0
+    re-evaluates on every accept).  ``throughput`` (MB/s) is sampled
+    into ``last_signals`` for operator visibility alongside the
+    decision inputs.
+    """
+
+    def __init__(self, connections, queue_depth=None, throughput=None,
+                 high: int = 256, low: int = 32, interval: float = 0.25,
+                 models: Sequence[str] = (THREADS, EVENTS), clock=None):
+        import time as _time
+
+        self.connections = connections
+        self.queue_depth = queue_depth or (lambda: 0)
+        self.throughput = throughput or (lambda: 0.0)
+        self.high = high
+        self.low = low
+        self.interval = interval
+        self.selector = AdaptiveSelector(models=list(models))
+        self.clock = clock or _time.monotonic
+        self.model = THREADS
+        self.flips = 0
+        self.last_signals: dict[str, float] = {}
+        self._last_eval: float | None = None
+
+    def choose(self) -> str:
+        """The architecture for the next accepted connection."""
+        now = self.clock()
+        if (self._last_eval is not None and self.interval > 0
+                and now - self._last_eval < self.interval):
+            return self.model
+        self._last_eval = now
+        conns = self.connections()
+        depth = self.queue_depth()
+        self.last_signals = {
+            "connections": conns,
+            "queue_depth": depth,
+            "throughput_mbps": self.throughput(),
+        }
+        if conns >= self.high or depth >= self.high:
+            pick = EVENTS
+        elif conns <= self.low:
+            pick = self.selector.best_model()
+        else:
+            pick = self.model  # hysteresis: hold in the middle band
+        if pick != self.model:
+            self.flips += 1
+            self.model = pick
+        return self.model
+
+    def report(self, model: str, nbytes: int, elapsed: float) -> None:
+        """Feed one completed request's service time back (the
+        low-load regime's evidence)."""
+        self.selector.report(model, nbytes, elapsed)
+
+
 def make_selector(name: str, models: Sequence[str] = (THREADS, EVENTS)) -> Selector:
     """Factory: ``"adaptive"`` or a fixed model name."""
     if name == "adaptive":

@@ -43,6 +43,43 @@ class NestConfig:
     #: Concurrency models available to the adaptive selector.
     concurrency_models: Sequence[str] = ("threads", "events")
 
+    #: *Server* concurrency architecture -- how accepted connections
+    #: are served (distinct from ``concurrency``, which picks the
+    #: executor for transfer quanta): "threaded" dedicates one handler
+    #: thread per connection (the original design), "events" parks
+    #: idle connections in a selector-driven event loop and serves
+    #: ready requests from a small bounded worker pool, and "adaptive"
+    #: flips between the two per-listener from live MetricsRegistry
+    #: signals (Fig. 5: no single architecture wins at all loads).
+    concurrency_server: str = "threaded"
+
+    #: Worker threads behind the event-driven path (the whole point:
+    #: this bound is independent of the connection count).
+    event_workers: int = 8
+
+    #: Adaptive server switching: at/above this many live connections
+    #: the per-connection cost of threads dominates -> events.
+    server_switch_high: int = 256
+
+    #: Adaptive server switching: at/below this many live connections
+    #: the measured per-request goodput picks the model (threads until
+    #: the selector has evidence).  Between low and high the switcher
+    #: holds its current choice (hysteresis).
+    server_switch_low: int = 32
+
+    #: Seconds between adaptive server-model re-evaluations (0
+    #: re-evaluates on every accept; tests use that).
+    server_switch_interval: float = 0.25
+
+    #: Bind protocol listeners with SO_REUSEPORT so several processes
+    #: (the shard layer) can share one port and let the kernel spread
+    #: accepted connections across them.
+    reuse_port: bool = False
+
+    #: Multi-process shard fan-out used by the shard layer / CLI; 0
+    #: runs the classic single-process appliance.
+    shards: int = 0
+
     #: Worker slots for transfer pumping (threads in a pool / event
     #: loop fan-out).
     transfer_workers: int = 8
@@ -140,6 +177,20 @@ class NestConfig:
         unknown = set(self.protocols) - known
         if unknown:
             raise ValueError(f"unknown protocols {sorted(unknown)!r}")
+        if self.concurrency_server not in ("threaded", "events", "adaptive"):
+            raise ValueError(
+                f"unknown server concurrency {self.concurrency_server!r}")
+        if self.event_workers < 1:
+            raise ValueError("event_workers must be >= 1")
+        if self.server_switch_low < 0:
+            raise ValueError("server_switch_low must be >= 0")
+        if self.server_switch_high < self.server_switch_low:
+            raise ValueError(
+                "server_switch_high must be >= server_switch_low")
+        if self.server_switch_interval < 0:
+            raise ValueError("server_switch_interval must be >= 0")
+        if self.shards < 0:
+            raise ValueError("shards must be >= 0")
         if self.transfer_workers < 1:
             raise ValueError("transfer_workers must be >= 1")
         if self.quantum_bytes < 1:

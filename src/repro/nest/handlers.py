@@ -44,6 +44,13 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.nest.server import NestServer
 
 
+#: Exceptions that end a connection like a wire error: the connection
+#: closes, the cause is span-annotated, nothing propagates.  The
+#: threaded ``run`` and the event loop's ``step`` share this contract.
+WIRE_ERRORS = (ProtocolError, ConnectionError, OSError, ValueError,
+               TransferError)
+
+
 class ConnectionHandler:
     """Base: owns sockets/streams and the authenticated identity.
 
@@ -51,18 +58,37 @@ class ConnectionHandler:
     opposed to parked on a blocking read between requests); the
     server's graceful drain closes idle connections immediately and
     only waits for busy ones.
+
+    Handlers whose wire format is a clean request-at-a-time loop set
+    ``event_capable`` and implement :meth:`serve_one`; the server may
+    then park their connections in the event loop instead of
+    dedicating a thread (``unbuffered`` read streams keep pipelined
+    bytes in the kernel buffer where the selector can see them).
     """
 
     protocol = "base"
+    #: True when serve() is a pure serve_one() loop the event loop can
+    #: drive one request at a time (Chirp, HTTP).  Session-stateful
+    #: wire formats (FTP's greeting + data channels, NFS, IBP) stay
+    #: thread-per-connection.
+    event_capable = False
 
-    def __init__(self, server: "NestServer", sock: socket.socket, addr):
+    def __init__(self, server: "NestServer", sock: socket.socket, addr,
+                 *, unbuffered: bool = False):
         self.server = server
         self.sock = sock
         self.addr = addr
-        self.rfile: BinaryIO = sock.makefile("rb")
+        # Event mode must not read ahead: a buffered rfile would slurp
+        # pipelined requests into userspace where the selector cannot
+        # see them, leaving the connection parked with work pending.
+        self.rfile: BinaryIO = sock.makefile(
+            "rb", buffering=0 if unbuffered else -1)
         self.wfile: BinaryIO = sock.makefile("wb")
         self.user = "anonymous"
         self.busy = False
+        #: which server architecture is driving this connection
+        #: ("threads" or "events"); feeds the adaptive switcher.
+        self.concurrency_model = "threads"
         #: root span of this connection's trace, opened at accept;
         #: every request on the connection is a child.
         self.conn_span = server.obs.tracer.start_trace(
@@ -72,14 +98,40 @@ class ConnectionHandler:
         """Serve the connection until EOF or error, then clean up."""
         try:
             self.serve()
-        except (ProtocolError, ConnectionError, OSError, ValueError,
-                TransferError):
+        except WIRE_ERRORS:
             # A failed transfer closes the connection like any wire
             # error; its cause is recorded in ``transfers.failures()``.
             self.conn_span.set(wire_error=True)
         finally:
-            self.force_close()
-            self.conn_span.set(user=self.user).end()
+            self.finish()
+
+    def serve_one(self) -> bool:  # pragma: no cover - interface
+        """Serve exactly one request (the event loop's dispatch unit).
+
+        Returns True if the connection should stay open for another
+        request, False at EOF/quit.  May raise ``WIRE_ERRORS``.
+        """
+        raise NotImplementedError
+
+    def step(self) -> bool:
+        """One event-loop dispatch: :meth:`serve_one` under the same
+        error contract as the threaded :meth:`run`.  Returns whether
+        the connection should be re-parked."""
+        try:
+            return self.serve_one()
+        except WIRE_ERRORS:
+            self.conn_span.set(wire_error=True)
+            return False
+
+    def finish(self) -> None:
+        """Tear down and end the connection trace (idempotent: the
+        span's end() is a no-op the second time)."""
+        self.force_close()
+        self.conn_span.set(user=self.user).end()
+
+    def fileno(self) -> int:
+        """The connection's descriptor (selector registration)."""
+        return self.sock.fileno()
 
     @contextmanager
     def request_scope(self, op: str, path: str = ""):
@@ -103,7 +155,8 @@ class ConnectionHandler:
         finally:
             self.busy = False
             self.server.observe_request(
-                self.protocol, op, ok, time.perf_counter() - started)
+                self.protocol, op, ok, time.perf_counter() - started,
+                model=self.concurrency_model)
 
     def mark_request_error(self) -> None:
         """Flag the active request span (and its metric outcome) as an
@@ -179,29 +232,33 @@ class ChirpHandler(ConnectionHandler):
     """NeST's native protocol: full feature set, GSI authentication."""
 
     protocol = "chirp"
+    event_capable = True
 
     def serve(self) -> None:
-        while True:
-            try:
-                line = read_line(self.rfile)
-            except ProtocolError:
-                return
-            parse = self.conn_span.child("parse", protocol=self.protocol)
-            try:
-                request = chirp.decode_request(line)
-            except ProtocolError as exc:
-                parse.end(status="error")
-                self.server.observe_request(self.protocol, "parse",
-                                            False, 0.0)
-                write_line(self.wfile, chirp.encode_response(
-                    Response(Status.BAD_REQUEST, message=str(exc))))
-                continue
-            parse.end()
-            request.user = self.user
-            with self.request_scope(request.rtype.value, request.path):
-                keep = self._handle(request)
-            if not keep:
-                return
+        while self.serve_one():
+            pass
+
+    def serve_one(self) -> bool:
+        """One Chirp request: read a line, decode, dispatch."""
+        try:
+            line = read_line(self.rfile)
+        except ProtocolError:
+            return False
+        parse = self.conn_span.child("parse", protocol=self.protocol)
+        try:
+            request = chirp.decode_request(line)
+        except ProtocolError as exc:
+            parse.end(status="error")
+            self.server.observe_request(self.protocol, "parse",
+                                        False, 0.0)
+            write_line(self.wfile, chirp.encode_response(
+                Response(Status.BAD_REQUEST, message=str(exc))))
+            return True
+        parse.end()
+        request.user = self.user
+        with self.request_scope(request.rtype.value, request.path):
+            keep = self._handle(request)
+        return keep
 
     def _handle(self, request: Request) -> bool:
         if request.rtype is RequestType.QUIT:
@@ -451,28 +508,32 @@ class HttpHandler(ConnectionHandler):
     """HTTP/1.0 subset; anonymous only."""
 
     protocol = "http"
+    event_capable = True
 
     def serve(self) -> None:
-        while True:
+        while self.serve_one():
+            pass
+
+    def serve_one(self) -> bool:
+        """One HTTP request/response exchange."""
+        try:
+            request = http.read_request(self.rfile)
+        except ProtocolError:
+            return False
+        if request is None:
+            return False
+        request.user = self.user
+        keep_alive = request.params.get("keep_alive", False)
+        with self.request_scope(request.rtype.value, request.path) as sp:
             try:
-                request = http.read_request(self.rfile)
-            except ProtocolError:
-                return
-            if request is None:
-                return
-            request.user = self.user
-            keep_alive = request.params.get("keep_alive", False)
-            with self.request_scope(request.rtype.value, request.path) as sp:
-                try:
-                    self._handle(request, keep_alive)
-                except StorageError as exc:
-                    sp.end(status="error")
-                    http.write_response_head(
-                        self.wfile, Response(exc.status, message=exc.message),
-                        keep_alive=keep_alive,
-                    )
-            if not keep_alive:
-                return
+                self._handle(request, keep_alive)
+            except StorageError as exc:
+                sp.end(status="error")
+                http.write_response_head(
+                    self.wfile, Response(exc.status, message=exc.message),
+                    keep_alive=keep_alive,
+                )
+        return bool(keep_alive)
 
     def _handle(self, request: Request, keep_alive: bool) -> None:
         storage = self.server.storage

@@ -25,7 +25,9 @@ from repro.faults import FaultPlan
 from repro.nest.advertise import build_advertisement
 from repro.nest.auth import CertificateAuthority, GSIContext
 from repro.nest.backends import DataStore
+from repro.nest.concurrency import EVENTS, THREADS, ServerModelSwitcher
 from repro.nest.config import NestConfig
+from repro.nest.eventserver import EventLoop
 from repro.nest.graybox import GrayBoxCacheModel
 from repro.nest.handlers import HANDLERS
 from repro.nest.storage import StorageManager
@@ -175,7 +177,35 @@ class NestServer:
             self.config, residency=self.graybox.predict_residency,
             obs=self.obs,
         )
+        #: event-driven data path (paper §4.1's "events", live) and the
+        #: adaptive server-model switcher -- created only when the
+        #: configured ``concurrency_server`` can route to them, so the
+        #: default threaded appliance carries no extra threads or fds.
+        self._eventloop: EventLoop | None = None
+        self._switcher: ServerModelSwitcher | None = None
         reg = self.obs.registry
+        if self.config.concurrency_server in ("events", "adaptive"):
+            self._eventloop = EventLoop(
+                workers=self.config.event_workers,
+                name=self.config.name, registry=reg)
+        if self.config.concurrency_server == "adaptive":
+            self._switcher = ServerModelSwitcher(
+                connections=self.active_connections,
+                queue_depth=self.transfers.queue_depth,
+                throughput=lambda: self.obs.health.throughput_bps() / 1e6,
+                high=self.config.server_switch_high,
+                low=self.config.server_switch_low,
+                interval=self.config.server_switch_interval,
+            )
+            reg.gauge_callback(
+                "nest_server_model_events",
+                lambda: 1.0 if self._switcher.model == EVENTS else 0.0,
+                "1 when the adaptive switcher currently routes new "
+                "connections to the event loop.")
+            reg.gauge_callback(
+                "nest_server_model_flips",
+                lambda: float(self._switcher.flips),
+                "Times the adaptive switcher changed server model.")
         self._m_connections = reg.counter(
             "nest_connections_total", "Accepted client connections.",
             labelnames=("protocol",))
@@ -247,8 +277,16 @@ class NestServer:
         for proto in self.config.protocols:
             listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
             listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            if self.config.reuse_port:
+                # Shard workers share one port; the kernel spreads
+                # accepted connections across the processes.
+                listener.setsockopt(socket.SOL_SOCKET,
+                                    socket.SO_REUSEPORT, 1)
             listener.bind((self.host, self._requested_ports.get(proto, 0)))
-            listener.listen(32)
+            # Deep backlog: the event path is expected to absorb
+            # thousands-of-connections ramps faster than a 32-deep
+            # queue would tolerate.
+            listener.listen(1024)
             listener.settimeout(0.2)
             self._listeners[proto] = listener
             self.ports[proto] = listener.getsockname()[1]
@@ -301,8 +339,13 @@ class NestServer:
 
         # Idle connections are parked on a blocking read between
         # requests; closing them now is invisible to correctness and
-        # keeps the drain window for handlers doing real work.
+        # keeps the drain window for handlers doing real work.  The
+        # event loop's idle connections are parked in the selector:
+        # begin_shutdown retires them all synchronously, leaving only
+        # its busy dispatches for the shared drain window below.
         forced = 0
+        if self._eventloop is not None:
+            self._eventloop.begin_shutdown()
         with self._conn_lock:
             for handler in list(self._connections):
                 if not getattr(handler, "busy", False):
@@ -311,8 +354,11 @@ class NestServer:
         deadline = time.monotonic() + max(drain_timeout, 0.0)
         while time.monotonic() < deadline:
             with self._conn_lock:
-                if not self._connections:
-                    break
+                threaded_live = len(self._connections)
+            event_live = (self._eventloop.busy_count()
+                          if self._eventloop is not None else 0)
+            if not threaded_live and not event_live:
+                break
             time.sleep(0.01)
 
         with self._conn_lock:
@@ -321,9 +367,9 @@ class NestServer:
             forced += 1
             handler.force_close()
         for handler, thread in stragglers:
-            thread.join(timeout=2)
-            with self._conn_lock:
-                self._connections.pop(handler, None)
+            self._join_handler(handler, thread)
+        if self._eventloop is not None:
+            forced += self._eventloop.finish_shutdown()
 
         self.transfers.shutdown()
         if self.durability is not None:
@@ -335,10 +381,34 @@ class NestServer:
         if self.mgmt is not None:
             self.mgmt.stop()
             self.mgmt = None
-        drained = len(stragglers) == 0
+        drained = forced == 0
         logger.info("%s stopped (drained=%s forced=%d)",
                     self.config.name, drained, forced)
         return {"drained": int(drained), "forced": forced}
+
+    def _join_handler(self, handler, thread: threading.Thread) -> None:
+        """Join a straggler's handler thread and drop it from the
+        connection table.
+
+        Tolerates the accept-loop hand-off window: the handler is
+        registered in ``_connections`` *before* ``thread.start()`` (so
+        the drain can never miss it), which means a concurrent stop
+        can reach a thread that has not started yet -- ``join()`` then
+        raises RuntimeError.  The accept loop is about to start it (or
+        has already bailed out), so retry briefly instead of crashing
+        mid-drain.
+        """
+        deadline = time.monotonic() + 2.0
+        while True:
+            try:
+                thread.join(timeout=max(deadline - time.monotonic(), 0.01))
+                break
+            except RuntimeError:
+                if time.monotonic() >= deadline:
+                    break
+                time.sleep(0.002)
+        with self._conn_lock:
+            self._connections.pop(handler, None)
 
     def crash(self) -> None:
         """Die like SIGKILL (tests, chaos drills): no drain, no final
@@ -349,10 +419,7 @@ class NestServer:
         self._running = False
         if self.durability is not None:
             self.durability.close(snapshot=False)
-        self._advert_stop.set()
-        if self._advert_thread is not None:
-            self._advert_thread.join(timeout=2)
-            self._advert_thread = None
+        self._stop_heartbeat()
         for listener in self._listeners.values():
             try:
                 listener.close()
@@ -362,6 +429,9 @@ class NestServer:
             handlers = list(self._connections)
         for handler in handlers:
             handler.force_close()
+        if self._eventloop is not None:
+            self._eventloop.begin_shutdown()
+            self._eventloop.finish_shutdown(timeout=0.5)
         self.transfers.shutdown()
         if self.mgmt is not None:
             self.mgmt.stop()
@@ -378,9 +448,13 @@ class NestServer:
         return self.durability.attach_catalog(catalog)
 
     def active_connections(self) -> int:
-        """How many handler connections are currently live."""
+        """How many handler connections are currently live (threaded
+        handler threads plus connections owned by the event loop)."""
         with self._conn_lock:
-            return len(self._connections)
+            live = len(self._connections)
+        if self._eventloop is not None:
+            live += self._eventloop.live()
+        return live
 
     @property
     def running(self) -> bool:
@@ -417,14 +491,35 @@ class NestServer:
                     pass
                 return
             self._m_connections.inc(protocol=proto)
+            if self._route_model(proto) == EVENTS:
+                # Event path: no thread -- the connection parks in the
+                # selector until bytes arrive.  Unbuffered reads keep
+                # pipelined requests visible to epoll.
+                handler = handler_cls(self, conn, addr, unbuffered=True)
+                handler.concurrency_model = EVENTS
+                if self._eventloop.adopt(handler):
+                    continue
+                handler.finish()  # loop already shutting down
+                continue
             handler = handler_cls(self, conn, addr)
             thread = threading.Thread(
                 target=self._run_handler, args=(handler,),
                 name=f"nest-{proto}-conn", daemon=True,
             )
+            # Registered before start() so the drain can never miss a
+            # live connection; stop()'s _join_handler tolerates the
+            # not-yet-started window this opens.
             with self._conn_lock:
                 self._connections[handler] = thread
             thread.start()
+
+    def _route_model(self, proto: str) -> str:
+        """Which server architecture serves this accepted connection."""
+        if self._eventloop is None or not HANDLERS[proto].event_capable:
+            return THREADS
+        if self.config.concurrency_server == "events":
+            return EVENTS
+        return self._switcher.choose()
 
     def _run_handler(self, handler) -> None:
         try:
@@ -449,14 +544,25 @@ class NestServer:
         the lifecycle: :meth:`stop` withdraws the ad as the first step
         of the graceful drain, so a stopping appliance disappears from
         matchmaking immediately instead of lingering until TTL expiry.
+
+        Re-calling on a running server reconfigures the heartbeat: a
+        changed interval stops the old beat thread and starts a fresh
+        one (or none, for 0) -- the old thread must never keep
+        re-reading the new interval, because ``Event.wait(0)`` returns
+        immediately and would turn a disabled heartbeat into a hot
+        spin flooding the collector.
         """
         self._collector = collector
         self._advert_ttl = ttl
         interval = (self.config.advertise_interval
                     if readvertise_interval is None else readvertise_interval)
-        self._advert_interval = max(float(interval), 0.0)
+        interval = max(float(interval), 0.0)
+        reconfigured = interval != self._advert_interval
+        self._advert_interval = interval
         if self._running:
             self._publish_ad()
+            if reconfigured:
+                self._stop_heartbeat()
             self._start_heartbeat()
 
     def _publish_ad(self) -> None:
@@ -473,9 +579,15 @@ class NestServer:
         if self._advert_interval <= 0 or self._advert_thread is not None:
             return
         self._advert_stop.clear()
+        stop = self._advert_stop  # this thread's stop signal, pinned
 
         def beat() -> None:
-            while not self._advert_stop.wait(self._advert_interval):
+            while True:
+                interval = self._advert_interval
+                if interval <= 0:
+                    return  # disabled while running: exit, never spin
+                if stop.wait(interval):
+                    return
                 if not self._running:
                     return
                 self._publish_ad()
@@ -485,11 +597,15 @@ class NestServer:
             daemon=True)
         self._advert_thread.start()
 
-    def _stop_heartbeat_and_withdraw(self) -> None:
+    def _stop_heartbeat(self) -> None:
+        """Stop (and join) the re-advertise heartbeat, if running."""
         self._advert_stop.set()
         if self._advert_thread is not None:
             self._advert_thread.join(timeout=2)
             self._advert_thread = None
+
+    def _stop_heartbeat_and_withdraw(self) -> None:
+        self._stop_heartbeat()
         if self._collector is not None:
             try:
                 self._collector.withdraw(self.config.name)
@@ -505,12 +621,21 @@ class NestServer:
         return self.subject_map.get(subject, subject)
 
     def observe_request(self, protocol: str, op: str, ok: bool,
-                        seconds: float) -> None:
-        """Handler callback: one finished request's metrics + health."""
+                        seconds: float, model: str | None = None) -> None:
+        """Handler callback: one finished request's metrics + health.
+
+        ``model`` names the server architecture that served the
+        request ("threads"/"events"); successful requests feed the
+        adaptive switcher's measured-goodput evidence.
+        """
         self._m_requests.inc(protocol=protocol, op=op,
                              outcome="ok" if ok else "error")
         self._m_request_seconds.observe(seconds, protocol=protocol)
         self.obs.health.record_request(protocol, ok)
+        if self._switcher is not None and model is not None and ok:
+            # 1 request / elapsed = service rate, the low-load
+            # regime's relative-goodput signal.
+            self._switcher.report(model, 1, max(seconds, 1e-6))
 
     def advertisement(self) -> ClassAd:
         """Current resource/data availability as a ClassAd (§2.1),

@@ -1,0 +1,289 @@
+"""Multi-process shard layer: N appliance workers behind one port.
+
+Python threads share one GIL, so a single NeST process cannot use
+multiple cores for request processing no matter which concurrency
+architecture it picks.  The shard layer is the multi-core answer
+(CASTOR's multi-daemon decomposition, applied to NeST): a
+:class:`ShardGroup` spawns N worker *processes*, each a complete
+appliance -- its own StorageManager, TransferManager, event loop --
+all accepting Chirp on one shared ``SO_REUSEPORT`` port, so the kernel
+spreads incoming connections across the workers with no userspace
+proxy on the data path.
+
+Each worker owns a namespace shard (``/shard-<i>``, world-writable),
+and :func:`shard_for` computes a path's home shard client-side, so a
+client that cares which worker holds a file can route itself by
+connecting to that worker's *direct* (per-worker HTTP) port; clients
+that don't care just use the shared port.
+
+The control plane is deliberately tiny: one pipe per worker carrying
+``ready`` at boot, ``health`` request/reply dicts (pid, ports, live
+and total connections), and ``stop``.  Workers also treat a closed
+pipe as a stop order, so an orphaned worker shuts down instead of
+lingering when the parent dies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import signal
+import socket
+import time
+import zlib
+
+from repro.nest.config import NestConfig
+from repro.obs.log import get_logger
+
+logger = get_logger(__name__)
+
+
+def shard_for(path: str, shards: int) -> int:
+    """Stable shard index for a path.
+
+    Hashes the top-level name component with CRC32 (stable across
+    processes and Python versions, unlike ``hash``), so every client
+    and every worker agree on a file's home shard.
+    """
+    if shards <= 0:
+        return 0
+    name = path.strip("/").split("/", 1)[0]
+    return zlib.crc32(name.encode("utf-8")) % shards
+
+
+def shard_root(index: int) -> str:
+    """The namespace directory worker ``index`` owns."""
+    return f"/shard-{index}"
+
+
+def _allocate_port(host: str) -> int:
+    """Reserve an ephemeral port number (bind, read, release).
+
+    SO_REUSEPORT listeners must all name the same concrete port, so
+    an ephemeral request is resolved once in the parent and the
+    number passed to every worker.
+    """
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        probe.bind((host, 0))
+        return probe.getsockname()[1]
+    finally:
+        probe.close()
+
+
+def _worker_main(index: int, config: NestConfig, host: str,
+                 chirp_port: int, http_port: int, conn) -> None:
+    """Worker-process entry: one full appliance plus the control pipe.
+
+    Module-level on purpose -- the spawn start method pickles the
+    callable by qualified name.
+    """
+    from repro.nest.server import NestServer
+
+    # A terminal Ctrl-C signals the whole foreground process group;
+    # shutdown is the parent's job (the "stop" order / closed pipe),
+    # so the workers must not die mid-drain on the shared SIGINT.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (OSError, ValueError):
+        pass
+    try:
+        server = NestServer(config, host=host,
+                            ports={"chirp": chirp_port, "http": http_port})
+        server.start()
+        root = shard_root(index)
+        server.storage.mkdir("admin", root)
+        server.storage.acl_set("admin", root, "*", "rliwd")
+    except Exception as exc:  # noqa: BLE001 - reported to the parent
+        try:
+            conn.send({"type": "error", "index": index, "error": repr(exc)})
+        except (OSError, BrokenPipeError):
+            pass
+        return
+    conn.send({"type": "ready", "index": index, "pid": os.getpid(),
+               "ports": dict(server.ports), "shard_root": root})
+    try:
+        while True:
+            if not conn.poll(0.2):
+                continue
+            msg = conn.recv()
+            if msg == "stop":
+                break
+            if msg == "health":
+                total = server.obs.registry.get("nest_connections_total")
+                conn.send({
+                    "type": "health", "index": index, "pid": os.getpid(),
+                    "shard_root": root, "ports": dict(server.ports),
+                    "active_connections": server.active_connections(),
+                    "connections_total": int(total.total()) if total else 0,
+                })
+    except (EOFError, OSError):
+        pass  # parent died: treat as a stop order
+    finally:
+        server.stop(drain_timeout=1.0)
+        try:
+            conn.send({"type": "stopped", "index": index})
+        except (OSError, BrokenPipeError):
+            pass
+        conn.close()
+
+
+@dataclasses.dataclass
+class ShardWorker:
+    """Parent-side record of one worker process."""
+
+    index: int
+    process: multiprocessing.Process
+    conn: "multiprocessing.connection.Connection"
+    http_port: int
+    pid: int = 0
+    shard_root: str = ""
+
+
+class ShardGroup:
+    """N appliance processes sharing one SO_REUSEPORT Chirp port."""
+
+    def __init__(self, shards: int, config: NestConfig | None = None,
+                 host: str = "127.0.0.1", chirp_port: int = 0):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.shards = shards
+        self.host = host
+        base = config or NestConfig()
+        base.validate()
+        self._base_config = base
+        self.chirp_port = chirp_port or _allocate_port(host)
+        self.workers: list[ShardWorker] = []
+        self._ctx = multiprocessing.get_context("spawn")
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self, ready_timeout: float = 30.0) -> "ShardGroup":
+        """Spawn every worker and wait until all report ready."""
+        if self.workers:
+            raise RuntimeError("shard group already started")
+        for index in range(self.shards):
+            # Each worker is a full appliance: shared-port Chirp plus a
+            # direct per-worker HTTP port for shard-addressed access.
+            # The management endpoint is off -- health flows over the
+            # control pipe -- and the event-driven path is on, so one
+            # worker carries thousands of connections per core.
+            config = dataclasses.replace(
+                self._base_config,
+                name=f"{self._base_config.name}-shard{index}",
+                protocols=("chirp", "http"),
+                reuse_port=True,
+                management=False,
+                concurrency_server=(
+                    self._base_config.concurrency_server
+                    if self._base_config.concurrency_server != "threaded"
+                    else "events"),
+                shards=0,
+                state_dir=(os.path.join(self._base_config.state_dir,
+                                        f"shard-{index}")
+                           if self._base_config.state_dir else None),
+            )
+            parent_conn, child_conn = self._ctx.Pipe()
+            http_port = _allocate_port(self.host)
+            process = self._ctx.Process(
+                target=_worker_main,
+                args=(index, config, self.host, self.chirp_port,
+                      http_port, child_conn),
+                name=f"nest-shard-{index}", daemon=True)
+            process.start()
+            child_conn.close()
+            self.workers.append(ShardWorker(
+                index=index, process=process, conn=parent_conn,
+                http_port=http_port))
+        deadline = time.monotonic() + ready_timeout
+        for worker in self.workers:
+            remaining = max(deadline - time.monotonic(), 0.1)
+            if not worker.conn.poll(remaining):
+                self.stop()
+                raise RuntimeError(
+                    f"shard worker {worker.index} did not become ready")
+            try:
+                msg = worker.conn.recv()
+            except (EOFError, OSError):
+                self.stop()
+                raise RuntimeError(
+                    f"shard worker {worker.index} died during startup")
+            if msg.get("type") != "ready":
+                self.stop()
+                raise RuntimeError(
+                    f"shard worker {worker.index} failed: "
+                    f"{msg.get('error', msg)}")
+            worker.pid = msg["pid"]
+            worker.shard_root = msg["shard_root"]
+            worker.http_port = msg["ports"].get("http", worker.http_port)
+        logger.info("shard group up: %d workers on %s:%d",
+                    self.shards, self.host, self.chirp_port)
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop every worker: polite pipe order, then terminate."""
+        for worker in self.workers:
+            try:
+                worker.conn.send("stop")
+            except (OSError, BrokenPipeError):
+                pass
+        deadline = time.monotonic() + timeout
+        for worker in self.workers:
+            worker.process.join(max(deadline - time.monotonic(), 0.1))
+            if worker.process.is_alive():
+                logger.warning("shard worker %d unresponsive; terminating",
+                               worker.index)
+                worker.process.terminate()
+                worker.process.join(2.0)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+        self.workers = []
+
+    def __enter__(self) -> "ShardGroup":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # control plane
+    # ------------------------------------------------------------------
+    def health(self, timeout: float = 5.0) -> list[dict]:
+        """One health dict per worker (index, pid, ports, connection
+        counts); unresponsive workers report ``{"alive": False}``."""
+        for worker in self.workers:
+            try:
+                worker.conn.send("health")
+            except (OSError, BrokenPipeError):
+                pass
+        reports = []
+        deadline = time.monotonic() + timeout
+        for worker in self.workers:
+            report = {"index": worker.index, "alive": False,
+                      "pid": worker.pid}
+            remaining = max(deadline - time.monotonic(), 0.05)
+            try:
+                while worker.conn.poll(remaining):
+                    msg = worker.conn.recv()
+                    if msg.get("type") == "health":
+                        report = dict(msg)
+                        report["alive"] = True
+                        break
+            except (EOFError, OSError):
+                pass
+            reports.append(report)
+        return reports
+
+    def endpoint(self) -> tuple[str, int]:
+        """(host, port) of the shared Chirp port."""
+        return self.host, self.chirp_port
+
+    def direct_http_endpoint(self, index: int) -> tuple[str, int]:
+        """(host, port) of one worker's own HTTP listener (shard-
+        addressed access; pair with :func:`shard_for`)."""
+        return self.host, self.workers[index].http_port

@@ -383,11 +383,42 @@ class TransferManager:
             return self._in_flight
 
     def shutdown(self) -> None:
-        """Stop the scheduler thread and executors."""
+        """Stop the scheduler thread and fail whatever it abandons.
+
+        Every pending transfer is finished with a typed
+        ``TransferError("manager shut down")`` so waiters unblock
+        immediately instead of sitting out their full ``wait()``
+        timeout, and pooled buffers go back to ``DEFAULT_POOL``.
+        Queued transfers (never dispatched) are failed here; quanta
+        already on a worker notice ``_running`` is down when they
+        return and fail their transfer the same way instead of
+        re-enqueueing it.
+        """
         with self._lock:
             self._running = False
             self._wakeup.notify_all()
         self._dispatcher.join(timeout=5)
+        error = TransferError("manager shut down")
+        with self._lock:
+            # ready=True means "awaiting a scheduler grant": with the
+            # dispatcher dead these would never run.  ready=False means
+            # a quantum is in flight; _run_quantum owns that finish.
+            doomed = [t for t in self._pending.values() if t.job.ready]
+            for transfer in doomed:
+                self.scheduler.remove(transfer.job)
+                self._pending.pop(transfer.job.job_id, None)
+                self._failures.append({
+                    "protocol": transfer.job.protocol,
+                    "user": transfer.job.user,
+                    "path": transfer.job.path,
+                    "moved": transfer.moved,
+                    "total": transfer.total,
+                    "error": error,
+                    "at": time.time(),
+                })
+        for transfer in doomed:
+            self._observe_finish(transfer, error)
+            transfer._finish(error)
         self._threads_pool.shutdown(wait=False)
         self._events_pool.shutdown(wait=False)
 
@@ -472,6 +503,13 @@ class TransferManager:
         with self._lock:
             self._in_flight -= 1
             self.scheduler.charge(job, moved)
+            if not finished and not self._running:
+                # The manager shut down while this quantum was out:
+                # re-enqueueing would strand the transfer (no
+                # dispatcher will ever grant it again), so fail it
+                # typed -- same contract as shutdown()'s queued sweep.
+                error = TransferError("manager shut down")
+                finished = True
             if finished:
                 self.scheduler.remove(job)
                 self._pending.pop(job.job_id, None)

@@ -1,0 +1,227 @@
+"""Event loop and server-model switcher: units plus a live flip.
+
+The EventLoop tests drive the loop with a minimal echo handler over
+socketpairs -- no NestServer, no protocols -- to pin the park /
+dispatch / re-park / retire cycle and the two-phase shutdown.  The
+switcher tests inject signal callables and a fake clock so the policy
+is exercised without sockets at all.  The final test is the
+acceptance-criterion one: a real adaptive-mode server demonstrably
+flips to the event architecture under connection load.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+from repro.nest.concurrency import EVENTS, THREADS, ServerModelSwitcher
+from repro.nest.config import NestConfig
+from repro.nest.eventserver import EventLoop
+
+
+def _wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return predicate()
+
+
+class EchoHandler:
+    """Minimal event-capable handler: echo whatever arrives."""
+
+    def __init__(self, sock):
+        self.sock = sock
+        self.served = 0
+        self.finished = threading.Event()
+
+    def fileno(self):
+        return self.sock.fileno()
+
+    def step(self):
+        try:
+            data = self.sock.recv(4096)
+        except OSError:
+            return False
+        if not data:
+            return False
+        self.served += 1
+        self.sock.sendall(data)
+        return True
+
+    def force_close(self):
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def finish(self):
+        self.force_close()
+        self.finished.set()
+
+
+class TestEventLoop:
+    def test_park_dispatch_repark_retire_cycle(self):
+        loop = EventLoop(workers=2, name="evt-cycle")
+        try:
+            client, server_side = socket.socketpair()
+            client.settimeout(5.0)
+            handler = EchoHandler(server_side)
+            assert loop.adopt(handler)
+            # Each round trip is one dispatch followed by a re-park.
+            for _ in range(3):
+                client.sendall(b"ping")
+                assert client.recv(4096) == b"ping"
+            assert handler.served == 3
+            assert loop.dispatches >= 3
+            assert loop.live() == 1
+            # EOF from the client retires the connection.
+            client.close()
+            assert handler.finished.wait(5.0)
+            assert _wait_until(lambda: loop.live() == 0)
+            assert loop.retired == 1
+        finally:
+            loop.begin_shutdown()
+            loop.finish_shutdown()
+
+    def test_many_parked_connections_one_fixed_pool(self):
+        loop = EventLoop(workers=2, name="evt-many")
+        pairs = [socket.socketpair() for _ in range(50)]
+        handlers = [EchoHandler(s) for _, s in pairs]
+        try:
+            for handler in handlers:
+                assert loop.adopt(handler)
+            assert _wait_until(lambda: loop.live() == 50)
+            # Parked connections hold no thread: the only new threads
+            # are the loop itself plus at most `workers` pool threads.
+            names = [t.name for t in threading.enumerate()
+                     if t.name.startswith("evt-many")]
+            assert len(names) <= 3
+            # All 50 still respond.
+            for client, _ in pairs:
+                client.settimeout(5.0)
+                client.sendall(b"x")
+                assert client.recv(4096) == b"x"
+            # Let the last dispatches re-park before the drain so the
+            # forced-straggler count below is deterministic.
+            assert _wait_until(lambda: loop.busy_count() == 0)
+        finally:
+            loop.begin_shutdown()
+            forced = loop.finish_shutdown()
+            for client, _ in pairs:
+                client.close()
+        # Idle connections were retired by the drain, none forced.
+        assert forced == 0
+        assert all(h.finished.is_set() for h in handlers)
+
+    def test_shutdown_refuses_new_adoptions(self):
+        loop = EventLoop(workers=1, name="evt-stop")
+        loop.begin_shutdown()
+        client, server_side = socket.socketpair()
+        handler = EchoHandler(server_side)
+        assert not loop.adopt(handler)  # caller keeps ownership
+        handler.finish()
+        client.close()
+        assert loop.finish_shutdown() == 0
+        # Pool threads joined: nothing left bearing the loop's name.
+        assert not [t for t in threading.enumerate()
+                    if t.name.startswith("evt-stop")]
+
+
+class TestServerModelSwitcher:
+    def test_flips_to_events_at_high_connections(self):
+        conns = {"n": 0}
+        sw = ServerModelSwitcher(connections=lambda: conns["n"],
+                                 high=10, low=2, interval=0.0)
+        assert sw.choose() == THREADS
+        conns["n"] = 10
+        assert sw.choose() == EVENTS
+        assert sw.flips == 1
+        assert sw.last_signals["connections"] == 10
+
+    def test_queue_depth_alone_triggers_events(self):
+        depth = {"n": 0}
+        sw = ServerModelSwitcher(connections=lambda: 1,
+                                 queue_depth=lambda: depth["n"],
+                                 high=10, low=2, interval=0.0)
+        assert sw.choose() == THREADS
+        depth["n"] = 10
+        assert sw.choose() == EVENTS
+
+    def test_hysteresis_holds_in_middle_band(self):
+        conns = {"n": 10}
+        sw = ServerModelSwitcher(connections=lambda: conns["n"],
+                                 high=10, low=2, interval=0.0)
+        assert sw.choose() == EVENTS
+        conns["n"] = 5  # between low and high: no flap
+        assert sw.choose() == EVENTS
+        conns["n"] = 9
+        assert sw.choose() == EVENTS
+        assert sw.flips == 1
+
+    def test_low_load_follows_measured_goodput(self):
+        conns = {"n": 10}
+        sw = ServerModelSwitcher(connections=lambda: conns["n"],
+                                 high=10, low=2, interval=0.0)
+        assert sw.choose() == EVENTS
+        # Evidence: under light load the threaded path served requests
+        # an order of magnitude faster than the event path.
+        for _ in range(8):
+            sw.report(THREADS, 1, 0.001)
+            sw.report(EVENTS, 1, 0.1)
+        conns["n"] = 1
+        assert sw.choose() == THREADS
+        assert sw.flips == 2
+
+    def test_interval_gates_signal_reads(self):
+        now = {"t": 0.0}
+        reads = {"n": 0}
+
+        def conns():
+            reads["n"] += 1
+            return 100
+
+        sw = ServerModelSwitcher(connections=conns, high=10, low=2,
+                                 interval=1.0, clock=lambda: now["t"])
+        assert sw.choose() == EVENTS
+        assert reads["n"] == 1
+        for _ in range(20):  # within the interval: cached decision
+            sw.choose()
+        assert reads["n"] == 1
+        now["t"] = 1.5
+        sw.choose()
+        assert reads["n"] == 2
+
+
+class TestAdaptiveServerFlip:
+    def test_server_flips_to_events_under_connection_load(self):
+        from repro.nest.server import NestServer
+
+        config = NestConfig(name="adapt-flip", protocols=("chirp",),
+                            concurrency_server="adaptive",
+                            server_switch_high=8, server_switch_low=2,
+                            server_switch_interval=0.0,
+                            management=False)
+        with NestServer(config) as srv:
+            assert srv._switcher is not None
+            assert srv._switcher.model == THREADS
+            host, port = srv.endpoint("chirp")
+            socks = []
+            try:
+                # The accept loop registers each threaded handler
+                # before accepting the next connection, so by the time
+                # the ramp passes the high-water mark the switcher's
+                # connection signal has crossed it too.
+                for _ in range(16):
+                    socks.append(socket.create_connection((host, port),
+                                                          timeout=5.0))
+                assert _wait_until(lambda: srv._switcher.model == EVENTS)
+                assert srv._switcher.flips >= 1
+                # Post-flip accepts really landed on the event loop.
+                assert _wait_until(lambda: srv._eventloop.live() > 0)
+                assert srv.active_connections() == 16
+            finally:
+                for sock in socks:
+                    sock.close()
