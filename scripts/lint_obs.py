@@ -10,6 +10,12 @@ Two rules, enforced by AST walk (so docstrings and comments that merely
 2. No direct ``logging.getLogger(...)`` calls outside ``obs/log.py`` --
    loggers must come from ``get_logger`` so every one of them lives in
    the dial-able ``repro.`` namespace.
+3. Files on the request path must keep their span evidence: each file
+   in ``SPAN_EVIDENCE`` has to reference the named tracing hooks
+   (``request_scope`` in the handlers, dispatch into the spanned
+   ``serve_one`` path in the event server, span shipping in the shard
+   layer).  A refactor that silently drops tracing from a request path
+   fails here instead of in production.
 
 Exit status 0 when clean, 1 with one line per violation otherwise.
 Usage: ``python scripts/lint_obs.py`` (from anywhere in the repo).
@@ -24,6 +30,14 @@ from pathlib import Path
 #: Files where the rules don't apply (relative to ``src/repro``).
 PRINT_ALLOWED = {"cli.py"}
 GETLOGGER_ALLOWED = {"obs/log.py"}
+
+#: Request-path files and the tracing hooks they must reference.
+SPAN_EVIDENCE = {
+    "nest/handlers.py": ("request_scope", "parse_trace_context"),
+    "nest/eventserver.py": ("step",),
+    "nest/shard.py": ("spans",),
+    "client/retry.py": ("maybe_span",),
+}
 
 
 def _violations(path: Path, rel: str) -> list[str]:
@@ -45,6 +59,16 @@ def _violations(path: Path, rel: str) -> list[str]:
             out.append(
                 f"{path}:{node.lineno}: naked logging.getLogger() -- use "
                 "repro.obs.log.get_logger() for the repro.* namespace")
+    required = SPAN_EVIDENCE.get(rel, ())
+    if required:
+        seen = {n.id for n in ast.walk(tree) if isinstance(n, ast.Name)}
+        seen |= {n.attr for n in ast.walk(tree)
+                 if isinstance(n, ast.Attribute)}
+        for token in required:
+            if token not in seen:
+                out.append(
+                    f"{path}: request path lost its tracing hook "
+                    f"{token!r} (spans must survive refactors)")
     return out
 
 

@@ -95,6 +95,9 @@ def _serve_shards(config, args: argparse.Namespace) -> int:
         print(f"  shard {worker.index}  pid {worker.pid:<7} "
               f"owns {worker.shard_root:<10} "
               f"direct http {host}:{worker.http_port}")
+    if group.mgmt is not None:
+        print(f"  fleet mgmt {group.mgmt.host}:{group.mgmt.port}  "
+              f"(/metrics /trace /slo /healthz, shard-merged)")
     print("\nCtrl-C to stop.")
     try:
         while True:
@@ -281,17 +284,15 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return _stats_demo()
 
 
-def _scrape(target: str, path: str) -> int:
-    """Fetch one management-endpoint document from a live appliance."""
+def _fetch(target: str, path: str) -> bytes:
+    """GET one management-endpoint document; raises OSError/ValueError."""
     import socket
 
     host, _, port = target.rpartition(":")
     try:
         portno = int(port)
     except ValueError:
-        print(f"stats: target must be host:port, got {target!r}",
-              file=sys.stderr)
-        return 2
+        raise ValueError(f"target must be host:port, got {target!r}")
     with socket.create_connection((host or "127.0.0.1", portno),
                                   timeout=5.0) as conn:
         conn.sendall(f"GET {path} HTTP/1.0\r\n\r\n".encode())
@@ -305,9 +306,65 @@ def _scrape(target: str, path: str) -> int:
     head, _, body = response.partition(b"\r\n\r\n")
     status = head.split(b"\r\n", 1)[0].decode("latin-1", "replace")
     if " 200 " not in f" {status} ":
-        print(f"stats: scrape failed: {status}", file=sys.stderr)
+        raise OSError(f"scrape failed: {status}")
+    return body
+
+
+def _scrape(target: str, path: str) -> int:
+    """Fetch one management-endpoint document from a live appliance."""
+    try:
+        body = _fetch(target, path)
+    except ValueError as exc:
+        print(f"stats: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"stats: {exc}", file=sys.stderr)
         return 1
     sys.stdout.write(body.decode("utf-8", "replace"))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace collect``: stitch one cross-node Chrome trace.
+
+    Scrapes ``/trace`` from every named management endpoint (each
+    appliance, shard parent, or replicator host involved in a
+    distributed operation), merges the documents -- deduplicating
+    spans shipped to more than one endpoint -- optionally filters to
+    one trace id, validates, and writes the result.
+    """
+    import json
+
+    from repro.obs.export_chrome import merge_chrome_traces, validate_trace
+
+    docs = []
+    for target in args.targets:
+        try:
+            docs.append(json.loads(_fetch(target, "/trace")))
+        except ValueError as exc:
+            print(f"trace: {exc}", file=sys.stderr)
+            return 2
+        except OSError as exc:
+            print(f"trace: {target}: {exc}", file=sys.stderr)
+            return 1
+    merged = merge_chrome_traces(docs, trace_id=args.trace_id)
+    problems = validate_trace(merged)
+    if problems:
+        for problem in problems[:10]:
+            print(f"trace: invalid merge: {problem}", file=sys.stderr)
+        return 1
+    spans = [e for e in merged["traceEvents"] if e.get("ph") == "X"]
+    pids = {e["pid"] for e in spans}
+    traces = {e.get("args", {}).get("trace_id") for e in spans}
+    body = json.dumps(merged, indent=1) + "\n"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(body)
+    else:
+        sys.stdout.write(body)
+    print(f"trace: {len(spans)} spans, {len(pids)} processes, "
+          f"{len(traces)} traces, from {len(docs)} endpoints",
+          file=sys.stderr)
     return 0
 
 
@@ -425,6 +482,25 @@ def build_parser() -> argparse.ArgumentParser:
                          help="LocalFSStore root backing the appliance "
                               "(empty: reconcile against an empty store)")
     recover.set_defaults(func=_cmd_recover)
+
+    trace = sub.add_parser(
+        "trace", help="distributed-trace tooling")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    collect = trace_sub.add_parser(
+        "collect",
+        help="scrape /trace from several endpoints and stitch one "
+             "cross-node Chrome trace")
+    collect.add_argument(
+        "targets", nargs="+", metavar="HOST:PORT",
+        help="management endpoints to scrape (appliances, shard "
+             "parents, replicator hosts)")
+    collect.add_argument(
+        "--trace-id", default=None,
+        help="keep only spans of this trace (default: every trace)")
+    collect.add_argument(
+        "-o", "--output", default=None,
+        help="write the merged document here (default: stdout)")
+    collect.set_defaults(func=_cmd_trace)
 
     stats = sub.add_parser(
         "stats", help="scrape a live appliance's telemetry (or demo it)")

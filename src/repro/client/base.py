@@ -25,6 +25,7 @@ from typing import BinaryIO, Callable, Optional, TypeVar
 from repro.client.errors import FatalError, TransientError, is_transient
 from repro.client.retry import RetryPolicy
 from repro.faults import FaultPlan
+from repro.obs.spans import current_trace_context
 
 T = TypeVar("T")
 
@@ -122,6 +123,19 @@ class SessionClient:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+    @staticmethod
+    def _inject_trace(request) -> None:
+        """Stamp the thread's active span onto an outgoing request.
+
+        Protocol encoders forward ``params["trace"]`` as the wire
+        trace-context field (Chirp tagged argument, HTTP header); when
+        nothing is being traced this is one thread-local read and no
+        wire bytes at all.
+        """
+        token = current_trace_context()
+        if token:
+            request.params["trace"] = token
 
     # -- retryable operations ----------------------------------------------
     def _op(self, label: str, fn: Callable[[], T], *,

@@ -61,6 +61,9 @@ class ChirpClient(SessionClient):
 
     # -- plumbing ----------------------------------------------------------
     def _round_trip(self, request: Request) -> list[str]:
+        # Every verb funnels through here, so this one injection point
+        # makes all Chirp traffic trace-carrying.
+        self._inject_trace(request)
         write_line(self.wfile, chirp.encode_request(request))
         response, args = chirp.decode_response(read_line(self.rfile))
         if not response.ok:

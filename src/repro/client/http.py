@@ -37,12 +37,16 @@ class HttpClient(SessionClient):
         if not resp.ok:
             raise HttpError(resp.status, resp.message)
 
+    def _send(self, request: Request) -> None:
+        """Inject the trace context and write one request head."""
+        self._inject_trace(request)
+        http.write_request(self.wfile, request)
+
     def get(self, path: str) -> bytes:
         """GET a whole file."""
 
         def do() -> bytes:
-            http.write_request(self.wfile,
-                               Request(rtype=RequestType.GET, path=path))
+            self._send(Request(rtype=RequestType.GET, path=path))
             resp, headers = http.read_response_head(self.rfile)
             self._check(resp)
             return read_exact(self.rfile,
@@ -54,9 +58,8 @@ class HttpClient(SessionClient):
         """PUT a whole file (idempotent: a replay overwrites)."""
 
         def do() -> None:
-            http.write_request(self.wfile,
-                               Request(rtype=RequestType.PUT, path=path,
-                                       length=len(data)))
+            self._send(Request(rtype=RequestType.PUT, path=path,
+                               length=len(data)))
             self.wfile.write(data)
             self.wfile.flush()
             resp, headers = http.read_response_head(self.rfile)
@@ -69,8 +72,7 @@ class HttpClient(SessionClient):
         """HEAD: size without the body."""
 
         def do() -> dict[str, Any]:
-            http.write_request(self.wfile,
-                               Request(rtype=RequestType.STAT, path=path))
+            self._send(Request(rtype=RequestType.STAT, path=path))
             resp, headers = http.read_response_head(self.rfile)
             self._check(resp)
             return {"size": int(headers.get("content-length", "0"))}
@@ -81,8 +83,7 @@ class HttpClient(SessionClient):
         """DELETE a file."""
 
         def do() -> None:
-            http.write_request(self.wfile,
-                               Request(rtype=RequestType.DELETE, path=path))
+            self._send(Request(rtype=RequestType.DELETE, path=path))
             resp, headers = http.read_response_head(self.rfile)
             self._check(resp)
             read_exact(self.rfile, int(headers.get("content-length", "0")))

@@ -122,7 +122,15 @@ class RetryPolicy:
         while attempts < self.max_attempts:
             attempts += 1
             try:
-                return attempt()
+                # Each try gets its own span (a sibling of previous
+                # tries, same trace) stamped with the attempt ordinal,
+                # and -- because the span is pushed while the attempt
+                # runs -- the wire trace context each attempt sends is
+                # distinct: a server-side trace shows exactly which
+                # attempt reached it.
+                with _spans.maybe_span("attempt", op=label,
+                                       attempt=attempts):
+                    return attempt()
             except BaseException as exc:  # noqa: BLE001 - reclassified below
                 if isinstance(exc, (KeyboardInterrupt, SystemExit)):
                     raise

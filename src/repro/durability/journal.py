@@ -107,6 +107,12 @@ class MetadataJournal:
             self._m_errors = registry.counter(
                 "journal_append_errors_total",
                 "Journal appends that failed (EIO, ENOSPC, closed file).")
+            registry.gauge_callback(
+                "journal_records_per_fsync",
+                lambda: (self.records_appended / self.fsync_count
+                         if self.fsync_count else 0.0),
+                "Fsync amortization: records made durable per fsync "
+                "(1.0 = no group-commit batching).")
 
     # ------------------------------------------------------------------
     # appending

@@ -23,6 +23,11 @@ class _Entry:
     expires_at: float
 
 
+def _slo_degraded(ad: ClassAd) -> bool:
+    """True when the appliance itself says its SLO budget is burning."""
+    return ad.eval("SloDegraded") is True
+
+
 class Collector:
     """A registry of advertisements with TTL expiry and matchmaking."""
 
@@ -77,9 +82,17 @@ class Collector:
             return entry.ad
 
     def query(self, request: ClassAd) -> list[ClassAd]:
-        """Matching ads, best-ranked (by the request's Rank) first."""
+        """Matching ads, best-ranked (by the request's Rank) first.
+
+        Appliances advertising ``SloDegraded = True`` (error budget
+        burning; see :mod:`repro.obs.slo`) still match -- they may be
+        the only copy -- but sort after every healthy appliance, so
+        matchmaking steers new load away from a struggling server
+        before it tips over.
+        """
         matches = [ad for ad in self._alive() if symmetric_match(request, ad)]
-        matches.sort(key=lambda ad: -match_rank(request, ad))
+        matches.sort(key=lambda ad: (_slo_degraded(ad),
+                                     -match_rank(request, ad)))
         return matches
 
     def locate(self, request: ClassAd) -> ClassAd | None:

@@ -181,16 +181,29 @@ class ServerModelSwitcher:
     re-evaluates on every accept).  ``throughput`` (MB/s) is sampled
     into ``last_signals`` for operator visibility alongside the
     decision inputs.
+
+    ``slo_degraded`` is an optional extra signal: when the appliance's
+    error budget is burning (see :mod:`repro.obs.slo`), the switcher
+    stops consulting per-request goodput and holds the events model --
+    the architecture that degrades most gracefully under pressure --
+    until the budget recovers.  ``registry`` and ``tracer`` are
+    likewise optional: when given, every flip increments
+    ``server_model_switch_total{to=...}`` and records an instant
+    ``server.model_switch`` span carrying the signal values that
+    triggered it, so a trace timeline shows *why* the server changed
+    architecture mid-run.
     """
 
     def __init__(self, connections, queue_depth=None, throughput=None,
                  high: int = 256, low: int = 32, interval: float = 0.25,
-                 models: Sequence[str] = (THREADS, EVENTS), clock=None):
+                 models: Sequence[str] = (THREADS, EVENTS), clock=None,
+                 slo_degraded=None, registry=None, tracer=None):
         import time as _time
 
         self.connections = connections
         self.queue_depth = queue_depth or (lambda: 0)
         self.throughput = throughput or (lambda: 0.0)
+        self.slo_degraded = slo_degraded or (lambda: False)
         self.high = high
         self.low = low
         self.interval = interval
@@ -200,6 +213,13 @@ class ServerModelSwitcher:
         self.flips = 0
         self.last_signals: dict[str, float] = {}
         self._last_eval: float | None = None
+        self.tracer = tracer
+        self._m_switches = None
+        if registry is not None:
+            self._m_switches = registry.counter(
+                "server_model_switch_total",
+                "Server concurrency-architecture switches, by new model.",
+                labelnames=("to",))
 
     def choose(self) -> str:
         """The architecture for the next accepted connection."""
@@ -210,12 +230,14 @@ class ServerModelSwitcher:
         self._last_eval = now
         conns = self.connections()
         depth = self.queue_depth()
+        degraded = bool(self.slo_degraded())
         self.last_signals = {
             "connections": conns,
             "queue_depth": depth,
             "throughput_mbps": self.throughput(),
+            "slo_degraded": degraded,
         }
-        if conns >= self.high or depth >= self.high:
+        if degraded or conns >= self.high or depth >= self.high:
             pick = EVENTS
         elif conns <= self.low:
             pick = self.selector.best_model()
@@ -224,7 +246,15 @@ class ServerModelSwitcher:
         if pick != self.model:
             self.flips += 1
             self.model = pick
+            self._observe_switch(pick)
         return self.model
+
+    def _observe_switch(self, to: str) -> None:
+        if self._m_switches is not None:
+            self._m_switches.inc(to=to)
+        if self.tracer is not None:
+            self.tracer.span("server.model_switch", to=to,
+                             **self.last_signals).end()
 
     def report(self, model: str, nbytes: int, elapsed: float) -> None:
         """Feed one completed request's service time back (the

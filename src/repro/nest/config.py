@@ -142,6 +142,20 @@ class NestConfig:
     #: advertised in the live-health ClassAd.
     health_window: float = 30.0
 
+    #: Evaluate service-level objectives (repro.obs.slo) against this
+    #: server's metrics: publishes slo_* gauges, serves /slo on the
+    #: management endpoint, and stamps SloDegraded into the ClassAd.
+    slo: bool = True
+
+    #: Burn-rate windows (seconds), fast first.  The paper-era
+    #: equivalent of "is the appliance meeting its contract *now* and
+    #: over the last stretch".
+    slo_windows: Sequence[float] = (60.0, 600.0)
+
+    #: Shard workers: seconds between telemetry snapshots shipped over
+    #: the control pipe to the parent for fleet-wide aggregation.
+    telemetry_interval: float = 0.5
+
     #: Directory for durable appliance state (metadata journal +
     #: compacted snapshots + restart epoch).  None runs memory-only,
     #: exactly as before durability existed.
@@ -207,5 +221,9 @@ class NestConfig:
             raise ValueError("span_limit must be >= 1")
         if self.health_window <= 0:
             raise ValueError("health_window must be > 0")
+        if not self.slo_windows or any(w <= 0 for w in self.slo_windows):
+            raise ValueError("slo_windows must be positive and non-empty")
+        if self.telemetry_interval <= 0:
+            raise ValueError("telemetry_interval must be > 0")
         if self.snapshot_every < 0:
             raise ValueError("snapshot_every must be >= 0")

@@ -134,15 +134,30 @@ class ConnectionHandler:
         return self.sock.fileno()
 
     @contextmanager
-    def request_scope(self, op: str, path: str = ""):
+    def request_scope(self, op: str, path: str = "",
+                      trace: tuple[str, str] | None = None):
         """Wrap one request: the busy flag, a ``request`` child span
         pushed onto this thread's trace stack (so storage/ACL/transfer
         layers attach their own children), and request metrics plus the
-        health feed on the way out."""
-        span = self.conn_span.child(
-            "request", op=op, protocol=self.protocol,
-            user_class=("anonymous" if self.user == "anonymous"
-                        else "authenticated"))
+        health feed on the way out.
+
+        With ``trace`` (a parsed wire trace context), the request span
+        *adopts* the caller's trace -- its id is the remote trace's and
+        its parent is the remote span -- so merged fleet documents show
+        one tree across processes.  The local connection trace id is
+        kept as an attribute for correlation.
+        """
+        user_class = ("anonymous" if self.user == "anonymous"
+                      else "authenticated")
+        if trace is not None:
+            span = self.server.obs.tracer.adopt(
+                "request", trace[0], trace[1], op=op,
+                protocol=self.protocol, user_class=user_class,
+                conn_trace=self.conn_span.trace_id)
+        else:
+            span = self.conn_span.child(
+                "request", op=op, protocol=self.protocol,
+                user_class=user_class)
         if path:
             span.set(path=path)
         self.busy = True
@@ -256,7 +271,9 @@ class ChirpHandler(ConnectionHandler):
             return True
         parse.end()
         request.user = self.user
-        with self.request_scope(request.rtype.value, request.path):
+        trace = _spans.parse_trace_context(request.params.get("trace"))
+        with self.request_scope(request.rtype.value, request.path,
+                                trace=trace):
             keep = self._handle(request)
         return keep
 
@@ -524,7 +541,11 @@ class HttpHandler(ConnectionHandler):
             return False
         request.user = self.user
         keep_alive = request.params.get("keep_alive", False)
-        with self.request_scope(request.rtype.value, request.path) as sp:
+        headers = request.params.get("headers", {})
+        trace = _spans.parse_trace_context(
+            headers.get(http.TRACE_HEADER.lower()))
+        with self.request_scope(request.rtype.value, request.path,
+                                trace=trace) as sp:
             try:
                 self._handle(request, keep_alive)
             except StorageError as exc:

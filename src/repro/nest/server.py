@@ -36,6 +36,7 @@ from repro.obs import Observability
 from repro.obs.log import get_logger
 from repro.obs.metrics import global_registry
 from repro.obs.mgmt import ManagementEndpoint
+from repro.obs.slo import SloEngine
 
 logger = get_logger(__name__)
 
@@ -184,6 +185,13 @@ class NestServer:
         self._eventloop: EventLoop | None = None
         self._switcher: ServerModelSwitcher | None = None
         reg = self.obs.registry
+        #: service-level objectives evaluated against this server's own
+        #: registry; publishes slo_* gauges, feeds /slo, the ClassAd's
+        #: SloDegraded attribute, and the adaptive switcher.
+        self.slo: SloEngine | None = None
+        if self.config.slo:
+            self.slo = SloEngine(registry=reg,
+                                 windows=tuple(self.config.slo_windows))
         if self.config.concurrency_server in ("events", "adaptive"):
             self._eventloop = EventLoop(
                 workers=self.config.event_workers,
@@ -196,6 +204,10 @@ class NestServer:
                 high=self.config.server_switch_high,
                 low=self.config.server_switch_low,
                 interval=self.config.server_switch_interval,
+                slo_degraded=(self.slo.degraded if self.slo is not None
+                              else None),
+                registry=reg,
+                tracer=self.obs.tracer,
             )
             reg.gauge_callback(
                 "nest_server_model_events",
@@ -303,6 +315,8 @@ class NestServer:
                 port=self._requested_ports.get("mgmt", 0),
                 service=self.config.name,
                 ad_attributes=self.obs.health_attributes,
+                slo=(self.slo.report if self.slo is not None else None),
+                refresh=(self.slo.evaluate if self.slo is not None else None),
             ).start()
             self.ports["mgmt"] = self.mgmt.port
         if self._collector is not None:
@@ -639,11 +653,17 @@ class NestServer:
 
     def advertisement(self) -> ClassAd:
         """Current resource/data availability as a ClassAd (§2.1),
-        merged with the live measured-performance health block."""
+        merged with the live measured-performance health block and the
+        SLO verdict (``SloDegraded``), so matchmakers can steer load
+        away from an appliance that is burning its error budget."""
+        health = self.obs.health_attributes()
+        if self.slo is not None:
+            self.slo.evaluate()
+            health.update(self.slo.attributes())
         return build_advertisement(
             self.config.name, self.storage, list(self.config.protocols),
             host=self.host, ports=self.ports,
-            health=self.obs.health_attributes(),
+            health=health,
         )
 
     def endpoint(self, proto: str) -> tuple[str, int]:

@@ -18,9 +18,18 @@ that don't care just use the shared port.
 
 The control plane is deliberately tiny: one pipe per worker carrying
 ``ready`` at boot, ``health`` request/reply dicts (pid, ports, live
-and total connections), and ``stop``.  Workers also treat a closed
-pipe as a stop order, so an orphaned worker shuts down instead of
-lingering when the parent dies.
+and total connections), ``stop``, and periodic unsolicited
+``telemetry`` messages -- each worker's MetricsRegistry snapshot plus
+its finished spans, shipped every ``telemetry_interval`` seconds.
+Workers also treat a closed pipe as a stop order, so an orphaned
+worker shuts down instead of lingering when the parent dies.
+
+The parent aggregates what the workers ship: a collector thread
+drains the pipes into a per-worker store, and (when the base config
+has ``management`` on) a :class:`repro.obs.fleet.FleetManagementEndpoint`
+serves the *merged* fleet view -- ``/metrics`` with counters summed
+and gauges labelled ``shard="N"``, ``/trace`` as one Chrome document
+with a process row per worker, ``/slo`` with each worker's verdict.
 """
 
 from __future__ import annotations
@@ -30,6 +39,7 @@ import multiprocessing
 import os
 import signal
 import socket
+import threading
 import time
 import zlib
 
@@ -37,6 +47,11 @@ from repro.nest.config import NestConfig
 from repro.obs.log import get_logger
 
 logger = get_logger(__name__)
+
+#: Parent-side bound on retained span records per worker; the dedupe
+#: store evicts oldest-first past this (workers re-ship their whole
+#: ring, so anything recent comes straight back).
+SPAN_STORE_LIMIT = 8192
 
 
 def shard_for(path: str, shards: int) -> int:
@@ -104,21 +119,25 @@ def _worker_main(index: int, config: NestConfig, host: str,
         return
     conn.send({"type": "ready", "index": index, "pid": os.getpid(),
                "ports": dict(server.ports), "shard_root": root})
+    interval = max(config.telemetry_interval, 0.05)
+    next_ship = time.monotonic() + interval
     try:
         while True:
-            if not conn.poll(0.2):
-                continue
-            msg = conn.recv()
-            if msg == "stop":
-                break
-            if msg == "health":
-                total = server.obs.registry.get("nest_connections_total")
-                conn.send({
-                    "type": "health", "index": index, "pid": os.getpid(),
-                    "shard_root": root, "ports": dict(server.ports),
-                    "active_connections": server.active_connections(),
-                    "connections_total": int(total.total()) if total else 0,
-                })
+            if conn.poll(0.2):
+                msg = conn.recv()
+                if msg == "stop":
+                    break
+                if msg == "health":
+                    total = server.obs.registry.get("nest_connections_total")
+                    conn.send({
+                        "type": "health", "index": index, "pid": os.getpid(),
+                        "shard_root": root, "ports": dict(server.ports),
+                        "active_connections": server.active_connections(),
+                        "connections_total": int(total.total()) if total else 0,
+                    })
+            if time.monotonic() >= next_ship:
+                _ship_telemetry(server, index, conn)
+                next_ship = time.monotonic() + interval
     except (EOFError, OSError):
         pass  # parent died: treat as a stop order
     finally:
@@ -128,6 +147,27 @@ def _worker_main(index: int, config: NestConfig, host: str,
         except (OSError, BrokenPipeError):
             pass
         conn.close()
+
+
+def _ship_telemetry(server, index: int, conn) -> None:
+    """One unsolicited telemetry push: SLO-refreshed metrics snapshot
+    plus the worker's whole finished-span ring (the parent dedupes by
+    span identity, so re-shipping is idempotent)."""
+    try:
+        if server.slo is not None:
+            server.slo.evaluate()
+        conn.send({
+            "type": "telemetry", "index": index,
+            "service": server.config.name, "pid": os.getpid(),
+            "metrics": server.obs.registry.snapshot(),
+            "spans": [s.to_dict() for s in server.obs.recorder.spans()],
+            "slo": (server.slo.report() if server.slo is not None else None),
+        })
+    except (OSError, BrokenPipeError):
+        raise  # pipe gone: the main loop treats this as a stop order
+    except Exception:  # noqa: BLE001 - telemetry must never kill a worker
+        logger.warning("shard %d: telemetry snapshot failed", index,
+                       exc_info=True)
 
 
 @dataclasses.dataclass
@@ -140,6 +180,9 @@ class ShardWorker:
     http_port: int
     pid: int = 0
     shard_root: str = ""
+    #: serialises pipe use between the telemetry collector thread and
+    #: request/reply callers (health, stop).
+    lock: threading.Lock = dataclasses.field(default_factory=threading.Lock)
 
 
 class ShardGroup:
@@ -157,6 +200,18 @@ class ShardGroup:
         self.chirp_port = chirp_port or _allocate_port(host)
         self.workers: list[ShardWorker] = []
         self._ctx = multiprocessing.get_context("spawn")
+        #: fleet telemetry aggregated from worker pushes, all guarded
+        #: by one lock: shard label -> metrics snapshot / (service,
+        #: pid) / span store (insertion-ordered dict for dedupe +
+        #: oldest-first eviction) / last SLO report.
+        self._telemetry_lock = threading.Lock()
+        self._worker_metrics: dict[str, dict] = {}
+        self._worker_meta: dict[str, tuple[str, int]] = {}
+        self._worker_spans: dict[str, dict[tuple, dict]] = {}
+        self._worker_slo: dict[str, dict] = {}
+        self._collector_stop = threading.Event()
+        self._collector_thread: threading.Thread | None = None
+        self.mgmt = None  # FleetManagementEndpoint when management is on
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -219,17 +274,45 @@ class ShardGroup:
             worker.pid = msg["pid"]
             worker.shard_root = msg["shard_root"]
             worker.http_port = msg["ports"].get("http", worker.http_port)
+        self._collector_stop.clear()
+        self._collector_thread = threading.Thread(
+            target=self._collect_loop, name="shard-telemetry", daemon=True)
+        self._collector_thread.start()
+        if self._base_config.management:
+            from repro.obs.fleet import FleetManagementEndpoint
+
+            self.mgmt = FleetManagementEndpoint(
+                snapshots=self.fleet_snapshots,
+                spans=self.fleet_spans,
+                health=self.health,
+                slo=self.fleet_slo,
+                host=self.host,
+                service=f"{self._base_config.name}-fleet",
+            ).start()
         logger.info("shard group up: %d workers on %s:%d",
                     self.shards, self.host, self.chirp_port)
         return self
 
     def stop(self, timeout: float = 10.0) -> None:
-        """Stop every worker: polite pipe order, then terminate."""
+        """Stop every worker: polite pipe order, then terminate.
+
+        The fleet endpoint and the telemetry collector go down first
+        (and are joined), so a stopped group leaks no threads -- the
+        drain-hygiene contract the single-process server keeps.
+        """
+        if self.mgmt is not None:
+            self.mgmt.stop()
+            self.mgmt = None
+        self._collector_stop.set()
+        if self._collector_thread is not None:
+            self._collector_thread.join(timeout=5.0)
+            self._collector_thread = None
         for worker in self.workers:
-            try:
-                worker.conn.send("stop")
-            except (OSError, BrokenPipeError):
-                pass
+            with worker.lock:
+                try:
+                    worker.conn.send("stop")
+                except (OSError, BrokenPipeError):
+                    pass
         deadline = time.monotonic() + timeout
         for worker in self.workers:
             worker.process.join(max(deadline - time.monotonic(), 0.1))
@@ -255,29 +338,96 @@ class ShardGroup:
     # ------------------------------------------------------------------
     def health(self, timeout: float = 5.0) -> list[dict]:
         """One health dict per worker (index, pid, ports, connection
-        counts); unresponsive workers report ``{"alive": False}``."""
-        for worker in self.workers:
-            try:
-                worker.conn.send("health")
-            except (OSError, BrokenPipeError):
-                pass
+        counts); unresponsive workers report ``{"alive": False}``.
+
+        Each worker's request/reply transaction runs under that
+        worker's pipe lock so it cannot interleave with the telemetry
+        collector; unsolicited telemetry messages read while waiting
+        for the reply are ingested, not dropped.
+        """
         reports = []
         deadline = time.monotonic() + timeout
         for worker in self.workers:
             report = {"index": worker.index, "alive": False,
                       "pid": worker.pid}
-            remaining = max(deadline - time.monotonic(), 0.05)
-            try:
-                while worker.conn.poll(remaining):
-                    msg = worker.conn.recv()
-                    if msg.get("type") == "health":
-                        report = dict(msg)
-                        report["alive"] = True
-                        break
-            except (EOFError, OSError):
-                pass
+            with worker.lock:
+                try:
+                    worker.conn.send("health")
+                    while True:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0 or not worker.conn.poll(
+                                max(remaining, 0.05)):
+                            break
+                        msg = worker.conn.recv()
+                        if self._ingest(msg):
+                            continue
+                        if isinstance(msg, dict) and msg.get("type") == "health":
+                            report = dict(msg)
+                            report["alive"] = True
+                            break
+                except (EOFError, OSError, BrokenPipeError):
+                    pass
             reports.append(report)
         return reports
+
+    # ------------------------------------------------------------------
+    # fleet telemetry
+    # ------------------------------------------------------------------
+    def _collect_loop(self) -> None:
+        """Drain unsolicited worker telemetry into the parent store."""
+        while not self._collector_stop.wait(0.05):
+            for worker in list(self.workers):
+                with worker.lock:
+                    try:
+                        while worker.conn.poll(0):
+                            self._ingest(worker.conn.recv())
+                    except (EOFError, OSError, BrokenPipeError):
+                        pass  # worker gone; stop() reaps it
+
+    def _ingest(self, msg) -> bool:
+        """Store one telemetry message; False if it was something else
+        (a reply someone is waiting for)."""
+        if not isinstance(msg, dict) or msg.get("type") != "telemetry":
+            return False
+        label = str(msg.get("index", "?"))
+        with self._telemetry_lock:
+            self._worker_metrics[label] = msg.get("metrics", {})
+            self._worker_meta[label] = (
+                str(msg.get("service", f"shard{label}")),
+                int(msg.get("pid", 0)))
+            if msg.get("slo"):
+                self._worker_slo[label] = msg["slo"]
+            store = self._worker_spans.setdefault(label, {})
+            for rec in msg.get("spans", ()):
+                key = (rec.get("trace_id"), rec.get("span_id"))
+                if key[0] is None or key[1] is None:
+                    continue
+                store[key] = rec
+            overflow = len(store) - SPAN_STORE_LIMIT
+            if overflow > 0:
+                for key in list(store)[:overflow]:
+                    del store[key]
+        return True
+
+    def fleet_snapshots(self) -> dict[str, dict]:
+        """Latest metrics snapshot per shard label (for merging)."""
+        with self._telemetry_lock:
+            return dict(self._worker_metrics)
+
+    def fleet_spans(self) -> dict[str, tuple[str, int, list[dict]]]:
+        """Per-shard ``(service, pid, span dicts)`` for the merged
+        Chrome trace (one process row per worker)."""
+        with self._telemetry_lock:
+            return {
+                label: (meta[0], meta[1],
+                        list(self._worker_spans.get(label, {}).values()))
+                for label, meta in self._worker_meta.items()
+            }
+
+    def fleet_slo(self) -> dict[str, dict]:
+        """Latest per-shard SLO report, keyed by shard label."""
+        with self._telemetry_lock:
+            return dict(self._worker_slo)
 
     def endpoint(self) -> tuple[str, int]:
         """(host, port) of the shared Chirp port."""

@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.obs.export_chrome import (
+    merge_chrome_traces,
     sim_trace_to_chrome,
     spans_to_chrome,
     validate_trace,
@@ -40,13 +41,18 @@ from repro.obs.metrics import (
     global_registry,
     reset_global_registry,
 )
+from repro.obs.slo import SloEngine, SloObjective, default_objectives
 from repro.obs.spans import (
     Span,
     SpanRecorder,
     Tracer,
     annotate,
     current_span,
+    current_trace_context,
+    format_trace_context,
     maybe_span,
+    parse_trace_context,
+    spans_from_dicts,
 )
 
 __all__ = [
@@ -56,18 +62,26 @@ __all__ = [
     "HealthMonitor",
     "MetricsRegistry",
     "Observability",
+    "SloEngine",
+    "SloObjective",
     "Span",
     "SpanRecorder",
     "Tracer",
     "annotate",
     "console",
     "current_span",
+    "current_trace_context",
+    "default_objectives",
+    "format_trace_context",
     "get_logger",
     "global_registry",
     "maybe_span",
+    "merge_chrome_traces",
+    "parse_trace_context",
     "render_prometheus",
     "reset_global_registry",
     "sim_trace_to_chrome",
+    "spans_from_dicts",
     "spans_to_chrome",
     "validate_trace",
     "write_trace",

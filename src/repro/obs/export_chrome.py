@@ -27,6 +27,7 @@ from typing import Any, Iterable
 from repro.obs.spans import Span, SpanRecorder
 
 __all__ = [
+    "merge_chrome_traces",
     "spans_to_chrome",
     "sim_trace_to_chrome",
     "validate_trace",
@@ -59,7 +60,14 @@ def _span_event(span: Span, pid: int, tid_of: dict[str, int]) -> dict:
 
 def spans_to_chrome(spans: Iterable[Span] | SpanRecorder,
                     service: str = "nest", pid: int = 1) -> dict:
-    """Convert finished spans into a Chrome trace document."""
+    """Convert finished spans into a Chrome trace document.
+
+    ``pid`` identifies the emitting process: single-process exports can
+    keep the default, but anything destined for a fleet merge must pass
+    a distinct pid per worker (the real OS pid works well) or the
+    merged document's rows collide.  The per-pid ``process_name``
+    metadata keeps each worker labeled in the merged view.
+    """
     if isinstance(spans, SpanRecorder):
         spans = spans.spans()
     tid_of: dict[str, int] = {}
@@ -75,6 +83,40 @@ def spans_to_chrome(spans: Iterable[Span] | SpanRecorder,
             "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
             "args": {"name": trace_id},
         })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def merge_chrome_traces(docs: Iterable[dict],
+                        trace_id: str | None = None) -> dict:
+    """Stitch per-process trace documents into one fleet document.
+
+    Each input doc must already carry its own distinct ``pid`` (see
+    :func:`spans_to_chrome`); merging concatenates their events,
+    dropping exact duplicates -- the same span scraped from two
+    endpoints, or shipped twice by the shard control plane -- keyed by
+    (pid, tid, ts, name, ph).  With ``trace_id`` given, span events of
+    other traces are filtered out while metadata rows survive, which is
+    how ``repro trace collect`` isolates one federated GET.
+    """
+    events: list[dict] = []
+    seen: set[tuple] = set()
+    for doc in docs:
+        if not isinstance(doc, dict):
+            continue
+        for ev in doc.get("traceEvents", []):
+            if not isinstance(ev, dict):
+                continue
+            if trace_id is not None and ev.get("ph") in ("X", "i"):
+                args = ev.get("args", {})
+                if not isinstance(args, dict) \
+                        or args.get("trace_id") != trace_id:
+                    continue
+            key = (ev.get("pid"), ev.get("tid"), ev.get("ts"),
+                   ev.get("name"), ev.get("ph"))
+            if key in seen:
+                continue
+            seen.add(key)
+            events.append(ev)
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
@@ -120,7 +162,9 @@ def validate_trace(doc: Any) -> list[str]:
 
     Returns a list of problems (empty = valid): the top-level shape,
     required per-event keys, known phases, numeric non-negative
-    timestamps, and JSON-serializability of ``args``.
+    timestamps, JSON-serializability of ``args``, and -- because a
+    botched fleet merge manifests exactly this way -- no two span/
+    instant events sharing the same (pid, tid, ts, name).
     """
     problems: list[str] = []
     if not isinstance(doc, dict):
@@ -128,6 +172,7 @@ def validate_trace(doc: Any) -> list[str]:
     events = doc.get("traceEvents")
     if not isinstance(events, list):
         return ["traceEvents must be a list"]
+    seen: set[tuple] = set()
     for i, ev in enumerate(events):
         where = f"traceEvents[{i}]"
         if not isinstance(ev, dict):
@@ -154,6 +199,13 @@ def validate_trace(doc: Any) -> list[str]:
         args = ev.get("args", {})
         if not isinstance(args, dict):
             problems.append(f"{where}: args must be an object")
+        if ph in ("X", "i"):
+            key = (ev.get("pid"), ev.get("tid"), ev.get("ts"),
+                   ev.get("name"))
+            if key in seen:
+                problems.append(
+                    f"{where}: duplicate event (pid, tid, ts, name)={key}")
+            seen.add(key)
     try:
         json.dumps(doc)
     except (TypeError, ValueError) as exc:

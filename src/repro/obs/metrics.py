@@ -278,15 +278,25 @@ class MetricsRegistry:
             return list(self._metrics.values())
 
     def snapshot(self) -> dict[str, dict[str, Any]]:
-        """Every metric's series as plain data, one point in time."""
+        """Every metric's series as plain data, one point in time.
+
+        The dict is picklable and self-describing (kind, label schema,
+        help text, histogram bucket bounds), so shard workers can ship
+        it over the control pipe and the parent can merge and re-render
+        it without access to the live metric objects.
+        """
         out: dict[str, dict[str, Any]] = {}
         for metric in self.metrics():
-            out[metric.name] = {
+            entry: dict[str, Any] = {
                 "kind": metric.kind,
                 "labels": metric.labelnames,
+                "help": metric.help,
                 "series": {",".join(k) if k else "": v
                            for k, v in metric.series().items()},
             }
+            if isinstance(metric, Histogram):
+                entry["buckets"] = list(metric.buckets)
+            out[metric.name] = entry
         return out
 
     def unregister(self, name: str) -> None:

@@ -22,6 +22,7 @@ thread -- the endpoint never leaks.
 from __future__ import annotations
 
 import json
+import os
 import socket
 import threading
 
@@ -45,7 +46,7 @@ class ManagementEndpoint:
                  recorder: SpanRecorder | None = None,
                  host: str = "127.0.0.1", port: int = 0,
                  service: str = "nest",
-                 ad_attributes=None):
+                 ad_attributes=None, slo=None, refresh=None):
         self.registry = registry
         self.health = health
         self.recorder = recorder
@@ -55,6 +56,11 @@ class ManagementEndpoint:
         self.port: int | None = None
         #: optional callable returning the live-health ClassAd attrs.
         self.ad_attributes = ad_attributes
+        #: optional callable returning the SLO report document.
+        self.slo = slo
+        #: optional hook run before /metrics and /slo scrapes, so
+        #: derived gauges (the SLO engine's) are fresh at read time.
+        self.refresh = refresh
         self._listener: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
         self._running = False
@@ -155,9 +161,18 @@ class ManagementEndpoint:
             with self._conn_lock:
                 self._threads.pop(thread, None)
 
+    def _refresh(self) -> None:
+        if self.refresh is None:
+            return
+        try:
+            self.refresh()
+        except Exception:  # noqa: BLE001 - a broken probe must not 500
+            logger.exception("management refresh hook failed")
+
     def _respond(self, path: str) -> tuple[str, str, bytes]:
         path = path.split("?", 1)[0]
         if path == "/metrics":
+            self._refresh()
             body = render_prometheus(self.registry).encode()
             return "200 OK", "text/plain; version=0.0.4", body
         if path == "/healthz":
@@ -166,9 +181,18 @@ class ManagementEndpoint:
                 doc, sort_keys=True).encode()
         if path == "/trace":
             recorder = self.recorder
-            doc = spans_to_chrome(recorder, service=self.service) \
+            # The real OS pid keeps this document mergeable with other
+            # workers' documents (distinct pid per process row).
+            doc = spans_to_chrome(recorder, service=self.service,
+                                  pid=os.getpid()) \
                 if recorder else {"traceEvents": []}
             return "200 OK", "application/json", json.dumps(doc).encode()
+        if path == "/slo":
+            if self.slo is None:
+                return "404 Not Found", "text/plain", b"no slo engine\n"
+            self._refresh()
+            return "200 OK", "application/json", json.dumps(
+                self.slo(), sort_keys=True).encode()
         if path == "/ad":
             attrs = self.ad_attributes() if self.ad_attributes else {}
             return "200 OK", "application/json", json.dumps(
@@ -176,5 +200,5 @@ class ManagementEndpoint:
         if path == "/":
             return ("200 OK", "text/plain",
                     b"repro management endpoint\n"
-                    b"/metrics /healthz /trace /ad\n")
+                    b"/metrics /healthz /trace /ad /slo\n")
         return "404 Not Found", "text/plain", b"not found\n"

@@ -24,9 +24,10 @@ management endpoint and the Chrome trace exporter read from there.
 from __future__ import annotations
 
 import itertools
+import re
 import threading
 import time
-from typing import Any, Optional
+from typing import Any, Iterable, Optional
 
 __all__ = [
     "Span",
@@ -34,7 +35,11 @@ __all__ = [
     "Tracer",
     "annotate",
     "current_span",
+    "current_trace_context",
+    "format_trace_context",
     "maybe_span",
+    "parse_trace_context",
+    "spans_from_dicts",
 ]
 
 
@@ -291,3 +296,87 @@ class Tracer:
         if parent is not None:
             return parent.child(name, **attrs)
         return self.start_trace(name, **attrs)
+
+    def adopt(self, name: str, trace_id: str, parent_span_id: str,
+              **attrs: Any) -> Span:
+        """A span continuing a trace started in *another* process.
+
+        The remote caller's span becomes the parent: the trace_id is
+        theirs, the span id is freshly minted here, and the resulting
+        tree stitches across the wire when traces from both processes
+        are merged.
+        """
+        return Span(trace_id, _next_span_id(), name,
+                    parent_id=parent_span_id, recorder=self.recorder,
+                    attributes=attrs)
+
+
+# ----------------------------------------------------------------------
+# wire-format trace context
+# ----------------------------------------------------------------------
+#: The one serialized form of a trace context: ``<trace_id>:<span_id>``.
+#: Chirp carries it as a tagged trailing argument (``tc=<token>``) and
+#: HTTP as the ``X-Repro-Trace`` header.  The grammar is deliberately
+#: tight so a garbled or foreign token is ignored rather than adopted.
+_TRACE_CONTEXT_RE = re.compile(
+    r"^(?P<trace>[A-Za-z0-9][A-Za-z0-9._-]{0,127})"
+    r":(?P<span>[A-Za-z0-9]{1,32})$")
+
+
+def format_trace_context(span: Span) -> str:
+    """Serialize ``span`` as the wire trace-context token."""
+    return f"{span.trace_id}:{span.span_id}"
+
+
+def parse_trace_context(token: Any) -> tuple[str, str] | None:
+    """Parse a wire token into ``(trace_id, parent_span_id)``.
+
+    Returns None for anything malformed -- old peers, proxies, or
+    hand-typed requests must degrade to an untraced request, never to
+    an error.
+    """
+    if not isinstance(token, str):
+        return None
+    match = _TRACE_CONTEXT_RE.match(token)
+    if match is None:
+        return None
+    return match.group("trace"), match.group("span")
+
+
+def current_trace_context() -> str | None:
+    """The active span's wire token, or None when nothing is traced.
+
+    Protocol clients call this right before serializing a request; the
+    one thread-local read keeps untraced hot paths free of overhead.
+    """
+    span = current_span()
+    if span is None:
+        return None
+    return format_trace_context(span)
+
+
+def spans_from_dicts(records: Iterable[dict]) -> list[Span]:
+    """Rebuild :class:`Span` objects from :meth:`Span.to_dict` records.
+
+    The shard control plane ships spans between processes as plain
+    dicts (picklable, version-tolerant); the parent rebuilds them here
+    so the merged-trace exporter can treat local and shipped spans
+    uniformly.  Unfinished or malformed records are skipped.
+    """
+    spans: list[Span] = []
+    for rec in records:
+        if not isinstance(rec, dict):
+            continue
+        trace_id = rec.get("trace_id")
+        span_id = rec.get("span_id")
+        duration = rec.get("duration")
+        if not trace_id or not span_id or duration is None:
+            continue
+        span = Span(str(trace_id), str(span_id), str(rec.get("name", "?")),
+                    parent_id=rec.get("parent_id"),
+                    attributes=rec.get("attributes") or {})
+        span.start = float(rec.get("start", 0.0))
+        span.duration = float(duration)
+        span.status = str(rec.get("status", "ok"))
+        spans.append(span)
+    return spans

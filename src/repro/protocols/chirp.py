@@ -15,6 +15,14 @@ Wire grammar::
 ``get`` replies ``ok <size>`` then streams ``size`` bytes; ``put
 <path> <size>`` replies ``ok`` (go ahead), the client streams ``size``
 bytes, and the server confirms with a final ``ok``.
+
+**Trace context.**  A request line may end with one tagged argument
+``tc=<trace_id>:<span_id>`` carrying the caller's distributed trace
+context.  The tag is stripped before positional parsing, so servers
+that understand it adopt the caller's span as the request parent and
+everything else ignores it: a traced request to an old server is just
+a request with one extra trailing argument (harmless to every
+fixed-arity verb), and an untraced request parses exactly as before.
 """
 
 from __future__ import annotations
@@ -74,6 +82,26 @@ def decode_args(text: str) -> list[str]:
     return [unquote(part) for part in text.split(" ") if part]
 
 
+#: Tag prefixing the optional trailing trace-context argument.
+TRACE_TAG = "tc="
+
+
+def _strip_trace(args: list[str]) -> tuple[list[str], str | None]:
+    """Split off a trailing ``tc=<token>`` argument, if present.
+
+    Only the *last* argument is considered and only when it parses as
+    a well-formed trace context, so a path or ACL subject that happens
+    to start with ``tc=`` still reaches the positional parser intact.
+    """
+    if args and args[-1].startswith(TRACE_TAG):
+        from repro.obs.spans import parse_trace_context
+
+        token = args[-1][len(TRACE_TAG):]
+        if parse_trace_context(token) is not None:
+            return args[:-1], token
+    return args, None
+
+
 def encode_request(req: Request) -> str:
     """Render a :class:`Request` as one Chirp command line."""
     verb = _TYPE_TO_VERB.get(req.rtype)
@@ -115,6 +143,9 @@ def encode_request(req: Request) -> str:
         args = [str(req.params.get("mechanism", "gsi"))]
     elif req.rtype is RequestType.QUIT:
         args = []
+    trace = req.params.get("trace")
+    if trace:
+        args = [*args, f"{TRACE_TAG}{trace}"]
     return verb if not args else f"{verb} {encode_args(args)}"
 
 
@@ -126,7 +157,10 @@ def decode_request(line: str) -> Request:
     if rtype is None:
         raise ProtocolError(f"unknown chirp verb {verb!r}")
     args = decode_args(parts[1]) if len(parts) > 1 else []
+    args, trace = _strip_trace(args)
     req = Request(rtype=rtype, protocol="chirp")
+    if trace is not None:
+        req.params["trace"] = trace
     try:
         if rtype in (RequestType.GET, RequestType.STAT, RequestType.LIST,
                      RequestType.MKDIR, RequestType.RMDIR, RequestType.DELETE,

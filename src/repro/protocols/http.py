@@ -7,6 +7,11 @@ makes byte-based stride accounting necessary (paper, section 4.2).
 
 Only anonymous access is allowed over HTTP (paper, section 3: GSI is
 available only for Chirp and GridFTP).
+
+**Trace context.**  Clients may send an ``X-Repro-Trace:
+<trace_id>:<span_id>`` header; a server that understands it adopts the
+caller's span as the request parent, and any other server ignores the
+unknown header -- both directions stay wire-compatible.
 """
 
 from __future__ import annotations
@@ -24,6 +29,9 @@ from repro.protocols.common import (
 
 #: Default TCP port for HTTP in this reproduction.
 DEFAULT_PORT = 9080
+
+#: Header carrying the distributed trace context.
+TRACE_HEADER = "X-Repro-Trace"
 
 _STATUS_LINE = {
     Status.OK: (200, "OK"),
@@ -104,18 +112,22 @@ def read_headers(stream: BinaryIO) -> dict[str, str]:
 def write_request(stream: BinaryIO, req: Request) -> None:
     """Serialize a request head (client side)."""
     if req.rtype is RequestType.GET:
-        head = f"GET {req.path} HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"
+        method = "GET"
     elif req.rtype is RequestType.STAT:
-        head = f"HEAD {req.path} HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"
+        method = "HEAD"
     elif req.rtype is RequestType.PUT:
-        head = (
-            f"PUT {req.path} HTTP/1.0\r\nConnection: keep-alive\r\n"
-            f"Content-Length: {req.length}\r\n\r\n"
-        )
+        method = "PUT"
     elif req.rtype is RequestType.DELETE:
-        head = f"DELETE {req.path} HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"
+        method = "DELETE"
     else:
         raise ProtocolError(f"http cannot carry request type {req.rtype}")
+    lines = [f"{method} {req.path} HTTP/1.0", "Connection: keep-alive"]
+    if req.rtype is RequestType.PUT:
+        lines.append(f"Content-Length: {req.length}")
+    trace = req.params.get("trace")
+    if trace:
+        lines.append(f"{TRACE_HEADER}: {trace}")
+    head = "\r\n".join(lines) + "\r\n\r\n"
     stream.write(head.encode("latin-1"))
     stream.flush()
 

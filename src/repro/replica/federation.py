@@ -119,9 +119,15 @@ class FederatedClient:
     def read(self, logical: str) -> bytes:
         """Fetch a logical file from the fastest live replica, failing
         over on transient faults.  Each fetched copy is verified
-        against the catalog's CRC32 before being returned."""
-        span = self.obs.tracer.start_trace("federated.read", logical=logical)
-        try:
+        against the catalog's CRC32 before being returned.
+
+        The read runs inside a pushed span (a child of whatever the
+        caller is tracing, or a fresh trace), so the per-site protocol
+        clients inject its context onto the wire and the serving
+        appliance's request span joins the same distributed trace.
+        """
+        span = self.obs.tracer.span("federated.read", logical=logical)
+        with span:
             checksums = {r.site: r.checksum
                          for r in self.catalog.valid_locations(logical)}
             sites = self.resolve(logical)
@@ -149,14 +155,11 @@ class FederatedClient:
                     span.add("corrupt")
                     continue
                 self._m_reads.inc(outcome="ok")
-                span.set(site=site, nbytes=len(data)).end("ok")
+                span.set(site=site, nbytes=len(data))
                 return data
             self._m_reads.inc(outcome="error")
             raise ReplicationError(
                 f"every replica of {logical!r} failed: {'; '.join(errors)}")
-        except BaseException:
-            span.end("error")
-            raise
 
     # -- writes --------------------------------------------------------------
     def write(self, logical: str, data: bytes,

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import re
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -114,6 +115,13 @@ class Replicator:
         self._m_copy_bytes = reg.counter(
             "replica_copy_bytes_total",
             "Bytes moved appliance-to-appliance by the replicator.")
+        # Repair lag feeds the replica-repair SLO objective: how stale
+        # is the last completed repair pass.
+        self._last_repair = time.time()
+        reg.gauge_callback(
+            "replica_repair_lag_seconds",
+            lambda: time.time() - self._last_repair,
+            "Seconds since the last completed repair pass.")
 
     # -- naming --------------------------------------------------------------
     def path_for(self, logical: str) -> str:
@@ -161,9 +169,12 @@ class Replicator:
         appliance is still up.
         """
         path = self.path_for(logical)
-        span = self.obs.tracer.start_trace(
+        # A pushed span (child of the caller's trace, if any): the
+        # chirp sessions below inject its context, so the primary PUT
+        # and checksum land in the same distributed trace.
+        span = self.obs.tracer.span(
             "replica.store", logical=logical, nbytes=len(data))
-        try:
+        with span:
             candidates = self.policy.place(
                 self.collector, len(data), self.target_count,
                 exclude=self.catalog.sites(logical))
@@ -196,8 +207,6 @@ class Replicator:
                                     checksum=sum_["crc32"], size=sum_["size"])
             span.set(primary=primary.name)
             return self.replicate(logical)
-        finally:
-            span.end()
 
     # -- replication ---------------------------------------------------------
     def replicate(self, logical: str, k: int | None = None) -> list[CopyReport]:
@@ -212,9 +221,9 @@ class Replicator:
         need = want - len(valid)
         if need <= 0:
             return []
-        span = self.obs.tracer.start_trace(
+        span = self.obs.tracer.span(
             "replica.replicate", logical=logical, need=need)
-        try:
+        with span:
             source = self._pick_source(logical, valid)
             size = max((r.size for r in valid), default=0)
             # Ask placement to order *every* candidate, then walk the
@@ -251,8 +260,6 @@ class Replicator:
             span.set(copies=len(reports),
                      ok=sum(1 for r in reports if r.ok))
             return reports
-        finally:
-            span.end()
 
     def _pick_source(self, logical: str, valid) -> SiteInfo:
         """The fastest live site holding a valid copy."""
@@ -281,20 +288,26 @@ class Replicator:
                 third_party_transfer(src, path, dst, path)
 
         try:
-            self._prepare_site(site)
-            self.retry.call(attempt, idempotent=True,
-                            label=f"replicate {logical} -> {site.name}")
-            want = self._checksum_on(source, path)
-            got = self._checksum_on(site, path)
-            if got != want:
-                raise ReplicationError(
-                    f"checksum mismatch on {site.name}: "
-                    f"{got} != {want}")
-            self.catalog.mark_valid(logical, site.name,
-                                    checksum=got["crc32"], size=got["size"])
-            self._m_copies.inc(outcome="ok")
-            self._m_copy_bytes.inc(got["size"])
-            child.set(nbytes=got["size"]).end("ok")
+            # The copy runs in its own worker thread; pushing the child
+            # span here makes the control sessions (GridFTP third-party
+            # setup, Chirp checksums on both ends) carry this trace's
+            # context to every party of the three-way transfer.
+            with child:
+                self._prepare_site(site)
+                self.retry.call(attempt, idempotent=True,
+                                label=f"replicate {logical} -> {site.name}")
+                want = self._checksum_on(source, path)
+                got = self._checksum_on(site, path)
+                if got != want:
+                    raise ReplicationError(
+                        f"checksum mismatch on {site.name}: "
+                        f"{got} != {want}")
+                self.catalog.mark_valid(logical, site.name,
+                                        checksum=got["crc32"],
+                                        size=got["size"])
+                self._m_copies.inc(outcome="ok")
+                self._m_copy_bytes.inc(got["size"])
+                child.set(nbytes=got["size"])
             return CopyReport(logical=logical, source=source.name,
                               target=site.name, ok=True, nbytes=got["size"])
         except (ClientError, ReplicationError, OSError, KeyError) as exc:
@@ -357,6 +370,7 @@ class Replicator:
                 report.unrecoverable.append(logical)
         healed = report.dropped or report.healed or report.recovered
         self._m_repairs.inc(outcome="healed" if healed else "idle")
+        self._last_repair = time.time()
         if report.dead_sites:
             logger.info("repair: dead=%s dropped=%d healed=%d",
                         report.dead_sites, report.dropped, report.healed)

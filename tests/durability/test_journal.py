@@ -132,6 +132,23 @@ def test_fsync_metrics_published(journal_path):
     assert hist is not None
 
 
+def test_fsync_amortization_gauge(journal_path):
+    # journal_records_per_fsync is the group-commit payoff in one
+    # number: records made durable per fsync, 1.0 when every append
+    # pays its own disk flush.
+    reg = MetricsRegistry()
+    j = MetadataJournal(journal_path, registry=reg)
+    snap = reg.snapshot()
+    assert snap["journal_records_per_fsync"]["series"][""] == 0.0
+    for i in range(3):
+        j.append("mkdir", {"path": f"/d{i}"})
+    snap = reg.snapshot()
+    ratio = snap["journal_records_per_fsync"]["series"][""]
+    assert ratio == pytest.approx(j.records_appended / j.fsync_count)
+    assert ratio >= 1.0
+    j.close()
+
+
 def test_snapshot_atomic_save_load(tmp_path):
     store = SnapshotStore(str(tmp_path / "snap.json"))
     assert store.load() == (None, 0)

@@ -88,6 +88,24 @@ class TestCollector:
         c.advertise(storage_ad("nfs-less", 10**9, protocols=("http",)))
         assert c.locate(storage_request_ad(1, protocol="nfs")) is None
 
+    def test_slo_degraded_ads_rank_last_but_still_match(self):
+        # An appliance burning its error budget advertises
+        # SloDegraded=true; the matchmaker demotes it below every
+        # healthy candidate (whatever its rank) without excluding it
+        # -- a degraded replica may still be the only copy.
+        c = Collector()
+        burning = storage_ad("burning", 1_000_000)
+        burning["SloDegraded"] = True
+        c.advertise(burning)
+        c.advertise(storage_ad("healthy", 10_000))
+        names = [str(ad.eval("Name"))
+                 for ad in c.query(storage_request_ad(1_000))]
+        assert names == ["healthy", "burning"]
+        # Alone, the degraded site still serves.
+        c.withdraw("healthy")
+        assert str(c.locate(storage_request_ad(1_000)).eval("Name")) \
+            == "burning"
+
 
 class TestTtlAndNames:
     """TTL expiry and the liveness helpers, under an injected clock."""

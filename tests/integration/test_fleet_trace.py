@@ -1,0 +1,193 @@
+"""Acceptance: one distributed trace across the whole deployment.
+
+The ISSUE-8 scenario end to end: a federation of live appliances plus
+a two-shard (multi-process) NeST, a replicator-sourced copy fanned out
+site-to-site, and a federated GET served by a shard worker -- all under
+one client root span.  Stitching the client's, the sites', and the
+shard parent's trace documents must yield ONE valid Chrome trace whose
+single trace id spans at least three distinct processes, while the
+shard parent's fleet ``/metrics`` shows shard-aggregated counters and
+the SLO gauges.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.request
+import zlib
+
+import pytest
+
+from repro.classads import ClassAd
+from repro.classads.parser import parse_expression
+from repro.client.http import HttpClient
+from repro.nest.config import NestConfig
+from repro.nest.shard import ShardGroup, shard_root
+from repro.obs.export_chrome import (
+    merge_chrome_traces,
+    spans_to_chrome,
+    validate_trace,
+)
+from repro.obs.fleet import merge_fleet_trace
+from repro.obs.spans import SpanRecorder, Tracer
+from repro.replica.catalog import ReplicaCatalog
+from repro.replica.federation import FederatedClient
+from repro.replica.fleet import Fleet
+from repro.replica.placement import make_policy
+from repro.replica.replicator import Replicator
+
+pytestmark = pytest.mark.timeout(180)
+
+LOGICAL = "trace.bin"
+PAYLOAD = b"one trace to bind them" * 700
+
+
+def _shard_site_ad(name: str, host: str, http_port: int,
+                   chirp_port: int) -> ClassAd:
+    """A hand-built availability ad for the shard group.
+
+    The shard parent is not a NestServer, so it cannot call
+    ``build_advertisement``; the ad points the federation's data
+    protocol at worker 0's *direct* HTTP port (the shared Chirp port
+    load-balances across workers, which would lose shard addressing).
+    An absurd ThroughputMBps makes the ranked read hit the shards
+    first.
+    """
+    ad = ClassAd({
+        "Type": "Storage",
+        "Name": name,
+        "Host": host,
+        "Protocols": ["chirp", "http"],
+        "GrantableSpace": 1 << 30,
+        "ThroughputMBps": 1_000_000.0,
+        "HttpPort": http_port,
+        "ChirpPort": chirp_port,
+    })
+    ad["Requirements"] = parse_expression(
+        'other.Type == "Request" && other.RequestedSpace <= my.GrantableSpace')
+    return ad
+
+
+@pytest.fixture
+def deployment():
+    """Two federated appliances + a live two-shard group, one collector."""
+    fleet = Fleet(sites=2, name_prefix="site", ad_ttl=10.0,
+                  readvertise_interval=0.25)
+    shard_config = NestConfig(name="shardsite", protocols=("chirp", "http"),
+                              telemetry_interval=0.1)
+    with fleet, ShardGroup(2, config=shard_config) as group:
+        yield fleet, group
+
+
+def _await(predicate, timeout=10.0, interval=0.1):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(interval)
+    return predicate()
+
+
+def test_one_merged_trace_across_the_deployment(deployment, tmp_path):
+    fleet, group = deployment
+    prefix = shard_root(0)  # world-writable on worker 0: shared replica dir
+    catalog = ReplicaCatalog(collector=fleet.collector)
+    replicator = Replicator(
+        catalog, fleet.collector, fleet.credential,
+        policy=make_policy("throughput"), target_count=2, prefix=prefix)
+    # Anonymous federated client over HTTP: the shard workers trust no
+    # grid CA, and the replica prefix is world-readable everywhere.
+    client = FederatedClient(catalog, fleet.collector, replicator,
+                             credential=None, data_protocol="http")
+
+    recorder = SpanRecorder()
+    root = Tracer(recorder=recorder, service="acceptance").start_trace("job")
+    path = replicator.path_for(LOGICAL)
+    with root, client:
+        # 1. Replicator-sourced copies: primary PUT to the best fleet
+        #    site, then a site-to-site third-party copy.
+        reports = replicator.store(LOGICAL, PAYLOAD)
+        assert all(r.ok for r in reports)
+        assert sorted(r.site for r in
+                      catalog.valid_locations(LOGICAL)) == fleet.names()
+
+        # 2. Hand-place a shard copy, then advertise the shard group
+        #    as a (fastest) federation site.  Advertising only now
+        #    keeps the replicator's placement off the shard workers.
+        host, http_port = group.direct_http_endpoint(0)
+        with HttpClient(host, http_port) as direct:
+            direct.put(path, PAYLOAD)
+        catalog.register(LOGICAL, "shard-site", path, size=len(PAYLOAD))
+        catalog.mark_valid(LOGICAL, "shard-site",
+                           checksum=zlib.crc32(PAYLOAD) & 0xFFFFFFFF,
+                           size=len(PAYLOAD))
+        fleet.collector.advertise(
+            _shard_site_ad("shard-site", host, http_port,
+                           group.endpoint()[1]),
+            ttl=60.0)
+
+        # 3. The federated GET: ranked by ThroughputMBps, it must be
+        #    served by shard worker 0.
+        assert client.resolve(LOGICAL)[0] == "shard-site"
+        assert client.read(LOGICAL) == PAYLOAD
+
+    # The worker's request spans travel pipe -> parent telemetry store.
+    assert _await(lambda: [s for _, _, spans in group.fleet_spans().values()
+                           for s in spans
+                           if s.get("trace_id") == root.trace_id]), \
+        "shard worker spans never reached the parent"
+
+    # -- stitch: client + federation + each site + the shard parent ---------
+    docs = [
+        spans_to_chrome(recorder, service="acceptance", pid=1),
+        spans_to_chrome(replicator.obs.recorder, service="federation", pid=2),
+        merge_fleet_trace(group.fleet_spans()),
+    ]
+    for offset, name in enumerate(fleet.names()):
+        docs.append(spans_to_chrome(fleet.server(name).obs.recorder,
+                                    service=name, pid=11 + offset))
+    merged = merge_chrome_traces(docs)
+    assert validate_trace(merged) == []
+
+    events = [e for e in merged["traceEvents"] if e.get("ph") == "X"]
+    traced_pids = {e["pid"] for e in events
+                   if e.get("args", {}).get("trace_id") == root.trace_id}
+    # One trace id across client, federation machinery, both fleet
+    # sites (primary PUT + third-party copy), and a shard worker.
+    assert len(traced_pids) >= 3, f"trace only spans {traced_pids}"
+    worker_pids = {w.pid for w in group.workers}
+    assert traced_pids & worker_pids, "no shard worker joined the trace"
+    assert {11, 12} <= traced_pids, "a fleet site dropped out of the trace"
+
+    # -- the shard parent's merged /metrics ---------------------------------
+    base = f"http://{group.mgmt.host}:{group.mgmt.port}"
+
+    def scrape():
+        text = urllib.request.urlopen(base + "/metrics").read().decode()
+        wanted = ('shard="0"', 'shard="1"', "nest_requests_total",
+                  "slo_error_budget_remaining")
+        return text if all(n in text for n in wanted) else ""
+
+    metrics = _await(scrape)
+    assert 'shard="0"' in metrics and 'shard="1"' in metrics
+    assert "nest_requests_total" in metrics
+    assert "slo_error_budget_remaining" in metrics
+
+    # -- the operator path: `repro trace collect` over live endpoints -------
+    from repro.cli import main as cli_main
+
+    targets = [f"{group.mgmt.host}:{group.mgmt.port}"]
+    for name in fleet.names():
+        server = fleet.server(name)
+        targets.append(f"{server.mgmt.host}:{server.ports['mgmt']}")
+    out = tmp_path / "trace.json"
+    rc = cli_main(["trace", "collect", *targets,
+                   "--trace-id", root.trace_id, "-o", str(out)])
+    assert rc == 0
+    doc = json.loads(out.read_text())
+    assert validate_trace(doc) == []
+    collected = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+    assert collected
+    assert {e["args"]["trace_id"] for e in collected} == {root.trace_id}

@@ -194,6 +194,44 @@ class TestServerModelSwitcher:
         sw.choose()
         assert reads["n"] == 2
 
+    def test_slo_degradation_forces_the_event_model(self):
+        degraded = {"v": False}
+        sw = ServerModelSwitcher(connections=lambda: 1,
+                                 slo_degraded=lambda: degraded["v"],
+                                 high=10, low=2, interval=0.0)
+        assert sw.choose() == THREADS
+        degraded["v"] = True  # burn rate blew the budget: shed threads
+        assert sw.choose() == EVENTS
+        assert sw.last_signals["slo_degraded"] is True
+        degraded["v"] = False
+        conns_low = sw.choose()  # connections=1 <= low: recover
+        assert conns_low == THREADS
+
+    def test_every_flip_counts_and_emits_a_span(self):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.spans import SpanRecorder, Tracer
+
+        registry = MetricsRegistry()
+        recorder = SpanRecorder()
+        conns = {"n": 0}
+        sw = ServerModelSwitcher(
+            connections=lambda: conns["n"], high=10, low=2, interval=0.0,
+            registry=registry,
+            tracer=Tracer(recorder=recorder, service="switcher"))
+        conns["n"] = 50
+        assert sw.choose() == EVENTS
+        conns["n"] = 0
+        assert sw.choose() == THREADS
+        counts = registry.snapshot()["server_model_switch_total"]["series"]
+        assert counts[EVENTS] == 1
+        assert counts[THREADS] == 1
+        spans = [s for s in recorder.spans()
+                 if s.name == "server.model_switch"]
+        assert [s.attributes["to"] for s in spans] == [EVENTS, THREADS]
+        # The span carries the signals that justified the decision.
+        assert spans[0].attributes["connections"] == 50
+        assert spans[0].attributes["slo_degraded"] is False
+
 
 class TestAdaptiveServerFlip:
     def test_server_flips_to_events_under_connection_load(self):
