@@ -37,6 +37,9 @@ SPAN_EVIDENCE = {
     "nest/eventserver.py": ("step",),
     "nest/shard.py": ("spans",),
     "client/retry.py": ("maybe_span",),
+    "tier/store.py": ("maybe_span",),
+    "tier/policy.py": ("span",),
+    "tier/autoscale.py": ("span",),
 }
 
 

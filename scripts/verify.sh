@@ -9,7 +9,9 @@
 # trajectory, then the concurrency lane: the connection-scaling bench
 # in smoke mode, asserting the event path serves a burst of concurrent
 # connections with zero errors (again without touching the
-# trajectory).  Each faults-marked test runs under a hard per-test
+# trajectory), then the tier lane: storage tiering + autoscaling
+# (residency crash sweep, flash-crowd absorption acceptance).  Each
+# faults-marked test runs under a hard per-test
 # timeout (pytest-timeout when installed; SIGALRM backstop otherwise).
 # Usage: scripts/verify.sh [extra pytest args]
 set -e
@@ -20,6 +22,7 @@ PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q "$@"
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -q -m faults "$@"
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -q tests/replica "$@"
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -q tests/durability "$@"
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -q tests/tier "$@"
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro perf transfer --smoke
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro perf concurrency --smoke
 python scripts/check_fleet.py

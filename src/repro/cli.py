@@ -9,6 +9,7 @@
     python -m repro perf  [smoke|kernel|figures|counters|transfer|concurrency]
                           [--label L]
     python -m repro replica [status|demo] [--sites N] [--factor K] [--record]
+    python -m repro tier    [status|demo] [--sites N] [--record]
     python -m repro recover --state-dir DIR [--store-root DIR]
     python -m repro stats [host:port] [--path /metrics|/healthz|/trace|/ad]
 
@@ -24,7 +25,13 @@ and prints its availability ClassAd; ``jbos`` starts the native bunch;
 representative mixed run.  ``replica`` stands up an ephemeral federated
 fleet: ``status`` shows the catalog for one seeded file, ``demo`` runs
 the kill-and-heal scenario (and with ``--record`` appends its aggregate
-throughput to ``BENCH_replica.json``).  ``stats`` scrapes a running appliance's
+throughput to ``BENCH_replica.json``).  ``tier`` runs the hierarchical
+storage + autoscaling scenario: one tiered appliance under a flash
+crowd demotes cold files and recalls them on miss while its autoscaler
+replicates the hottest files to idle peers, plus a crash sweep proving
+residency survives a kill at every journal boundary (``--record``
+appends the throughput/absorption record to ``BENCH_tier.json``).
+``stats`` scrapes a running appliance's
 management endpoint (the ``mgmt`` port ``serve`` prints), or -- with no
 target -- runs a small self-contained workload and prints the resulting
 telemetry, which is the quickest way to see the observability layer
@@ -236,6 +243,33 @@ def _cmd_replica(args: argparse.Namespace) -> int:
         append_record("BENCH_replica.json", record)
         print("\nappended to BENCH_replica.json")
     return 1 if failed else 0
+
+
+def _cmd_tier(args: argparse.Namespace) -> int:
+    import json
+    import tempfile
+
+    from repro.tier.demo import render_tier_status, run_tier_demo
+
+    with tempfile.TemporaryDirectory(prefix="repro-tier-") as tmp:
+        record = run_tier_demo(
+            sites=args.sites,
+            hot_files=args.hot_files,
+            cold_files=args.cold_files,
+            cold_bytes=args.cold_bytes,
+            crowd_threads=args.crowd,
+            tmp_dir=None if args.no_crash else tmp)
+    if args.what == "status":
+        print(render_tier_status(record))
+    else:
+        print(json.dumps(record, indent=2, sort_keys=True))
+    if args.record:
+        from repro.perf.bench import _environment_stamp, append_record
+
+        record.update(_environment_stamp())
+        append_record("BENCH_tier.json", record)
+        print("\nappended to BENCH_tier.json")
+    return 0 if record["ok"] else 1
 
 
 def _cmd_recover(args: argparse.Namespace) -> int:
@@ -462,7 +496,7 @@ def build_parser() -> argparse.ArgumentParser:
     replica.add_argument("--factor", type=int, default=3,
                          help="target valid copies per logical file")
     replica.add_argument("--policy", default="throughput",
-                         choices=["random", "space", "throughput"])
+                         choices=["random", "space", "throughput", "load"])
     replica.add_argument("--seed", type=int, default=7)
     replica.add_argument("--files", type=int, default=6,
                          help="logical files the demo seeds")
@@ -472,6 +506,26 @@ def build_parser() -> argparse.ArgumentParser:
     replica.add_argument("--record", action="store_true",
                          help="append the demo record to BENCH_replica.json")
     replica.set_defaults(func=_cmd_replica)
+
+    tier = sub.add_parser(
+        "tier",
+        help="storage tiers + autoscaling: flash-crowd absorption demo")
+    tier.add_argument("what", nargs="?", default="status",
+                      choices=["status", "demo"])
+    tier.add_argument("--sites", type=int, default=3,
+                      help="appliances in the ephemeral fleet")
+    tier.add_argument("--hot-files", type=int, default=3,
+                      help="files the flash crowd hammers")
+    tier.add_argument("--cold-files", type=int, default=4,
+                      help="files demoted to the cold tier")
+    tier.add_argument("--cold-bytes", type=int, default=64 * 1024)
+    tier.add_argument("--crowd", type=int, default=6,
+                      help="concurrent reader threads")
+    tier.add_argument("--no-crash", action="store_true",
+                      help="skip the crash-at-every-journal-boundary sweep")
+    tier.add_argument("--record", action="store_true",
+                      help="append the demo record to BENCH_tier.json")
+    tier.set_defaults(func=_cmd_tier)
 
     recover = sub.add_parser(
         "recover",

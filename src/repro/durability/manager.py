@@ -56,12 +56,16 @@ class DurabilityManager:
         self._lock = threading.Lock()
         self.storage: StorageManager | None = None
         self.catalog = None
+        self.tier = None
         self.epoch = self._load_epoch()
         self.last_report: Optional[RecoveryReport] = None
         #: replica records replayed before any catalog existed; applied
         #: when :meth:`attach_catalog` runs.
         self._deferred_replica: list[dict[str, Any]] = []
         self._snapshot_catalog_state: dict[str, Any] | None = None
+        #: tier records replayed before any tiered store was attached.
+        self._deferred_tier: list[dict[str, Any]] = []
+        self._snapshot_tier_state: dict[str, Any] | None = None
         self._m_recoveries = None
         self._m_replayed = None
         if registry is not None:
@@ -129,6 +133,8 @@ class DurabilityManager:
             state: dict[str, Any] = {"storage": storage.serialize_state()}
         if self.catalog is not None:
             state["catalog"] = self.catalog.serialize()
+        if self.tier is not None:
+            state["tier"] = self.tier.serialize()
         try:
             self.snapshots.save(state, seq)
         except OSError:
@@ -140,9 +146,10 @@ class DurabilityManager:
     # recovery
     # ------------------------------------------------------------------
     def recover_into(self, storage: StorageManager,
-                     catalog=None) -> RecoveryReport:
-        """Rebuild ``storage`` (and ``catalog``) from durable state,
-        then bind the journal sinks so new mutations are recorded."""
+                     catalog=None, tier=None) -> RecoveryReport:
+        """Rebuild ``storage`` (and ``catalog`` and the ``tier``
+        residency map) from durable state, then bind the journal sinks
+        so new mutations are recorded."""
         t0 = time.perf_counter()
         report = RecoveryReport(state_dir=self.state_dir)
         state, snap_seq = self.snapshots.load()
@@ -153,6 +160,11 @@ class DurabilityManager:
                 catalog.restore(cat_state)
             else:
                 self._snapshot_catalog_state = cat_state
+            tier_state = state.get("tier")
+            if tier is not None and tier_state is not None:
+                tier.restore(tier_state)
+            else:
+                self._snapshot_tier_state = tier_state
         report.snapshot_seq = snap_seq
 
         replay = self.journal.replay()
@@ -174,6 +186,12 @@ class DurabilityManager:
                     else:
                         self._deferred_replica.append(rec)
                     report.replayed_records += 1
+                elif str(rec.get("type", "")).startswith("tier_"):
+                    if tier is not None:
+                        tier.apply_record(rec)
+                    else:
+                        self._deferred_tier.append(rec)
+                    report.replayed_records += 1
                 else:
                     report.skipped_records += 1
             except (StorageError, LotError, KeyError, ValueError):
@@ -185,6 +203,11 @@ class DurabilityManager:
 
         report.interrupted_puts = replayer.reconcile_pending_puts()
         report.reconciled_charges = replayer.reconcile_charges()
+        if tier is not None:
+            # Settle in-flight migrations/recalls *before* the temp
+            # sweep and the post-recovery snapshot, so both see final
+            # residency.
+            report.tier_actions = tier.reconcile()
         sweep = getattr(storage.store, "sweep_temp", None)
         if sweep is not None:
             report.swept_temp_files = sweep()
@@ -199,11 +222,14 @@ class DurabilityManager:
 
         self.storage = storage
         self.catalog = catalog
+        self.tier = tier
         storage.set_journal(self.record, async_sink=self.record_async,
                             wait_sink=self.wait_durable)
         if catalog is not None:
             catalog.journal = self.record
             catalog.advertise()
+        if tier is not None:
+            tier.journal = self.record
         report.duration_seconds = time.perf_counter() - t0
         self.last_report = report
         if self._m_recoveries is not None:
@@ -230,6 +256,24 @@ class DurabilityManager:
         self.catalog = catalog
         catalog.journal = self.record
         catalog.advertise()
+        return applied
+
+    def attach_tier(self, tier) -> int:
+        """Late-bind a tiered store: install its snapshot residency,
+        apply deferred replayed tier records, reconcile in-flight
+        transitions, bind the sink.  Returns how many deferred records
+        were applied."""
+        if self._snapshot_tier_state is not None:
+            tier.restore(self._snapshot_tier_state)
+            self._snapshot_tier_state = None
+        applied = 0
+        for rec in self._deferred_tier:
+            if tier.apply_record(rec):
+                applied += 1
+        self._deferred_tier.clear()
+        tier.reconcile()
+        self.tier = tier
+        tier.journal = self.record
         return applied
 
     # ------------------------------------------------------------------

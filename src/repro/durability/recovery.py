@@ -47,6 +47,8 @@ class RecoveryReport:
     recovered_replicas: int = 0
     reconciled_charges: int = 0  #: dangling lot charges released/trimmed
     swept_temp_files: int = 0
+    #: tier residency settlements (in-flight migrations/recalls resolved)
+    tier_actions: list[dict[str, Any]] = field(default_factory=list)
     epoch: int = 0  #: file-handle epoch after this restart
     duration_seconds: float = 0.0
 
@@ -62,6 +64,7 @@ class RecoveryReport:
             "recovered_replicas": self.recovered_replicas,
             "reconciled_charges": self.reconciled_charges,
             "swept_temp_files": self.swept_temp_files,
+            "tier_actions": list(self.tier_actions),
             "epoch": self.epoch,
             "duration_seconds": self.duration_seconds,
         }
@@ -230,6 +233,11 @@ class StorageReplayer:
 
     def _r_lot_delete(self, rec: dict) -> None:
         self.storage.lots.lots.pop(rec["lot_id"], None)
+
+    def _r_lot_pin(self, rec: dict) -> None:
+        lot = self.storage.lots.lots.get(rec["lot_id"])
+        if lot is not None:
+            lot.pinned = bool(rec.get("pinned", False))
 
     def _r_lot_attach(self, rec: dict) -> None:
         self.storage.lots.attachments[rec["prefix"]] = rec["lot_id"]

@@ -179,6 +179,82 @@ class NestConfig:
     #: arises naturally from fsync backpressure under concurrency.
     journal_batch_delay: float = 0.0
 
+    # -- hierarchical storage tiers (repro.tier) -----------------------
+    #: Front the local store with a slow cold tier: per-file residency
+    #: is journaled, cold reads recall on miss, and the background
+    #: policy loop demotes cold data.  Off by default.
+    tiering: bool = False
+
+    #: Directory backing the cold tier when ``state_dir`` is set (a
+    #: sibling of the fast store); ignored for memory-only servers,
+    #: which get a memory-backed cold tier.
+    tier_cold_dir: str | None = None
+
+    #: Cold-tier bandwidth (bytes/sec) of the rate-limited backend
+    #: standing in for tape/object storage; 0 disables throttling.
+    tier_cold_bandwidth: float = 0.0
+
+    #: Cold-tier per-open mount latency (seconds).
+    tier_cold_latency: float = 0.0
+
+    #: Migration policy: demote a file untouched for this many seconds.
+    tier_demote_after: float = 300.0
+
+    #: Migration policy: never demote files smaller than this.
+    tier_min_size: int = 1
+
+    #: Migration policy: never demote files hotter than this (decayed
+    #: read rate from the heat tracker).
+    tier_heat_ceiling: float = 0.5
+
+    #: Seconds between background migration scans; 0 disables the loop
+    #: (scan_once() can still be driven by hand or by tests).
+    tier_scan_interval: float = 30.0
+
+    #: Files demoted at most per scan pass.
+    tier_max_per_scan: int = 8
+
+    # -- per-file access heat (repro.tier.heat) ------------------------
+    #: Half-life (seconds) of the per-file read-heat EWMA.
+    heat_halflife: float = 30.0
+
+    #: Bound on tracked paths (coldest evicted beyond this).
+    heat_max_files: int = 1024
+
+    #: How many hottest paths get labeled metrics / ClassAd exposure.
+    heat_top_files: int = 4
+
+    # -- decentralized autoscaler (repro.tier.autoscale) ---------------
+    #: Seconds between autoscaler evaluations when the loop runs.
+    autoscale_interval: float = 2.0
+
+    #: Queue depth at/above which this appliance counts as overloaded.
+    autoscale_queue_high: float = 4.0
+
+    #: Worst per-protocol error rate counting as overloaded.
+    autoscale_error_high: float = 0.05
+
+    #: Request arrival rate (req/s between ticks) counting as overloaded.
+    autoscale_rate_high: float = 50.0
+
+    #: Hottest files considered per scale-out action.
+    autoscale_files: int = 3
+
+    #: Ceiling on valid replicas per logical file the scaler will build.
+    autoscale_max_replicas: int = 3
+
+    #: Replication actions allowed per sliding budget window.
+    autoscale_budget: int = 6
+
+    #: Budget window (seconds).
+    autoscale_window: float = 60.0
+
+    #: Grace period after acting before the scaler re-evaluates.
+    autoscale_cooldown: float = 10.0
+
+    #: Consecutive overloaded ticks required before acting.
+    autoscale_hysteresis: int = 2
+
     def validate(self) -> None:
         """Raise ValueError on inconsistent settings."""
         if self.scheduling not in ("fcfs", "stride", "cache-aware"):
@@ -227,3 +303,43 @@ class NestConfig:
             raise ValueError("telemetry_interval must be > 0")
         if self.snapshot_every < 0:
             raise ValueError("snapshot_every must be >= 0")
+        if self.tier_cold_bandwidth < 0:
+            raise ValueError("tier_cold_bandwidth must be >= 0")
+        if self.tier_cold_latency < 0:
+            raise ValueError("tier_cold_latency must be >= 0")
+        if self.tier_demote_after < 0:
+            raise ValueError("tier_demote_after must be >= 0")
+        if self.tier_min_size < 0:
+            raise ValueError("tier_min_size must be >= 0")
+        if self.tier_heat_ceiling < 0:
+            raise ValueError("tier_heat_ceiling must be >= 0")
+        if self.tier_scan_interval < 0:
+            raise ValueError("tier_scan_interval must be >= 0")
+        if self.tier_max_per_scan < 1:
+            raise ValueError("tier_max_per_scan must be >= 1")
+        if self.heat_halflife <= 0:
+            raise ValueError("heat_halflife must be > 0")
+        if self.heat_max_files < 1:
+            raise ValueError("heat_max_files must be >= 1")
+        if self.heat_top_files < 1:
+            raise ValueError("heat_top_files must be >= 1")
+        if self.autoscale_interval <= 0:
+            raise ValueError("autoscale_interval must be > 0")
+        if self.autoscale_queue_high < 0:
+            raise ValueError("autoscale_queue_high must be >= 0")
+        if self.autoscale_error_high < 0:
+            raise ValueError("autoscale_error_high must be >= 0")
+        if self.autoscale_rate_high < 0:
+            raise ValueError("autoscale_rate_high must be >= 0")
+        if self.autoscale_files < 1:
+            raise ValueError("autoscale_files must be >= 1")
+        if self.autoscale_max_replicas < 1:
+            raise ValueError("autoscale_max_replicas must be >= 1")
+        if self.autoscale_budget < 1:
+            raise ValueError("autoscale_budget must be >= 1")
+        if self.autoscale_window <= 0:
+            raise ValueError("autoscale_window must be > 0")
+        if self.autoscale_cooldown < 0:
+            raise ValueError("autoscale_cooldown must be >= 0")
+        if self.autoscale_hysteresis < 1:
+            raise ValueError("autoscale_hysteresis must be >= 1")

@@ -54,6 +54,10 @@ class Lot:
     #: space: they accept charges while active but may be reclaimed at
     #: any time, like best-effort data.
     volatile: bool = False
+    #: Pinned lots keep their files in the fast storage tier: the
+    #: migration policy never demotes a file charged to (or attached
+    #: under) a pinned lot.  The operator's "this stays on disk" knob.
+    pinned: bool = False
     #: bytes charged to this lot, per file path (files may span lots).
     charges: dict[str, int] = field(default_factory=dict)
     last_used: float = 0.0
@@ -77,6 +81,7 @@ class Lot:
             "used": self.used,
             "expires_at": self.expires_at,
             "state": self.state.value,
+            "pinned": self.pinned,
             "files": sorted(self.charges),
         }
 
@@ -317,6 +322,24 @@ class LotManager:
         self.attachments[normalized] = lot.lot_id
         self._emit("lot_attach", lot_id=lot.lot_id, prefix=normalized)
 
+    def pin_lot(self, lot_id: str, pinned: bool = True,
+                owner: str | None = None) -> Lot:
+        """Pin (or unpin) a lot: pinned lots' files are excluded from
+        storage-tier demotion.  Journaled, so pins survive a crash."""
+        lot = self._get(lot_id, owner)
+        lot.pinned = bool(pinned)
+        self._emit("lot_pin", lot_id=lot.lot_id, pinned=lot.pinned)
+        return lot
+
+    def is_pinned(self, path: str) -> bool:
+        """Is ``path`` held in the fast tier by a pinned lot -- either
+        charged against one, or under a prefix attached to one?"""
+        for lot in self.lots.values():
+            if lot.pinned and path in lot.charges:
+                return True
+        attached = self._attached_lot(path)
+        return attached is not None and attached.pinned
+
     def _attached_lot(self, path: str) -> Lot | None:
         best: str | None = None
         for prefix in self.attachments:
@@ -474,6 +497,7 @@ class LotManager:
                     "expires_at": l.expires_at,
                     "state": l.state.value,
                     "volatile": l.volatile,
+                    "pinned": l.pinned,
                     "last_used": l.last_used,
                     "charges": dict(l.charges),
                 }
@@ -492,6 +516,7 @@ class LotManager:
                 expires_at=float(doc["expires_at"]),
                 state=doc.get("state", LotState.ACTIVE.value),
                 volatile=bool(doc.get("volatile", False)),
+                pinned=bool(doc.get("pinned", False)),
                 last_used=float(doc.get("last_used", 0.0)),
                 charges={p: int(n) for p, n in doc.get("charges", {}).items()},
             )
@@ -501,14 +526,15 @@ class LotManager:
 
     def restore_lot(self, *, lot_id: str, owner: str, capacity: int,
                     expires_at: float, state: str = "active",
-                    volatile: bool = False, last_used: float = 0.0,
+                    volatile: bool = False, pinned: bool = False,
+                    last_used: float = 0.0,
                     charges: dict[str, int] | None = None) -> Lot:
         """Re-create one lot exactly as journaled (replay path; no
         space checks -- the original create already passed them)."""
         lot = Lot(
             lot_id=lot_id, owner=owner, capacity=int(capacity),
             expires_at=expires_at, state=LotState(state),
-            volatile=volatile, last_used=last_used,
+            volatile=volatile, pinned=pinned, last_used=last_used,
         )
         if charges:
             lot.charges.update(charges)

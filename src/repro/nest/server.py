@@ -37,6 +37,7 @@ from repro.obs.log import get_logger
 from repro.obs.metrics import global_registry
 from repro.obs.mgmt import ManagementEndpoint
 from repro.obs.slo import SloEngine
+from repro.tier.heat import HeatTracker
 
 logger = get_logger(__name__)
 
@@ -133,6 +134,22 @@ class NestServer:
             health_window=self.config.health_window,
         )
         self.fhandles = FileHandleRegistry()
+        #: per-file access heat: every approved read feeds it, the
+        #: migration policy and the autoscaler read it, and its top-N
+        #: surfaces as the ClassAd ``HotFiles`` block.
+        self.heat = HeatTracker(
+            halflife=self.config.heat_halflife,
+            max_files=self.config.heat_max_files,
+        )
+        self.heat.register_metrics(self.obs.registry,
+                                   top_n=self.config.heat_top_files)
+        #: hierarchical storage: when tiering is on, the storage
+        #: manager's backend is a TieredStore fronting a slow cold
+        #: store with the fast local one; residency journals through
+        #: the durability layer like every other metadata mutation.
+        self.tiered = None
+        if self.config.tiering:
+            store = self._build_tiered(store)
         self.storage = StorageManager(
             store=store,
             capacity_bytes=self.config.capacity_bytes,
@@ -143,6 +160,7 @@ class NestServer:
             anonymous_rights=self.config.anonymous_rights,
             invalidate=self.fhandles.forget,
             registry=self.obs.registry,
+            heat=self.heat,
         )
         #: Durable state: when the config names a ``state_dir``, recover
         #: whatever a previous incarnation journaled there -- lots,
@@ -163,7 +181,8 @@ class NestServer:
                 batch_records=self.config.journal_batch_records,
                 batch_delay=self.config.journal_batch_delay,
             )
-            self.recovery_report = self.durability.recover_into(self.storage)
+            self.recovery_report = self.durability.recover_into(
+                self.storage, tier=self.tiered)
             self.fhandles.set_epoch(self.recovery_report.epoch)
             logger.info(
                 "%s recovered: %d records replayed, %d lots, "
@@ -173,6 +192,26 @@ class NestServer:
                 len(self.recovery_report.recovered_lots),
                 len(self.recovery_report.interrupted_puts),
                 self.recovery_report.epoch)
+        #: background migration loop (created with the server so its
+        #: policy knobs come from config; started/stopped with it).
+        self.tier_manager = None
+        if self.tiered is not None:
+            from repro.tier.policy import TierManager, TierPolicy
+
+            self.tier_manager = TierManager(
+                self.storage, self.tiered, self.heat,
+                TierPolicy(
+                    demote_after=self.config.tier_demote_after,
+                    min_size=self.config.tier_min_size,
+                    heat_ceiling=self.config.tier_heat_ceiling,
+                ),
+                max_per_scan=self.config.tier_max_per_scan,
+                tracer=self.obs.tracer,
+                registry=self.obs.registry,
+            )
+        #: decentralized autoscaler; built by :meth:`attach_autoscaler`
+        #: once a federation (catalog + replicator) exists.
+        self.autoscaler = None
         self.graybox = GrayBoxCacheModel(self.config.graybox_cache_bytes)
         self.transfers = TransferManager(
             self.config, residency=self.graybox.predict_residency,
@@ -278,6 +317,23 @@ class NestServer:
         self._advert_stop = threading.Event()
         self._advert_thread: threading.Thread | None = None
 
+    def _build_tiered(self, store: DataStore | None) -> DataStore:
+        """Wrap the fast store with the cold tier per config."""
+        from repro.nest.backends import LocalFSStore, MemoryStore
+        from repro.tier.store import RateLimitedStore, TieredStore
+
+        fast = store if store is not None else MemoryStore()
+        if self.config.tier_cold_dir:
+            cold: DataStore = LocalFSStore(self.config.tier_cold_dir)
+        else:
+            cold = MemoryStore()
+        if self.config.tier_cold_bandwidth or self.config.tier_cold_latency:
+            cold = RateLimitedStore(
+                cold, bandwidth_bps=self.config.tier_cold_bandwidth,
+                latency=self.config.tier_cold_latency)
+        self.tiered = TieredStore(fast, cold, registry=self.obs.registry)
+        return self.tiered
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
@@ -324,6 +380,9 @@ class NestServer:
             # the ports are known, and begin the heartbeat.
             self._publish_ad()
             self._start_heartbeat()
+        if (self.tier_manager is not None
+                and self.config.tier_scan_interval > 0):
+            self.tier_manager.start(self.config.tier_scan_interval)
         logger.info("%s listening: %s", self.config.name, self.ports)
         return self
 
@@ -343,6 +402,10 @@ class NestServer:
         """
         self._running = False
         self._stop_heartbeat_and_withdraw()
+        if self.autoscaler is not None:
+            self.autoscaler.stop()
+        if self.tier_manager is not None:
+            self.tier_manager.stop()
         for listener in self._listeners.values():
             try:
                 listener.close()
@@ -431,6 +494,10 @@ class NestServer:
         so the same process can host the restarted appliance.
         """
         self._running = False
+        if self.autoscaler is not None:
+            self.autoscaler.stop()
+        if self.tier_manager is not None:
+            self.tier_manager.stop()
         if self.durability is not None:
             self.durability.close(snapshot=False)
         self._stop_heartbeat()
@@ -460,6 +527,67 @@ class NestServer:
         if self.durability is None:
             return 0
         return self.durability.attach_catalog(catalog)
+
+    def attach_autoscaler(self, replicator, *, start: bool = True,
+                          prefix: str | None = None):
+        """Build this appliance's demand-driven autoscaler on top of an
+        existing federation replicator.
+
+        The scaler reads *this* server's health monitor, SLO engine,
+        and heat tracker (decentralized: every appliance decides for
+        itself) and replicates its hottest files through ``replicator``
+        -- whose placement policy already refuses degraded peers.
+        Returns the scaler; ``start=False`` leaves the loop to the
+        caller (tests drive :meth:`~repro.tier.autoscale.AutoScaler.tick`
+        by hand).
+        """
+        from repro.tier.autoscale import AutoScaler
+
+        cfg = self.config
+        self.autoscaler = AutoScaler(
+            cfg.name, self.obs.health, self.heat, replicator,
+            slo=self.slo,
+            queue_high=cfg.autoscale_queue_high,
+            error_high=cfg.autoscale_error_high,
+            rate_high=cfg.autoscale_rate_high,
+            max_files=cfg.autoscale_files,
+            max_replicas=cfg.autoscale_max_replicas,
+            budget=cfg.autoscale_budget,
+            window=cfg.autoscale_window,
+            cooldown=cfg.autoscale_cooldown,
+            hysteresis=cfg.autoscale_hysteresis,
+            prefix=prefix if prefix is not None else replicator.prefix,
+            local_lookup=self._local_replica_lookup(replicator),
+            tracer=self.obs.tracer,
+            registry=self.obs.registry,
+        )
+        if start:
+            self.autoscaler.start(cfg.autoscale_interval)
+        return self.autoscaler
+
+    def _local_replica_lookup(self, replicator):
+        """A ``logical -> (size, crc32)`` probe over this appliance's
+        own store, so the autoscaler can seed the catalog with a local
+        copy the federation does not know about yet."""
+        from repro.nest.io import stream_crc32
+
+        def lookup(logical: str):
+            try:
+                path = replicator.path_for(logical)
+            except ValueError:
+                return None
+            store = self.storage.store
+            exists = getattr(store, "exists", None)
+            try:
+                if exists is not None and not exists(path):
+                    return None
+                with store.open_read(path) as stream:
+                    crc, size = stream_crc32(stream)
+            except (OSError, KeyError):
+                return None
+            return size, crc
+
+        return lookup
 
     def active_connections(self) -> int:
         """How many handler connections are currently live (threaded
@@ -660,6 +788,10 @@ class NestServer:
         if self.slo is not None:
             self.slo.evaluate()
             health.update(self.slo.attributes())
+        # What is hot *here*: peer autoscalers and future predictive
+        # placement read this next to the load numbers.
+        health.update(self.heat.ad_attributes(
+            top_n=self.config.heat_top_files))
         return build_advertisement(
             self.config.name, self.storage, list(self.config.protocols),
             host=self.host, ports=self.ports,

@@ -122,6 +122,7 @@ class StorageManager:
         anonymous_rights: str = "rl",
         invalidate: Callable[[str], None] | None = None,
         registry: MetricsRegistry | None = None,
+        heat=None,
     ):
         self.store = store if store is not None else MemoryStore()
         self.clock = clock
@@ -149,6 +150,10 @@ class StorageManager:
         )
         self.capacity_bytes = capacity_bytes
         self.used_bytes = 0
+        #: optional per-file access-heat tracker (repro.tier.heat);
+        #: every approved read feeds it so tiering and autoscaling see
+        #: the same demand signal.
+        self.heat = heat
         self._lock = threading.RLock()
         #: metadata-journal sink (set via :meth:`set_journal`); None
         #: means the appliance runs memory-only, exactly as before.
@@ -509,12 +514,18 @@ class StorageManager:
     # transfer manager then moves the data asynchronously)
     # ------------------------------------------------------------------
     def approve_get(self, user: str, path: str) -> TransferTicket:
-        """Authorize a whole-file read; returns the source ticket."""
+        """Authorize a whole-file read; returns the source ticket.
+
+        A tiered backend may recall the file's bytes from the cold
+        tier inside ``open_read`` (recall on miss); the journal those
+        transitions ride is reentrant-safe under our lock.
+        """
         with self._op("approve_get", path), self._lock:
             node = self._lookup(path)
             if isinstance(node, DirNode):
                 raise StorageError(Status.IS_DIR, path)
             self._check(self._dir_acl_of(path), user, "r")
+            self._record_heat(path, node.size)
             return TransferTicket(
                 path=path, user=user, size=node.size,
                 stream=self.store.open_read(path), is_write=False,
@@ -591,12 +602,17 @@ class StorageManager:
                 raise StorageError(Status.IS_DIR, path)
             self._check(self._dir_acl_of(path), user, "r")
             length = max(0, min(length, node.size - offset))
+            self._record_heat(path, length)
             stream = self.store.open_read(path)
             stream.seek(offset)
             return TransferTicket(
                 path=path, user=user, size=length, stream=stream,
                 is_write=False, offset=offset,
             )
+
+    def _record_heat(self, path: str, nbytes: int) -> None:
+        if self.heat is not None:
+            self.heat.record(path, nbytes)
 
     def _charge(self, user: str, path: str, growth: int) -> None:
         if growth <= 0:

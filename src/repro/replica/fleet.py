@@ -46,6 +46,7 @@ class Fleet:
         capacity_bytes: int = DEMO_CAPACITY,
         fault_plans: Optional[dict[str, FaultPlan]] = None,
         protocols: tuple[str, ...] = ("chirp", "ftp", "gridftp", "http"),
+        config_overrides: Optional[dict[str, dict[str, Any]]] = None,
     ):
         self.collector = collector or Collector()
         self.ca = ca or CertificateAuthority("Federation CA")
@@ -54,10 +55,17 @@ class Fleet:
         self.readvertise_interval = readvertise_interval
         self.servers: dict[str, NestServer] = {}
         plans = fault_plans or {}
+        #: per-site NestConfig field overrides keyed by server name
+        #: (e.g. turn tiering on for one site, lower autoscale
+        #: thresholds fleet-wide under the "*" key).
+        overrides = config_overrides or {}
         for i in range(sites):
             name = f"{name_prefix}-{i}"
+            fields: dict[str, Any] = {}
+            fields.update(overrides.get("*", {}))
+            fields.update(overrides.get(name, {}))
             config = NestConfig(name=name, protocols=protocols,
-                                capacity_bytes=capacity_bytes)
+                                capacity_bytes=capacity_bytes, **fields)
             self.servers[name] = NestServer(config, ca=self.ca,
                                             faults=plans.get(name))
         self._started = False

@@ -14,7 +14,13 @@ against:
   toward the emptiest appliances;
 * :class:`ThroughputWeightedPlacement` -- deterministic rank by the
   live-health ``ThroughputMBps`` attribute (observed performance, the
-  PR 3 health feed), tie-broken by free space.
+  PR 3 health feed), tie-broken by free space;
+* :class:`LoadAwarePlacement` -- deterministic rank by *idleness*
+  (shallowest ``QueueDepth`` first), the autoscaler's choice for
+  shedding a flash crowd onto peers with headroom.
+
+Every policy filters out sites advertising ``SloDegraded``: a peer
+already burning its error budget never receives new copies.
 
 A policy only *chooses*; :func:`reserve` then guarantees the space by
 creating a **lot** on each chosen appliance over Chirp before any data
@@ -45,6 +51,7 @@ __all__ = [
     "RandomKPlacement",
     "SpaceWeightedPlacement",
     "ThroughputWeightedPlacement",
+    "LoadAwarePlacement",
     "make_policy",
     "reserve",
     "throughput_ranked_sites",
@@ -101,11 +108,15 @@ class PlacementPolicy:
     def candidates(self, collector, size: int,
                    exclude: Sequence[str] = ()) -> list[ClassAd]:
         """Storage ads that could hold a ``size``-byte replica, minus
-        excluded sites (those already holding a copy)."""
+        excluded sites (those already holding a copy) and minus sites
+        advertising ``SloDegraded`` -- a peer burning its error budget
+        must not be handed more load (``Collector.fastest`` already
+        demotes them for reads; placement must skip them for writes)."""
         skip = set(exclude)
         request = storage_request_ad(max(int(size), 1), protocol="gridftp")
         return [ad for ad in collector.query(request)
-                if str(ad.eval("Name")) not in skip]
+                if str(ad.eval("Name")) not in skip
+                and ad.eval("SloDegraded") is not True]
 
     def choose(self, candidates: list[ClassAd], k: int) -> list[ClassAd]:
         raise NotImplementedError
@@ -176,15 +187,43 @@ class ThroughputWeightedPlacement(PlacementPolicy):
         return ranked[:k]
 
 
+class LoadAwarePlacement(PlacementPolicy):
+    """Deterministic rank by *idleness*: shallowest queue first.
+
+    The autoscaler's policy: an overloaded appliance shedding a flash
+    crowd wants the peer with the most headroom, not (as throughput
+    ranking would pick) the peer already moving the most data -- under
+    a flash crowd that is usually the overloaded node's busiest
+    neighbour.  Ties break by measured throughput, then free space,
+    then name.
+    """
+
+    name = "load"
+
+    def choose(self, candidates: list[ClassAd], k: int) -> list[ClassAd]:
+        def queue_depth(ad: ClassAd) -> float:
+            value = ad.eval("QueueDepth")
+            return float(value) if isinstance(value, (int, float)) else 0.0
+
+        ranked = sorted(
+            candidates,
+            key=lambda ad: (queue_depth(ad), -_throughput(ad),
+                            -_grantable(ad), str(ad.eval("Name"))),
+        )
+        return ranked[:k]
+
+
 _POLICIES = {
     RandomKPlacement.name: RandomKPlacement,
     SpaceWeightedPlacement.name: SpaceWeightedPlacement,
     ThroughputWeightedPlacement.name: ThroughputWeightedPlacement,
+    LoadAwarePlacement.name: LoadAwarePlacement,
 }
 
 
 def make_policy(spec: str, seed: int = 0) -> PlacementPolicy:
-    """Policy by name: ``random``, ``space``, or ``throughput``."""
+    """Policy by name: ``random``, ``space``, ``throughput``, or
+    ``load``."""
     try:
         return _POLICIES[spec](seed=seed)
     except KeyError:

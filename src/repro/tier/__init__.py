@@ -1,0 +1,54 @@
+"""Hierarchical storage tiers + decentralized demand-driven scaling.
+
+The paper pitches the NeST as a *manageable* appliance that adapts to
+its environment; this package extends that to load management in two
+cooperating halves:
+
+* **tiers** -- :class:`~repro.tier.store.TieredStore` fronts a slow,
+  rate-limited cold backend (tape / object storage stand-in) with the
+  fast local store.  Per-file residency (HOT / COLD / MIGRATING /
+  RECALLING) is journaled through the durability layer so it survives
+  crashes; cold reads recall on miss through the zero-copy path; a
+  background :class:`~repro.tier.policy.TierManager` demotes cold data
+  under a declarative :class:`~repro.tier.policy.TierPolicy` (age,
+  size, heat, lot-aware pinning);
+* **autoscaling** -- :class:`~repro.tier.autoscale.AutoScaler` watches
+  the appliance's own health and SLO signals, finds its hottest files
+  in the :class:`~repro.tier.heat.HeatTracker`, and replicates them to
+  under-loaded peers through the existing replica federation -- no
+  central coordinator, the CASTOR-meets-flash-crowd shape.
+"""
+
+from repro.tier.heat import HeatTracker
+from repro.tier.policy import TierManager, TierPolicy
+from repro.tier.store import (
+    COLD,
+    HOT,
+    MIGRATING,
+    RECALLING,
+    RateLimitedStore,
+    TieredStore,
+)
+
+# AutoScaler is re-exported lazily: importing it eagerly would pull the
+# whole replica federation (and through it the server) into every
+# ``repro.tier`` import, and the server itself imports the heat tracker.
+def __getattr__(name: str):
+    if name == "AutoScaler":
+        from repro.tier.autoscale import AutoScaler
+        return AutoScaler
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "AutoScaler",
+    "HeatTracker",
+    "TierManager",
+    "TierPolicy",
+    "TieredStore",
+    "RateLimitedStore",
+    "HOT",
+    "COLD",
+    "MIGRATING",
+    "RECALLING",
+]

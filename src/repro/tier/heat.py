@@ -1,0 +1,161 @@
+"""Per-file access heat: the demand signal for tiering and autoscaling.
+
+A :class:`HeatTracker` keeps, per path, an exponentially-decayed rate
+of reads and of bytes served (half-life ``halflife`` seconds).  Both
+the migration policy ("is this file cold enough to demote?") and the
+autoscaler ("which files should gain replicas?") read the same
+tracker, and future predictive placement (ROADMAP item 3) can too.
+
+The tracker is bounded: at most ``max_files`` paths are kept, and when
+the bound is hit the coldest entry is evicted -- an evicted file simply
+looks stone cold, which is the right failure mode for both consumers.
+Metrics follow the bounded-label convention: only the current top-N
+paths get a labeled ``tier_file_heat`` series, everything else is
+aggregate.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import Any, Callable, Optional
+
+__all__ = ["HeatTracker"]
+
+
+class _Entry:
+    """Decayed per-path counters (reads/sec and bytes/sec)."""
+
+    __slots__ = ("reads", "nbytes", "stamp", "last_access")
+
+    def __init__(self, now: float) -> None:
+        self.reads = 0.0
+        self.nbytes = 0.0
+        self.stamp = now
+        self.last_access = now
+
+    def decayed(self, now: float, halflife: float) -> float:
+        """Read-rate score decayed to ``now`` without mutating."""
+        age = max(now - self.stamp, 0.0)
+        return self.reads * math.pow(0.5, age / halflife)
+
+
+class HeatTracker:
+    """Bounded EWMA of per-file read traffic."""
+
+    def __init__(self, halflife: float = 30.0, max_files: int = 1024,
+                 clock: Callable[[], float] = time.monotonic,
+                 registry=None):
+        if halflife <= 0:
+            raise ValueError("halflife must be > 0")
+        if max_files < 1:
+            raise ValueError("max_files must be >= 1")
+        self.halflife = float(halflife)
+        self.max_files = int(max_files)
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._entries: dict[str, _Entry] = {}
+        self._m_heat = None
+        if registry is not None:
+            self.register_metrics(registry)
+
+    def register_metrics(self, registry, top_n: int = 8) -> None:
+        """Publish heat on ``registry``: a tracked-file gauge plus a
+        bounded-label per-path gauge refreshed by :meth:`publish`."""
+        registry.gauge_callback(
+            "tier_tracked_files",
+            lambda: float(len(self._entries)),
+            "Paths currently tracked by the access-heat EWMA.")
+        self._m_heat = registry.gauge(
+            "tier_file_heat",
+            "Decayed read rate (reads/halflife) of the hottest files; "
+            "bounded to the current top paths.",
+            labelnames=("path",), max_series=max(top_n * 2, 8))
+
+    # -- feed --------------------------------------------------------------
+    def record(self, path: str, nbytes: int = 0) -> None:
+        """One read of ``path`` serving ``nbytes`` bytes."""
+        now = self.clock()
+        with self._lock:
+            entry = self._entries.get(path)
+            if entry is None:
+                if len(self._entries) >= self.max_files:
+                    self._evict_coldest(now)
+                entry = _Entry(now)
+                self._entries[path] = entry
+            age = max(now - entry.stamp, 0.0)
+            decay = math.pow(0.5, age / self.halflife)
+            entry.reads = entry.reads * decay + 1.0
+            entry.nbytes = entry.nbytes * decay + float(max(nbytes, 0))
+            entry.stamp = now
+            entry.last_access = now
+
+    def _evict_coldest(self, now: float) -> None:
+        victim = min(self._entries,
+                     key=lambda p: self._entries[p].decayed(now, self.halflife))
+        del self._entries[victim]
+
+    # -- read --------------------------------------------------------------
+    def heat(self, path: str) -> float:
+        """Decayed read count for ``path`` (0.0 when never seen)."""
+        now = self.clock()
+        with self._lock:
+            entry = self._entries.get(path)
+            return entry.decayed(now, self.halflife) if entry else 0.0
+
+    def last_access(self, path: str) -> Optional[float]:
+        """Clock value of the most recent read, or None if never read."""
+        with self._lock:
+            entry = self._entries.get(path)
+            return entry.last_access if entry else None
+
+    def hottest(self, n: int, prefix: str | None = None) -> list[tuple[str, float]]:
+        """Top ``n`` paths by decayed heat (optionally under a prefix),
+        hottest first; paths with zero heat are omitted."""
+        now = self.clock()
+        with self._lock:
+            scored = [
+                (path, entry.decayed(now, self.halflife))
+                for path, entry in self._entries.items()
+                if prefix is None or path.startswith(prefix)
+            ]
+        scored = [(p, h) for p, h in scored if h > 1e-9]
+        scored.sort(key=lambda item: (-item[1], item[0]))
+        return scored[:max(n, 0)]
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """Every tracked path's decayed heat and bytes rate (JSON-able)."""
+        now = self.clock()
+        with self._lock:
+            return {
+                path: {
+                    "heat": entry.decayed(now, self.halflife),
+                    "bytes": entry.nbytes * math.pow(
+                        0.5, max(now - entry.stamp, 0.0) / self.halflife),
+                    "last_access": entry.last_access,
+                }
+                for path, entry in self._entries.items()
+            }
+
+    # -- publication -------------------------------------------------------
+    def publish(self, top_n: int = 8) -> None:
+        """Refresh the bounded per-path heat gauge with the current
+        top-N (older series keep their last value until the label set
+        recycles; the bound caps total series)."""
+        if self._m_heat is None:
+            return
+        for path, heat in self.hottest(top_n):
+            self._m_heat.set(heat, path=path)
+
+    def ad_attributes(self, top_n: int = 4) -> dict[str, Any]:
+        """The ClassAd heat block: ``HotFiles`` (hottest paths, hottest
+        first) and ``HotFileHeat`` (the leader's decayed read rate), so
+        matchmakers and peer autoscalers can see *what* is hot here,
+        not just that the appliance is busy."""
+        top = self.hottest(top_n)
+        self.publish(top_n)
+        return {
+            "HotFiles": [path for path, _heat in top],
+            "HotFileHeat": round(top[0][1], 6) if top else 0.0,
+        }

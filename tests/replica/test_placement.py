@@ -5,6 +5,7 @@ import pytest
 from repro.classads import parse
 from repro.grid.discovery import Collector
 from repro.replica.placement import (
+    LoadAwarePlacement,
     RandomKPlacement,
     SpaceWeightedPlacement,
     ThroughputWeightedPlacement,
@@ -13,7 +14,8 @@ from repro.replica.placement import (
 )
 
 
-def site_ad(name, grantable, mbps=None, protocols=("chirp", "gridftp")):
+def site_ad(name, grantable, mbps=None, protocols=("chirp", "gridftp"),
+            queue_depth=None, degraded=None):
     ad = parse(
         '[ Type = "Storage"; Requirements = other.Type == "Request" '
         "&& other.RequestedSpace <= my.GrantableSpace ]"
@@ -25,6 +27,10 @@ def site_ad(name, grantable, mbps=None, protocols=("chirp", "gridftp")):
     ad["Protocols"] = list(protocols)
     if mbps is not None:
         ad["ThroughputMBps"] = mbps
+    if queue_depth is not None:
+        ad["QueueDepth"] = queue_depth
+    if degraded is not None:
+        ad["SloDegraded"] = degraded
     return ad
 
 
@@ -106,11 +112,54 @@ class TestThroughputWeighted:
                ["warm", "cold-big", "cold-small"]
 
 
+class TestSloDegradedExclusion:
+    def test_degraded_sites_never_chosen(self, collector):
+        collector.advertise(site_ad("burning", 10**9, mbps=99.0,
+                                    degraded=True))
+        for policy in (RandomKPlacement(), SpaceWeightedPlacement(),
+                       ThroughputWeightedPlacement(), LoadAwarePlacement()):
+            names = {str(ad.eval("Name"))
+                     for ad in policy.place(collector, 100, 10)}
+            assert "burning" not in names, policy.name
+
+    def test_healthy_flag_is_not_exclusion(self, collector):
+        collector.advertise(site_ad("recovered", 10**9, degraded=False))
+        names = {str(ad.eval("Name"))
+                 for ad in RandomKPlacement().candidates(collector, 100)}
+        assert "recovered" in names
+
+
+class TestLoadAware:
+    def test_idlest_site_first(self):
+        c = Collector()
+        c.advertise(site_ad("busy", 10**6, mbps=80.0, queue_depth=9))
+        c.advertise(site_ad("calm", 10**6, mbps=5.0, queue_depth=0))
+        c.advertise(site_ad("mild", 10**6, mbps=50.0, queue_depth=3))
+        chosen = LoadAwarePlacement().place(c, 100, 3)
+        assert [str(x.eval("Name")) for x in chosen] == \
+               ["calm", "mild", "busy"]
+
+    def test_ties_break_by_throughput_then_space(self):
+        c = Collector()
+        c.advertise(site_ad("slow", 10**6, mbps=1.0, queue_depth=0))
+        c.advertise(site_ad("fast", 10**6, mbps=40.0, queue_depth=0))
+        c.advertise(site_ad("roomy", 10**9, queue_depth=0))
+        chosen = LoadAwarePlacement().place(c, 100, 3)
+        assert [str(x.eval("Name")) for x in chosen] == \
+               ["fast", "slow", "roomy"]
+
+    def test_unadvertised_queue_counts_as_idle(self, collector):
+        collector.advertise(site_ad("swamped", 10**9, queue_depth=50))
+        chosen = LoadAwarePlacement().place(collector, 100, 4)
+        assert str(chosen[-1].eval("Name")) == "swamped"
+
+
 class TestMakePolicy:
     def test_known_names(self):
         assert make_policy("random").name == "random"
         assert make_policy("space").name == "space"
         assert make_policy("throughput").name == "throughput"
+        assert make_policy("load").name == "load"
 
     def test_unknown_name(self):
         with pytest.raises(ValueError):

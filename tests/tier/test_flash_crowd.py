@@ -1,0 +1,51 @@
+"""Acceptance: a skewed flash crowd on three hot files is absorbed by
+demand-driven replication to peers with zero client-visible errors,
+while cold files migrate down and recall on miss on the same appliance."""
+
+import pytest
+
+from repro.tier.demo import run_tier_demo
+
+
+@pytest.fixture(scope="module")
+def record(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("tier-demo")
+    return run_tier_demo(
+        sites=3,
+        hot_files=3,
+        hot_bytes=16 * 1024,
+        cold_files=2,
+        cold_bytes=32 * 1024,
+        crowd_threads=4,
+        crowd_reads=8,
+        tmp_dir=str(tmp),
+    )
+
+
+def test_zero_client_visible_errors(record):
+    assert record["reads"] > 0
+    assert record["read_errors"] == 0
+
+
+def test_hot_files_replicated_to_peers(record):
+    assert record["absorbed"], record["replica_spread"]
+    assert all(n >= 2 for n in record["replica_spread"].values())
+
+
+def test_cold_files_migrated_and_recalled(record):
+    assert record["migrated_files"] == 2
+    assert record["migrated_bytes"] == 2 * 32 * 1024
+    assert record["recalled_bytes"] == 2 * 32 * 1024
+    assert all(state == "hot" for state in record["cold_residency"].values())
+
+
+def test_residency_survives_mid_migration_crash(record):
+    assert record["crash_points"] >= 10
+    assert record["migration_crash_survived"], record.get("crash_failures")
+
+
+def test_record_is_benchmark_ready(record):
+    assert record["ok"]
+    assert record["benchmark"] == "tier_flash_crowd_demo"
+    assert record["migrate_mbps"] > 0
+    assert record["recall_mbps"] > 0

@@ -1,0 +1,111 @@
+"""Unit tests for the per-file access-heat tracker."""
+
+import pytest
+
+from repro.tier.heat import HeatTracker
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return Clock()
+
+
+class TestDecay:
+    def test_one_read_is_one_heat(self, clock):
+        tracker = HeatTracker(halflife=10.0, clock=clock)
+        tracker.record("/a.dat", nbytes=100)
+        assert tracker.heat("/a.dat") == pytest.approx(1.0)
+
+    def test_heat_halves_per_halflife(self, clock):
+        tracker = HeatTracker(halflife=10.0, clock=clock)
+        tracker.record("/a.dat")
+        clock.now = 10.0
+        assert tracker.heat("/a.dat") == pytest.approx(0.5)
+        clock.now = 20.0
+        assert tracker.heat("/a.dat") == pytest.approx(0.25)
+
+    def test_reads_accumulate(self, clock):
+        tracker = HeatTracker(halflife=10.0, clock=clock)
+        tracker.record("/a.dat")
+        tracker.record("/a.dat")
+        assert tracker.heat("/a.dat") == pytest.approx(2.0)
+
+    def test_unknown_path_is_cold(self, clock):
+        tracker = HeatTracker(clock=clock)
+        assert tracker.heat("/nope") == 0.0
+        assert tracker.last_access("/nope") is None
+
+
+class TestHottest:
+    def test_orders_by_heat(self, clock):
+        tracker = HeatTracker(halflife=10.0, clock=clock)
+        tracker.record("/cold.dat")
+        for _ in range(5):
+            tracker.record("/hot.dat")
+        for _ in range(3):
+            tracker.record("/warm.dat")
+        assert [p for p, _ in tracker.hottest(3)] == [
+            "/hot.dat", "/warm.dat", "/cold.dat"]
+
+    def test_prefix_filter(self, clock):
+        tracker = HeatTracker(clock=clock)
+        tracker.record("/replicas/a.dat")
+        tracker.record("/other/b.dat")
+        paths = [p for p, _ in tracker.hottest(10, prefix="/replicas/")]
+        assert paths == ["/replicas/a.dat"]
+
+    def test_ties_break_by_path(self, clock):
+        tracker = HeatTracker(clock=clock)
+        tracker.record("/b.dat")
+        tracker.record("/a.dat")
+        assert [p for p, _ in tracker.hottest(2)] == ["/a.dat", "/b.dat"]
+
+
+class TestBound:
+    def test_evicts_coldest_at_capacity(self, clock):
+        tracker = HeatTracker(halflife=10.0, max_files=2, clock=clock)
+        tracker.record("/old.dat")
+        clock.now = 30.0  # /old.dat decays to 1/8
+        tracker.record("/a.dat")
+        tracker.record("/b.dat")
+        snap = tracker.snapshot()
+        assert "/old.dat" not in snap
+        assert set(snap) == {"/a.dat", "/b.dat"}
+
+    def test_last_access_tracks_clock(self, clock):
+        tracker = HeatTracker(clock=clock)
+        clock.now = 7.0
+        tracker.record("/a.dat")
+        assert tracker.last_access("/a.dat") == pytest.approx(7.0)
+
+
+class TestAdAttributes:
+    def test_shape(self, clock):
+        tracker = HeatTracker(clock=clock)
+        for _ in range(3):
+            tracker.record("/replicas/hot.dat", nbytes=1024)
+        attrs = tracker.ad_attributes(top_n=2)
+        assert attrs["HotFiles"] == ["/replicas/hot.dat"]
+        assert attrs["HotFileHeat"] == pytest.approx(3.0)
+
+    def test_empty_tracker(self, clock):
+        attrs = HeatTracker(clock=clock).ad_attributes()
+        assert attrs["HotFiles"] == []
+
+
+class TestValidation:
+    def test_rejects_bad_halflife(self):
+        with pytest.raises(ValueError):
+            HeatTracker(halflife=0.0)
+
+    def test_rejects_bad_bound(self):
+        with pytest.raises(ValueError):
+            HeatTracker(max_files=0)

@@ -1,0 +1,137 @@
+"""Live-server tiering: demote over the wire, recall on miss, and
+residency surviving both a graceful restart and a crash."""
+
+import pytest
+
+from repro.client.chirp import ChirpClient
+from repro.nest.config import NestConfig
+from repro.nest.server import NestServer
+from repro.tier.store import COLD, HOT
+
+
+def tiered_config(tmp_path, name="tiered"):
+    return NestConfig(
+        name=name,
+        protocols=("chirp",),
+        tiering=True,
+        tier_scan_interval=0.0,   # scans driven by hand
+        tier_demote_after=0.0,    # age gate off: heat decides
+        state_dir=str(tmp_path / "state"),
+        tier_cold_dir=str(tmp_path / "cold"),
+    )
+
+
+def chirp(server):
+    host, port = server.endpoint("chirp")
+    return ChirpClient(host, port)
+
+
+class TestLiveTiering:
+    def test_demote_then_recall_over_the_wire(self, tmp_path):
+        with NestServer(tiered_config(tmp_path)) as server:
+            client = chirp(server)
+            try:
+                client.put("/data.dat", b"d" * 4096)
+                assert server.tier_manager.scan_once() == ["/data.dat"]
+                assert server.tiered.state_of("/data.dat") == COLD
+                assert not server.tiered.fast.exists("/data.dat")
+                # Recall on miss through the real protocol path.
+                assert client.get("/data.dat") == b"d" * 4096
+                assert server.tiered.state_of("/data.dat") == HOT
+            finally:
+                client.close()
+
+    def test_reads_heat_the_file_against_demotion(self, tmp_path):
+        with NestServer(tiered_config(tmp_path)) as server:
+            client = chirp(server)
+            try:
+                client.put("/busy.dat", b"b" * 1024)
+                client.get("/busy.dat")  # heat 1.0 > default ceiling
+                assert server.tier_manager.scan_once() == []
+                assert server.tiered.state_of("/busy.dat") == HOT
+            finally:
+                client.close()
+
+    def test_tier_metrics_registered(self, tmp_path):
+        with NestServer(tiered_config(tmp_path)) as server:
+            client = chirp(server)
+            try:
+                client.put("/m.dat", b"m" * 512)
+                server.tier_manager.scan_once()
+            finally:
+                client.close()
+            text = server.obs.render_prometheus()
+            assert 'tier_migrations_total{outcome="ok"} 1' in text
+            assert "tier_cold_used_bytes 512" in text
+
+    def test_hot_files_advertised(self, tmp_path):
+        with NestServer(tiered_config(tmp_path)) as server:
+            client = chirp(server)
+            try:
+                client.put("/pop.dat", b"p" * 256)
+                client.get("/pop.dat")
+            finally:
+                client.close()
+            ad = server.advertisement()
+            assert list(ad.eval("HotFiles")) == ["/pop.dat"]
+
+
+class TestRestartRecovery:
+    def test_residency_survives_graceful_restart(self, tmp_path):
+        with NestServer(tiered_config(tmp_path)) as server:
+            client = chirp(server)
+            try:
+                client.put("/keep.dat", b"k" * 2048)
+                server.tier_manager.scan_once()
+                assert server.tiered.state_of("/keep.dat") == COLD
+            finally:
+                client.close()
+        # Fresh process: fast tier (memory) is gone; the cold tier and
+        # the journaled residency bring the file back.
+        with NestServer(tiered_config(tmp_path)) as server:
+            assert server.tiered.state_of("/keep.dat") == COLD
+            client = chirp(server)
+            try:
+                assert client.get("/keep.dat") == b"k" * 2048
+            finally:
+                client.close()
+
+    def test_residency_survives_crash(self, tmp_path):
+        server = NestServer(tiered_config(tmp_path))
+        server.start()
+        client = chirp(server)
+        try:
+            client.put("/crashy.dat", b"c" * 1024)
+            server.tier_manager.scan_once()
+        finally:
+            client.close()
+        server.crash()  # no snapshot: journal replay must carry it
+        with NestServer(tiered_config(tmp_path)) as server:
+            assert server.tiered.state_of("/crashy.dat") == COLD
+            client = chirp(server)
+            try:
+                assert client.get("/crashy.dat") == b"c" * 1024
+                assert server.tiered.state_of("/crashy.dat") == HOT
+            finally:
+                client.close()
+
+    def test_recovery_reconciles_fastless_hot_file(self, tmp_path):
+        """A HOT file lives only in the (memory) fast tier: after a
+        crash its bytes are gone, and recovery must not resurrect a
+        residency claim for it."""
+        server = NestServer(tiered_config(tmp_path))
+        server.start()
+        client = chirp(server)
+        try:
+            client.put("/lost.dat", b"l" * 128)   # HOT, never demoted
+            client.put("/safe.dat", b"s" * 128)
+            server.tier_manager.scan_once()       # both demoted
+            assert client.get("/lost.dat") == b"l" * 128  # recalled: HOT
+        finally:
+            client.close()
+        server.crash()
+        with NestServer(tiered_config(tmp_path)) as server:
+            assert server.tiered.state_of("/safe.dat") == COLD
+            # the recalled file's bytes died with the memory fast tier
+            assert not server.tiered.exists("/lost.dat")
+            assert server.tiered.residency.get("/lost.dat") is None
